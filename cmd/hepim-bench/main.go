@@ -1,0 +1,80 @@
+// Command hepim-bench regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	hepim-bench -fig all          # every figure (default)
+//	hepim-bench -fig 1a           # one figure: 1a 1b 2a 2b 2c width tasklets transfers ablation
+//	hepim-bench -fig 1b -csv      # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|all")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	suite, err := bench.NewSuite()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+		os.Exit(1)
+	}
+
+	figs, err := collect(suite, *figFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+		os.Exit(1)
+	}
+	for i, f := range figs {
+		if *csvFlag {
+			fmt.Print(bench.CSV(f))
+		} else {
+			fmt.Print(bench.Render(f))
+		}
+		if i != len(figs)-1 {
+			fmt.Println()
+		}
+	}
+}
+
+func collect(s *bench.Suite, which string) ([]*bench.Figure, error) {
+	mk := map[string]func() (*bench.Figure, error){
+		"1a":        func() (*bench.Figure, error) { return s.Fig1a(), nil },
+		"1b":        func() (*bench.Figure, error) { return s.Fig1b(), nil },
+		"2a":        func() (*bench.Figure, error) { return s.Fig2a(), nil },
+		"2b":        func() (*bench.Figure, error) { return s.Fig2b(), nil },
+		"2c":        func() (*bench.Figure, error) { return s.Fig2c(), nil },
+		"width":     func() (*bench.Figure, error) { return s.WidthSweep(), nil },
+		"tasklets":  s.TaskletSweep,
+		"transfers": func() (*bench.Figure, error) { return s.Transfers(), nil },
+		"energy":    s.Energy,
+		"ablation":  s.Ablations,
+	}
+	if which == "all" {
+		var out []*bench.Figure
+		for _, id := range []string{"1a", "1b", "2a", "2b", "2c", "width", "tasklets", "transfers", "energy", "ablation"} {
+			f, err := mk[id]()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	f, ok := mk[which]
+	if !ok {
+		return nil, fmt.Errorf("unknown figure %q", which)
+	}
+	fig, err := f()
+	if err != nil {
+		return nil, err
+	}
+	return []*bench.Figure{fig}, nil
+}

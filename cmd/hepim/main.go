@@ -1,0 +1,233 @@
+// Command hepim is a small CLI for the BFV library: generate keys,
+// encrypt values, run homomorphic operations on ciphertext files, and
+// decrypt — the full client/server flow of the paper's deployment model.
+//
+// Usage:
+//
+//	hepim keygen -out secret.key
+//	hepim encrypt -key secret.key -value 7 -out a.ct
+//	hepim encrypt -key secret.key -value 5 -out b.ct
+//	hepim add -in a.ct -in b.ct -out sum.ct        # runs on the PIM simulator
+//	hepim mul -in a.ct -in b.ct -out prod.ct       # runs on the PIM simulator
+//	hepim decrypt -key secret.key -in sum.ct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+
+	"repro/internal/bfv"
+	"repro/internal/hepim"
+	"repro/internal/pim"
+	"repro/internal/sampling"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "keygen":
+		err = keygen(args)
+	case "encrypt":
+		err = encrypt(args)
+	case "add", "mul":
+		err = evaluate(cmd, args)
+	case "decrypt":
+		err = decrypt(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hepim keygen|encrypt|add|mul|decrypt [flags]")
+	os.Exit(2)
+}
+
+// params is the fixed CLI parameter set: the paper's 54-bit modulus over
+// a reduced ring (N=256) so every CLI operation completes in seconds on
+// the functional simulator. It supports addition chains and one
+// multiplication. (No security margin — this is a demo tool.)
+func params() *bfv.Parameters {
+	q, _ := new(big.Int).SetString("18014398509481951", 10)
+	p, err := bfv.NewParameters(256, q, 65537, 18)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func keygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	out := fs.String("out", "secret.key", "output file for the secret key")
+	fs.Parse(args)
+	src, err := sampling.NewSystemSource()
+	if err != nil {
+		return err
+	}
+	kg := bfv.NewKeyGenerator(params(), src)
+	sk := kg.GenSecretKey()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sk.Serialize(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote secret key (%s) for %v\n", *out, params())
+	return nil
+}
+
+func loadKeys(keyPath string) (*bfv.SecretKey, *bfv.PublicKey, *bfv.RelinKey, error) {
+	f, err := os.Open(keyPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	sk, err := bfv.ReadSecretKey(f, params())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Public and relinearization keys are derived fresh from the secret
+	// key with new randomness: any public key for the same secret
+	// produces interoperable ciphertexts.
+	src, err := sampling.NewSystemSource()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kg := bfv.NewKeyGenerator(params(), src)
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	return sk, pk, rlk, nil
+}
+
+func encrypt(args []string) error {
+	fs := flag.NewFlagSet("encrypt", flag.ExitOnError)
+	key := fs.String("key", "secret.key", "secret key file")
+	value := fs.Uint64("value", 0, "value to encrypt (mod t)")
+	out := fs.String("out", "out.ct", "output ciphertext file")
+	fs.Parse(args)
+	_, pk, _, err := loadKeys(*key)
+	if err != nil {
+		return err
+	}
+	src, err := sampling.NewSystemSource()
+	if err != nil {
+		return err
+	}
+	enc := bfv.NewEncryptor(params(), pk, src)
+	ct, err := enc.EncryptValue(*value)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ct.Serialize(f); err != nil {
+		return err
+	}
+	fmt.Printf("encrypted %d -> %s (%d bytes of ciphertext for %d bytes of plain data)\n",
+		*value, *out, params().CiphertextBytes(), params().PlaintextBytes())
+	return nil
+}
+
+func readCt(path string) (*bfv.Ciphertext, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bfv.ReadCiphertext(f, params())
+}
+
+func evaluate(op string, args []string) error {
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+	var ins multiFlag
+	fs.Var(&ins, "in", "input ciphertext file (repeat twice)")
+	out := fs.String("out", "out.ct", "output ciphertext file")
+	key := fs.String("key", "secret.key", "secret key file (for the relinearization key)")
+	dpus := fs.Int("dpus", 64, "simulated DPUs to use")
+	fs.Parse(args)
+	if len(ins) != 2 {
+		return fmt.Errorf("%s needs exactly two -in files", op)
+	}
+	ct0, err := readCt(ins[0])
+	if err != nil {
+		return err
+	}
+	ct1, err := readCt(ins[1])
+	if err != nil {
+		return err
+	}
+
+	var rlk *bfv.RelinKey
+	if op == "mul" {
+		_, _, r, err := loadKeys(*key)
+		if err != nil {
+			return err
+		}
+		rlk = r
+	}
+	cfg := pim.DefaultConfig()
+	cfg.NumDPUs = *dpus
+	srv, err := hepim.NewServer(cfg, params(), rlk)
+	if err != nil {
+		return err
+	}
+	var res *bfv.Ciphertext
+	if op == "add" {
+		res, err = srv.Add(ct0, ct1)
+	} else {
+		res, err = srv.Mul(ct0, ct1)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Serialize(f); err != nil {
+		return err
+	}
+	fmt.Printf("%s(%s, %s) -> %s on %d simulated DPUs (modeled kernel time %.4g ms)\n",
+		op, ins[0], ins[1], *out, *dpus, srv.ModeledSeconds()*1e3)
+	return nil
+}
+
+func decrypt(args []string) error {
+	fs := flag.NewFlagSet("decrypt", flag.ExitOnError)
+	key := fs.String("key", "secret.key", "secret key file")
+	in := fs.String("in", "out.ct", "ciphertext file")
+	fs.Parse(args)
+	sk, _, _, err := loadKeys(*key)
+	if err != nil {
+		return err
+	}
+	ct, err := readCt(*in)
+	if err != nil {
+		return err
+	}
+	dec := bfv.NewDecryptor(params(), sk)
+	fmt.Printf("%s decrypts to %d (noise budget: %d bits)\n",
+		*in, dec.DecryptValue(ct), dec.NoiseBudget(ct))
+	return nil
+}

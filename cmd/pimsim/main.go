@@ -1,0 +1,138 @@
+// Command pimsim inspects the UPMEM PIM simulator: it runs the paper's
+// addition or multiplication kernel and prints the per-roofline cycle
+// breakdown, or sweeps the tasklet count to reproduce the pipeline-
+// saturation observation (§4.2 observation 1).
+//
+// Usage:
+//
+//	pimsim -kernel add -coeffs 8192 -width 4 -dpus 4 -tasklets 16
+//	pimsim -kernel mul -n 64 -pairs 4 -width 4
+//	pimsim -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+
+	"repro/internal/limb32"
+	"repro/internal/pim"
+	"repro/internal/pim/kernels"
+	"repro/internal/poly"
+	"repro/internal/sampling"
+)
+
+func main() {
+	kernel := flag.String("kernel", "add", "kernel to run: add | mul")
+	coeffs := flag.Int("coeffs", 8192, "coefficients for the add kernel")
+	n := flag.Int("n", 64, "polynomial degree for the mul kernel")
+	pairs := flag.Int("pairs", 4, "polynomial pairs for the mul kernel")
+	width := flag.Int("width", 4, "limbs per coefficient: 1 (27-bit), 2 (54-bit), 4 (109-bit)")
+	dpus := flag.Int("dpus", 4, "active DPUs")
+	tasklets := flag.Int("tasklets", 16, "tasklets per DPU")
+	sweep := flag.Bool("sweep", false, "sweep tasklet counts instead of a single run")
+	flag.Parse()
+
+	mod, err := modulusFor(*width)
+	if err != nil {
+		fail(err)
+	}
+	src := sampling.NewSourceFromUint64(42)
+
+	if *sweep {
+		runSweep(mod, src, *coeffs)
+		return
+	}
+
+	cfg := pim.DefaultConfig()
+	cfg.NumDPUs = *dpus
+	cfg.Tasklets = *tasklets
+	sys, err := pim.NewSystem(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	var rep *pim.Report
+	switch *kernel {
+	case "add":
+		a, b := randVec(src, *coeffs, mod), randVec(src, *coeffs, mod)
+		_, rep, err = kernels.RunVectorAdd(sys, a, b, mod.W, mod.Q)
+	case "mul":
+		a, b := randVec(src, *pairs**n, mod), randVec(src, *pairs**n, mod)
+		_, rep, err = kernels.RunVectorPolyMul(sys, a, b, *n, mod.W, mod.Q)
+	default:
+		fail(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("kernel=%s width=%d-bit dpus=%d tasklets=%d\n", *kernel, 32*mod.W, *dpus, *tasklets)
+	fmt.Printf("  kernel cycles (max over DPUs): %d  (%.4g ms at 425 MHz)\n",
+		rep.KernelCycles, float64(rep.KernelCycles)/425e3)
+	fmt.Printf("  total instructions:            %d\n", rep.TotalInstr)
+	fmt.Printf("  total DMA cycles:              %d\n", rep.TotalDMACycles)
+	fmt.Printf("  host copy-in / copy-out:       %.4g ms / %.4g ms\n",
+		rep.CopyInSeconds*1e3, rep.CopyOutSeconds*1e3)
+	fmt.Println("  instruction mix:")
+	for op := limb32.Op(0); op < limb32.NumOps; op++ {
+		if rep.Counts[op] > 0 {
+			fmt.Printf("    %-6s %12d\n", op, rep.Counts[op])
+		}
+	}
+}
+
+func runSweep(mod *poly.Modulus, src *sampling.Source, coeffs int) {
+	a, b := randVec(src, coeffs, mod), randVec(src, coeffs, mod)
+	fmt.Printf("tasklet sweep: %d-bit addition of %d coefficients on 1 DPU\n", 32*mod.W, coeffs)
+	var base int64
+	for _, tk := range []int{1, 2, 4, 8, 11, 16, 24} {
+		cfg := pim.DefaultConfig()
+		cfg.NumDPUs = 1
+		cfg.Tasklets = tk
+		sys, err := pim.NewSystem(cfg)
+		if err != nil {
+			fail(err)
+		}
+		_, rep, err := kernels.RunVectorAdd(sys, a, b, mod.W, mod.Q)
+		if err != nil {
+			fail(err)
+		}
+		if base == 0 {
+			base = rep.KernelCycles
+		}
+		fmt.Printf("  tasklets=%2d  cycles=%10d  speedup vs 1 tasklet: %.2fx\n",
+			tk, rep.KernelCycles, float64(base)/float64(rep.KernelCycles))
+	}
+	fmt.Println("  (the paper's observation 1: saturation at >= 11 tasklets)")
+}
+
+func modulusFor(w int) (*poly.Modulus, error) {
+	var s string
+	switch w {
+	case 1:
+		s = "134217689"
+	case 2:
+		s = "18014398509481951"
+	case 4:
+		s = "649037107316853453566312041152481"
+	default:
+		return nil, fmt.Errorf("width must be 1, 2 or 4 (got %d)", w)
+	}
+	q, _ := new(big.Int).SetString(s, 10)
+	return poly.NewModulus(q)
+}
+
+func randVec(src *sampling.Source, coeffs int, mod *poly.Modulus) []uint32 {
+	out := make([]uint32, coeffs*mod.W)
+	for i := 0; i < coeffs; i++ {
+		copy(out[i*mod.W:(i+1)*mod.W], src.UniformNat(mod.Q, mod.W))
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pimsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Evaluating Homomorphic Operations on a
+// Real-World Processing-In-Memory System" (Gupta, Kabra, Gómez-Luna,
+// Kanellopoulos, Mutlu; IISWC 2023, arXiv:2309.06545) as a Go library:
+// a from-scratch BFV somewhat-homomorphic encryption implementation, a
+// cycle-level simulator of the first-generation UPMEM PIM system, the
+// paper's CPU / CPU-SEAL / GPU baselines as calibrated analytic models,
+// and a benchmark harness that regenerates every figure of the paper's
+// evaluation.
+//
+// The root package holds the per-figure benchmarks (bench_test.go); the
+// implementation lives under internal/ (see DESIGN.md for the map) and
+// the runnable entry points under cmd/ and examples/.
+package repro

@@ -1,0 +1,62 @@
+// Quickstart: generate keys, encrypt two integers, add and multiply them
+// homomorphically, and decrypt — the complete BFV flow in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bfv"
+	"repro/internal/sampling"
+)
+
+func main() {
+	// Toy parameters: fast, no security margin. Swap in
+	// bfv.ParamsSec109() for the paper's 109-bit level.
+	params := bfv.ParamsToy()
+	fmt.Println("parameters:", params)
+
+	src, err := sampling.NewSystemSource()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinKey(sk)
+
+	enc := bfv.NewEncryptor(params, pk, src)
+	dec := bfv.NewDecryptor(params, sk)
+	eval := bfv.NewEvaluator(params, rlk)
+
+	a, err := enc.EncryptValue(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := enc.EncryptValue(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encrypted 3 and 5 (each ciphertext: %d bytes for %d bytes of plain data)\n",
+		params.CiphertextBytes(), params.PlaintextBytes())
+
+	sum := eval.Add(a, b)
+	fmt.Printf("3 + 5 = %d  (noise budget %d bits)\n",
+		dec.DecryptValue(sum), dec.NoiseBudget(sum))
+
+	prod, err := eval.Mul(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3 * 5 = %d  (noise budget %d bits)\n",
+		dec.DecryptValue(prod), dec.NoiseBudget(prod))
+
+	// Computations compose: (3+5)*3 = 24 mod t.
+	both, err := eval.Mul(sum, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(3+5) * 3 = %d mod %d  (noise budget %d bits)\n",
+		dec.DecryptValue(both), params.T, dec.NoiseBudget(both))
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+var suite *Suite
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	if suite == nil {
+		s, err := NewSuite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = s
+	}
+	return suite
+}
+
+func TestFig1aShape(t *testing.T) {
+	fig := getSuite(t).Fig1a()
+	if len(fig.Rows) != 5 {
+		t.Fatalf("fig1a has %d rows, want 5", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		for _, p := range Platforms {
+			if r.Seconds[p] <= 0 {
+				t.Errorf("row %s platform %s has no time", r.Label, p)
+			}
+		}
+		// PIM must be the fastest platform for addition (the paper's
+		// headline result).
+		for _, p := range []string{"CPU", "CPU-SEAL", "GPU"} {
+			if r.Seconds["PIM"] >= r.Seconds[p] {
+				t.Errorf("row %s: PIM (%.4g) not faster than %s (%.4g)",
+					r.Label, r.Seconds["PIM"], p, r.Seconds[p])
+			}
+		}
+	}
+	// Times scale ~linearly with the ciphertext count.
+	first, last := fig.Rows[0], fig.Rows[4]
+	ratio := last.Seconds["CPU"] / first.Seconds["CPU"]
+	if ratio < 14 || ratio > 18 {
+		t.Errorf("CPU time scaled %.1fx over a 16x size range", ratio)
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	fig := getSuite(t).Fig1b()
+	if len(fig.Rows) != 5 {
+		t.Fatalf("fig1b has %d rows, want 5", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		// Multiplication ordering: GPU < CPU-SEAL < PIM < CPU (§4.2).
+		if !(r.Seconds["GPU"] < r.Seconds["CPU-SEAL"] &&
+			r.Seconds["CPU-SEAL"] < r.Seconds["PIM"] &&
+			r.Seconds["PIM"] < r.Seconds["CPU"]) {
+			t.Errorf("row %s: platform ordering wrong: %v", r.Label, r.Seconds)
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	s := getSuite(t)
+	fig2a := s.Fig2a()
+	for _, r := range fig2a.Rows {
+		// Mean: PIM fastest everywhere.
+		for _, p := range []string{"CPU", "CPU-SEAL", "GPU"} {
+			if r.Seconds["PIM"] >= r.Seconds[p] {
+				t.Errorf("fig2a %s: PIM not fastest vs %s", r.Label, p)
+			}
+		}
+	}
+	for _, fig := range []*Figure{s.Fig2b(), s.Fig2c()} {
+		for _, r := range fig.Rows {
+			// Variance/linreg: PIM beats only the custom CPU.
+			if r.Seconds["PIM"] >= r.Seconds["CPU"] {
+				t.Errorf("fig%s %s: PIM not faster than CPU", fig.ID, r.Label)
+			}
+			if r.Seconds["GPU"] >= r.Seconds["PIM"] || r.Seconds["CPU-SEAL"] >= r.Seconds["PIM"] {
+				t.Errorf("fig%s %s: GPU/SEAL should beat PIM on mul-heavy workloads", fig.ID, r.Label)
+			}
+		}
+	}
+}
+
+func TestWidthSweepShape(t *testing.T) {
+	fig := getSuite(t).WidthSweep()
+	if len(fig.Rows) != 6 {
+		t.Fatalf("width sweep has %d rows, want 6", len(fig.Rows))
+	}
+	for _, r := range fig.Rows {
+		if r.Seconds["PIM"] >= r.Seconds["CPU"] {
+			t.Errorf("width row %s: PIM not faster than CPU", r.Label)
+		}
+	}
+}
+
+func TestTaskletSweepSaturates(t *testing.T) {
+	fig, err := getSuite(t).TaskletSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 7 {
+		t.Fatalf("tasklet sweep rows = %d", len(fig.Rows))
+	}
+	// Time at 11 tasklets ≈ time at 16 and 24 (saturation), but well
+	// below time at 1.
+	timeAt := map[string]float64{}
+	for _, r := range fig.Rows {
+		timeAt[r.Label] = r.Seconds["PIM"]
+	}
+	if timeAt["11"] >= timeAt["1"]/2 {
+		t.Errorf("11 tasklets (%.4g) should be much faster than 1 (%.4g)", timeAt["11"], timeAt["1"])
+	}
+	if timeAt["16"] < timeAt["11"]*0.85 || timeAt["24"] < timeAt["11"]*0.85 {
+		t.Errorf("saturation missing: t11=%.4g t16=%.4g t24=%.4g",
+			timeAt["11"], timeAt["16"], timeAt["24"])
+	}
+}
+
+func TestAblations(t *testing.T) {
+	fig, err := getSuite(t).Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 5 {
+		t.Fatalf("ablation rows = %d", len(fig.Rows))
+	}
+	base := fig.Rows[0].Seconds["PIM"]
+	native := fig.Rows[1].Seconds["PIM"]
+	if native >= base {
+		t.Error("native 32-bit multiplier did not speed up multiplication")
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	s := getSuite(t)
+	fig := s.Fig1a()
+	out := Render(fig)
+	for _, want := range []string{"Figure 1a", "CPU (ms)", "PIM (ms)", "20480", "327680", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	csv := CSV(fig)
+	if !strings.HasPrefix(csv, "Number of Ciphertexts,CPU,PIM,CPU-SEAL,GPU,annotation\n") {
+		t.Errorf("CSV header wrong: %s", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if got := strings.Count(csv, "\n"); got != 6 {
+		t.Errorf("CSV line count = %d, want 6", got)
+	}
+}
+
+func TestKaratsubaAblationNumbers(t *testing.T) {
+	kar, school, err := karatsubaAblationCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if school <= kar {
+		t.Error("schoolbook should cost more than Karatsuba")
+	}
+	if ratio := float64(school) / float64(kar); ratio < 1.2 || ratio > 1.9 {
+		t.Errorf("Karatsuba advantage %.2fx outside the expected 1.2-1.9x", ratio)
+	}
+}

@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+func TestEnergyFigure(t *testing.T) {
+	fig, err := getSuite(t).Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 2 {
+		t.Fatalf("energy rows = %d", len(fig.Rows))
+	}
+	kernelJ := fig.Rows[0].Seconds["PIM"]
+	transferJ := fig.Rows[1].Seconds["PIM"]
+	if kernelJ <= 0 || transferJ <= 0 {
+		t.Fatal("energy values must be positive")
+	}
+	// The paper's §2 energy argument: moving the ciphertexts across the
+	// host link costs energy on the order of computing on them in place.
+	ratio := transferJ / kernelJ
+	if ratio < 0.5 || ratio > 10 {
+		t.Errorf("transfer/kernel energy ratio %.2f outside the expected 0.5-10 range", ratio)
+	}
+}

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+func TestTransfersFigure(t *testing.T) {
+	fig := getSuite(t).Transfers()
+	if len(fig.Rows) != 2 {
+		t.Fatalf("transfers rows = %d", len(fig.Rows))
+	}
+	kernelOnly := fig.Rows[0]
+	withXfer := fig.Rows[1]
+	// Kernel-only: PIM wins (the paper's Fig 1a regime).
+	if kernelOnly.Seconds["PIM"] >= kernelOnly.Seconds["GPU"] {
+		t.Error("kernel-only: PIM should beat GPU on addition")
+	}
+	// Cold data: transfers must dominate both accelerators (§2's
+	// data-movement argument) and erase PIM's kernel advantage.
+	for _, p := range []string{"PIM", "GPU"} {
+		if withXfer.Seconds[p] < 10*kernelOnly.Seconds[p] {
+			t.Errorf("%s: transfers (%.4g s total) should dwarf the kernel (%.4g s)",
+				p, withXfer.Seconds[p], kernelOnly.Seconds[p])
+		}
+	}
+	// With cold data the GPU's fatter host link wins end-to-end — the
+	// honest flip side the kernel-only methodology hides.
+	if withXfer.Seconds["GPU"] >= withXfer.Seconds["PIM"] {
+		t.Error("cold-data end-to-end: PCIe should beat the DIMM interface")
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+func TestWorkloadDeterministic(t *testing.T) {
+	w := Workload{Users: 4, CtsPerUser: 8, MaxValue: 100, Seed: 9}
+	a, b := w.Values(), w.Values()
+	for u := range a {
+		for c := range a[u] {
+			if a[u][c] != b[u][c] {
+				t.Fatal("same seed must give same workload")
+			}
+			if a[u][c] >= 100 {
+				t.Fatalf("value %d out of range", a[u][c])
+			}
+		}
+	}
+	w2 := w
+	w2.Seed = 10
+	diff := false
+	for u, row := range w2.Values() {
+		for c := range row {
+			if row[c] != a[u][c] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds should give different workloads")
+	}
+	if got := len(w.Flat()); got != 32 {
+		t.Errorf("Flat length = %d, want 32", got)
+	}
+}
+
+func TestVerifyFig1aFunctional(t *testing.T) {
+	if err := VerifyFig1aFunctional(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFig1bFunctional(t *testing.T) {
+	if err := VerifyFig1bFunctional(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFig2Functional(t *testing.T) {
+	if err := VerifyFig2Functional(); err != nil {
+		t.Fatal(err)
+	}
+}

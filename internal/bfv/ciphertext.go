@@ -1,0 +1,57 @@
+package bfv
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+)
+
+// Plaintext is a polynomial with coefficients in [0, T).
+type Plaintext struct {
+	Coeffs []uint64 // length N, values < T
+}
+
+// NewPlaintext returns an all-zero plaintext for the parameter set.
+func NewPlaintext(params *Parameters) *Plaintext {
+	return &Plaintext{Coeffs: make([]uint64, params.N)}
+}
+
+// Ciphertext is a BFV ciphertext: a list of polynomials in R_q. Fresh
+// ciphertexts have degree 1 (two polynomials); an unrelinearized product
+// has degree 2 (three polynomials).
+type Ciphertext struct {
+	Polys []*poly.Poly
+}
+
+// Degree returns len(Polys) - 1.
+func (ct *Ciphertext) Degree() int { return len(ct.Polys) - 1 }
+
+// Clone returns a deep copy.
+func (ct *Ciphertext) Clone() *Ciphertext {
+	out := &Ciphertext{Polys: make([]*poly.Poly, len(ct.Polys))}
+	for i, p := range ct.Polys {
+		out.Polys[i] = p.Clone()
+	}
+	return out
+}
+
+// Equal reports bitwise equality of two ciphertexts.
+func (ct *Ciphertext) Equal(o *Ciphertext) bool {
+	if len(ct.Polys) != len(o.Polys) {
+		return false
+	}
+	for i := range ct.Polys {
+		if !ct.Polys[i].Equal(o.Polys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ct *Ciphertext) String() string {
+	if len(ct.Polys) == 0 {
+		return "Ciphertext{empty}"
+	}
+	return fmt.Sprintf("Ciphertext{degree=%d, N=%d, W=%d}",
+		ct.Degree(), ct.Polys[0].N, ct.Polys[0].W)
+}

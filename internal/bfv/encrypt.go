@@ -1,0 +1,154 @@
+package bfv
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/poly"
+	"repro/internal/sampling"
+)
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params *Parameters
+	pk     *PublicKey
+	src    *sampling.Source
+}
+
+// NewEncryptor returns an Encryptor.
+func NewEncryptor(params *Parameters, pk *PublicKey, src *sampling.Source) *Encryptor {
+	return &Encryptor{params: params, pk: pk, src: src}
+}
+
+// DeltaEncode returns Δ·m in R_q for a plaintext m — the ring element a
+// plaintext contributes to a ciphertext, exported for accelerator
+// backends implementing AddPlain.
+func DeltaEncode(params *Parameters, pt *Plaintext) *poly.Poly {
+	return deltaPoly(params, pt)
+}
+
+// deltaPoly returns Δ·m in R_q for a plaintext m.
+func deltaPoly(params *Parameters, pt *Plaintext) *poly.Poly {
+	coeffs := make([]*big.Int, params.N)
+	for i := range coeffs {
+		c := new(big.Int).SetUint64(pt.Coeffs[i] % params.T)
+		coeffs[i] = c.Mul(c, params.Delta)
+	}
+	return poly.FromBigCoeffs(coeffs, params.Q)
+}
+
+// Encrypt produces a fresh degree-1 encryption of pt:
+//
+//	c0 = p0·u + e1 + Δ·m,   c1 = p1·u + e2
+func (e *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
+	par := e.params
+	if len(pt.Coeffs) != par.N {
+		return nil, errors.New("bfv: plaintext length mismatch")
+	}
+	u := ternaryPoly(e.src, par.N, par.Q)
+	e1 := gaussianPoly(e.src, par.N, par.Q)
+	e2 := gaussianPoly(e.src, par.N, par.Q)
+
+	c0 := poly.NewPoly(par.N, par.Q.W)
+	poly.MulNegacyclic(c0, e.pk.P0, u, par.Q, nil)
+	poly.Add(c0, c0, e1, par.Q, nil)
+	poly.Add(c0, c0, deltaPoly(par, pt), par.Q, nil)
+
+	c1 := poly.NewPoly(par.N, par.Q.W)
+	poly.MulNegacyclic(c1, e.pk.P1, u, par.Q, nil)
+	poly.Add(c1, c1, e2, par.Q, nil)
+
+	return &Ciphertext{Polys: []*poly.Poly{c0, c1}}, nil
+}
+
+// EncryptValue encrypts a single unsigned value into the constant
+// coefficient — the encoding the paper's statistical workloads use (one
+// datum per ciphertext).
+func (e *Encryptor) EncryptValue(v uint64) (*Ciphertext, error) {
+	pt := NewPlaintext(e.params)
+	pt.Coeffs[0] = v % e.params.T
+	return e.Encrypt(pt)
+}
+
+// Decryptor decrypts ciphertexts with the secret key.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a Decryptor.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// phase computes c0 + c1·s + c2·s² + … in R_q (the "phase" of the
+// ciphertext, Δ·m + noise).
+func (d *Decryptor) phase(ct *Ciphertext) *poly.Poly {
+	par := d.params
+	acc := ct.Polys[0].Clone()
+	sPow := d.sk.S.Clone()
+	tmp := poly.NewPoly(par.N, par.Q.W)
+	for i := 1; i < len(ct.Polys); i++ {
+		poly.MulNegacyclic(tmp, ct.Polys[i], sPow, par.Q, nil)
+		poly.Add(acc, acc, tmp, par.Q, nil)
+		if i+1 < len(ct.Polys) {
+			next := poly.NewPoly(par.N, par.Q.W)
+			poly.MulNegacyclic(next, sPow, d.sk.S, par.Q, nil)
+			sPow = next
+		}
+	}
+	return acc
+}
+
+// Decrypt recovers the plaintext: m = ⌊t·phase/q⌉ mod t, coefficient-wise
+// on centered representatives.
+func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	par := d.params
+	v := d.phase(ct)
+	pt := NewPlaintext(par)
+	tBig := new(big.Int).SetUint64(par.T)
+	for i, c := range v.ToCenteredCoeffs(par.Q) {
+		num := new(big.Int).Mul(c, tBig)
+		m := divRound(num, par.Q.QBig)
+		m.Mod(m, tBig)
+		pt.Coeffs[i] = m.Uint64()
+	}
+	return pt
+}
+
+// DecryptValue decrypts the constant coefficient (EncryptValue's inverse).
+func (d *Decryptor) DecryptValue(ct *Ciphertext) uint64 {
+	return d.Decrypt(ct).Coeffs[0]
+}
+
+// NoiseBudget returns the remaining noise budget of ct in bits:
+// log2(q / (2·|v − Δ·m|_∞)) with m the decrypted plaintext. A negative or
+// zero budget means decryption is no longer guaranteed.
+func (d *Decryptor) NoiseBudget(ct *Ciphertext) int {
+	par := d.params
+	v := d.phase(ct)
+	pt := d.Decrypt(ct)
+	// noise = v - Δ·m over centered representatives.
+	dm := deltaPoly(par, pt)
+	diff := poly.NewPoly(par.N, par.Q.W)
+	poly.Sub(diff, v, dm, par.Q, nil)
+	norm := diff.InfNormCentered(par.Q)
+	if norm.Sign() == 0 {
+		return par.Q.Bits() - 1
+	}
+	budget := par.Q.Bits() - 1 - norm.BitLen()
+	return budget
+}
+
+// divRound returns round(num/den) for den > 0, rounding half away from
+// zero, using floor division on the shifted numerator.
+func divRound(num, den *big.Int) *big.Int {
+	half := new(big.Int).Rsh(den, 1)
+	n := new(big.Int)
+	if num.Sign() >= 0 {
+		n.Add(num, half)
+	} else {
+		n.Sub(num, half)
+	}
+	return n.Quo(n, den)
+}

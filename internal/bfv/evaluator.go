@@ -1,0 +1,267 @@
+package bfv
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/limb32"
+	"repro/internal/poly"
+)
+
+// Evaluator performs homomorphic operations on ciphertexts. It is the
+// functional counterpart of the paper's PIM kernels: EvalAdd is
+// coefficient-wise polynomial addition, EvalMul is the tensor product
+// built from polynomial multiplications and additions (§3).
+//
+// An optional limb32.Meter charges every limb operation, which is how the
+// platform models obtain exact operation counts for these workloads.
+type Evaluator struct {
+	params *Parameters
+	rlk    *RelinKey
+	Meter  limb32.Meter
+}
+
+// NewEvaluator returns an evaluator; rlk may be nil if Relinearize and
+// Mul (which relinearizes by default) are not used.
+func NewEvaluator(params *Parameters, rlk *RelinKey) *Evaluator {
+	return &Evaluator{params: params, rlk: rlk}
+}
+
+// Add returns ct0 + ct1 (component-wise in R_q). Operands of different
+// degrees are supported; the missing components are treated as zero.
+func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
+	par := ev.params
+	n := len(ct0.Polys)
+	if len(ct1.Polys) > n {
+		n = len(ct1.Polys)
+	}
+	out := &Ciphertext{Polys: make([]*poly.Poly, n)}
+	for i := 0; i < n; i++ {
+		switch {
+		case i >= len(ct0.Polys):
+			out.Polys[i] = ct1.Polys[i].Clone()
+		case i >= len(ct1.Polys):
+			out.Polys[i] = ct0.Polys[i].Clone()
+		default:
+			p := poly.NewPoly(par.N, par.Q.W)
+			poly.Add(p, ct0.Polys[i], ct1.Polys[i], par.Q, ev.Meter)
+			out.Polys[i] = p
+		}
+	}
+	return out
+}
+
+// Sub returns ct0 - ct1.
+func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
+	return ev.Add(ct0, ev.Neg(ct1))
+}
+
+// Neg returns -ct.
+func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
+	par := ev.params
+	out := &Ciphertext{Polys: make([]*poly.Poly, len(ct.Polys))}
+	for i, p := range ct.Polys {
+		np := poly.NewPoly(par.N, par.Q.W)
+		poly.Neg(np, p, par.Q, ev.Meter)
+		out.Polys[i] = np
+	}
+	return out
+}
+
+// AddPlain returns ct + Δ·m for plaintext m.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	par := ev.params
+	out := ct.Clone()
+	poly.Add(out.Polys[0], out.Polys[0], deltaPoly(par, pt), par.Q, ev.Meter)
+	return out
+}
+
+// MulPlain returns ct · m for plaintext m (each component multiplied by
+// the plaintext polynomial, no Δ scaling — standard BFV plaintext mul).
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	par := ev.params
+	coeffs := make([]*big.Int, par.N)
+	for i := range coeffs {
+		coeffs[i] = new(big.Int).SetUint64(pt.Coeffs[i] % par.T)
+	}
+	mp := poly.FromBigCoeffs(coeffs, par.Q)
+	out := &Ciphertext{Polys: make([]*poly.Poly, len(ct.Polys))}
+	for i, p := range ct.Polys {
+		np := poly.NewPoly(par.N, par.Q.W)
+		poly.MulNegacyclic(np, p, mp, par.Q, ev.Meter)
+		out.Polys[i] = np
+	}
+	return out
+}
+
+// mulZ multiplies two centered-lift coefficient vectors negacyclically
+// over the integers (no modular reduction): the BFV tensor product must be
+// computed over Z before t/q rescaling.
+func mulZ(a, b []*big.Int) []*big.Int {
+	n := len(a)
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	t := new(big.Int)
+	for i := 0; i < n; i++ {
+		if a[i].Sign() == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if b[j].Sign() == 0 {
+				continue
+			}
+			t.Mul(a[i], b[j])
+			if i+j < n {
+				out[i+j].Add(out[i+j], t)
+			} else {
+				out[i+j-n].Sub(out[i+j-n], t)
+			}
+		}
+	}
+	return out
+}
+
+// scaleRound maps each coefficient c to round(t·c/q) mod q and packs the
+// result into a polynomial.
+func (ev *Evaluator) scaleRound(coeffs []*big.Int) *poly.Poly {
+	par := ev.params
+	tBig := new(big.Int).SetUint64(par.T)
+	out := make([]*big.Int, len(coeffs))
+	for i, c := range coeffs {
+		num := new(big.Int).Mul(c, tBig)
+		out[i] = divRound(num, par.Q.QBig)
+	}
+	return poly.FromBigCoeffs(out, par.Q)
+}
+
+// MulNoRelin returns the degree-2 tensor product of two degree-1
+// ciphertexts:
+//
+//	d0 = ⌊t·c0·c0'/q⌉, d1 = ⌊t·(c0·c1' + c1·c0')/q⌉, d2 = ⌊t·c1·c1'/q⌉
+func (ev *Evaluator) MulNoRelin(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if ct0.Degree() != 1 || ct1.Degree() != 1 {
+		return nil, errors.New("bfv: MulNoRelin requires degree-1 operands")
+	}
+	par := ev.params
+	a0 := ct0.Polys[0].ToCenteredCoeffs(par.Q)
+	a1 := ct0.Polys[1].ToCenteredCoeffs(par.Q)
+	b0 := ct1.Polys[0].ToCenteredCoeffs(par.Q)
+	b1 := ct1.Polys[1].ToCenteredCoeffs(par.Q)
+
+	d0 := mulZ(a0, b0)
+	d2 := mulZ(a1, b1)
+	d1 := mulZ(a0, b1)
+	for i, c := range mulZ(a1, b0) {
+		d1[i].Add(d1[i], c)
+	}
+
+	// Charge the meter for the four underlying R_q polynomial products the
+	// kernel performs (the big.Int path is a host-side exactness detour).
+	if ev.Meter != nil {
+		chargePolyMul(ev.Meter, par, 4)
+	}
+
+	return &Ciphertext{Polys: []*poly.Poly{
+		ev.scaleRound(d0), ev.scaleRound(d1), ev.scaleRound(d2),
+	}}, nil
+}
+
+// Relinearize reduces a degree-2 ciphertext back to degree 1 using the
+// relinearization key: c2 is decomposed in base 2^BaseBits and folded into
+// (c0, c1) via the evaluation keys.
+func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Degree() == 1 {
+		return ct.Clone(), nil
+	}
+	if ct.Degree() != 2 {
+		return nil, errors.New("bfv: Relinearize supports degree-2 ciphertexts")
+	}
+	if ev.rlk == nil {
+		return nil, errors.New("bfv: evaluator has no relinearization key")
+	}
+	par := ev.params
+	c0 := ct.Polys[0].Clone()
+	c1 := ct.Polys[1].Clone()
+	digits := decomposePoly(ct.Polys[2], par)
+
+	tmp := poly.NewPoly(par.N, par.Q.W)
+	for i, d := range digits {
+		if i >= len(ev.rlk.K0) {
+			break
+		}
+		poly.MulNegacyclic(tmp, ev.rlk.K0[i], d, par.Q, ev.Meter)
+		poly.Add(c0, c0, tmp, par.Q, ev.Meter)
+		poly.MulNegacyclic(tmp, ev.rlk.K1[i], d, par.Q, ev.Meter)
+		poly.Add(c1, c1, tmp, par.Q, ev.Meter)
+	}
+	return &Ciphertext{Polys: []*poly.Poly{c0, c1}}, nil
+}
+
+// Mul returns the relinearized product of two degree-1 ciphertexts.
+func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	d2, err := ev.MulNoRelin(ct0, ct1)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Relinearize(d2)
+}
+
+// Square returns the relinearized square of a ciphertext — the operation
+// the paper's variance workload is built on.
+func (ev *Evaluator) Square(ct *Ciphertext) (*Ciphertext, error) {
+	return ev.Mul(ct, ct)
+}
+
+// ScaleRoundCoeffs maps integer coefficients c to ⌊t·c/q⌉ mod q — the
+// BFV tensor rescaling step, exported for backends that compute the
+// tensor products on an accelerator and finish the scaling on the host.
+func ScaleRoundCoeffs(params *Parameters, coeffs []*big.Int) *poly.Poly {
+	ev := Evaluator{params: params}
+	return ev.scaleRound(coeffs)
+}
+
+// DecomposeForRelin splits a ciphertext polynomial into its base-
+// 2^RelinBaseBits digit polynomials, exported for accelerator backends.
+func DecomposeForRelin(p *poly.Poly, params *Parameters) []*poly.Poly {
+	return decomposePoly(p, params)
+}
+
+// decomposePoly splits p into base-2^RelinBaseBits digit polynomials:
+// p = Σ 2^{i·base}·digit_i with digit coefficients < 2^base.
+func decomposePoly(p *poly.Poly, par *Parameters) []*poly.Poly {
+	digits := par.RelinDigits()
+	base := par.RelinBaseBits
+	out := make([]*poly.Poly, digits)
+	coeffs := p.ToBigCoeffs()
+	mask := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), base), big.NewInt(1))
+	work := make([]*big.Int, len(coeffs))
+	for i, c := range coeffs {
+		work[i] = new(big.Int).Set(c)
+	}
+	for d := 0; d < digits; d++ {
+		dc := make([]*big.Int, len(coeffs))
+		for i := range work {
+			dc[i] = new(big.Int).And(work[i], mask)
+			work[i].Rsh(work[i], base)
+		}
+		out[d] = poly.FromBigCoeffs(dc, par.Q)
+	}
+	return out
+}
+
+// chargePolyMul charges the meter with the instruction stream of `count`
+// schoolbook negacyclic polynomial multiplications in R_q, matching what
+// poly.MulNegacyclic would charge (n² coefficient multiplies plus the
+// final per-coefficient reductions). Used where the host computes via
+// big.Int for exactness but the device would run the limb kernel.
+func chargePolyMul(m limb32.Meter, par *Parameters, count int) {
+	n, w := par.N, par.Q.W
+	pairs := n * n * count
+	m.Tick(limb32.OpMul32, pairs*limb32.MulCost(w))
+	m.Tick(limb32.OpLoad, pairs*4*w)
+	m.Tick(limb32.OpAddC, pairs*2*w)
+	m.Tick(limb32.OpStore, pairs*2*w)
+	m.Tick(limb32.OpLoop, pairs)
+}

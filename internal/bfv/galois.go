@@ -1,0 +1,145 @@
+package bfv
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/limb32"
+	"repro/internal/poly"
+)
+
+// Galois automorphisms: τ_g(m(X)) = m(X^g) for odd g, the primitive
+// behind slot rotations in batched BFV. The paper lists rotation among
+// the homomorphic operations (§2) and leaves operations beyond add/mul
+// as future work (§6); this file implements them for the library.
+
+// GaloisKey enables key switching from s(X^g) back to s after applying
+// the automorphism to a ciphertext.
+type GaloisKey struct {
+	G        uint64
+	BaseBits uint
+	K0, K1   []*poly.Poly
+}
+
+// applyGaloisPoly maps coefficient i to position i·g mod 2N with the
+// negacyclic sign rule (X^N ≡ −1).
+func applyGaloisPoly(p *poly.Poly, g uint64, mod *poly.Modulus, m limb32.Meter) *poly.Poly {
+	n := p.N
+	out := poly.NewPoly(n, p.W)
+	for i := 0; i < n; i++ {
+		j := int((uint64(i) * g) % uint64(2*n))
+		src := p.Coeff(i)
+		if j < n {
+			out.Coeff(j).Set(src)
+			tick2(m, limb32.OpMove, p.W)
+		} else {
+			limb32.NegMod(out.Coeff(j-n), src, mod.Q, m)
+		}
+	}
+	return out
+}
+
+func tick2(m limb32.Meter, op limb32.Op, n int) {
+	if m != nil {
+		m.Tick(op, n)
+	}
+}
+
+// GenGaloisKey derives the key-switching key for the automorphism X→X^g.
+// g must be odd (even g is not an automorphism of the 2N-th cyclotomic).
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g uint64) (*GaloisKey, error) {
+	if g%2 == 0 {
+		return nil, fmt.Errorf("bfv: Galois element %d must be odd", g)
+	}
+	par := kg.params
+	sG := applyGaloisPoly(sk.S, g, par.Q, nil)
+
+	digits := par.RelinDigits()
+	gk := &GaloisKey{
+		G:        g,
+		BaseBits: par.RelinBaseBits,
+		K0:       make([]*poly.Poly, digits),
+		K1:       make([]*poly.Poly, digits),
+	}
+	wPow := big.NewInt(1)
+	base := new(big.Int).Lsh(big.NewInt(1), par.RelinBaseBits)
+	for i := 0; i < digits; i++ {
+		a := uniformPoly(kg.src, par.N, par.Q)
+		e := gaussianPoly(kg.src, par.N, par.Q)
+
+		k0 := poly.NewPoly(par.N, par.Q.W)
+		poly.MulNegacyclic(k0, a, sk.S, par.Q, nil)
+		poly.Add(k0, k0, e, par.Q, nil)
+		poly.Neg(k0, k0, par.Q, nil)
+
+		scaled := poly.NewPoly(par.N, par.Q.W)
+		wq := new(big.Int).Mod(wPow, par.Q.QBig)
+		poly.MulScalar(scaled, sG, limb32.FromBig(wq, par.Q.W), par.Q, nil)
+		poly.Add(k0, k0, scaled, par.Q, nil)
+
+		gk.K0[i] = k0
+		gk.K1[i] = a
+		wPow.Mul(wPow, base)
+	}
+	return gk, nil
+}
+
+// ApplyGalois maps a degree-1 ciphertext of m(X) to a degree-1 ciphertext
+// of m(X^g), using the matching Galois key for key switching.
+func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, error) {
+	if ct.Degree() != 1 {
+		return nil, errors.New("bfv: ApplyGalois requires a degree-1 ciphertext")
+	}
+	if gk == nil {
+		return nil, errors.New("bfv: nil Galois key")
+	}
+	par := ev.params
+	c0 := applyGaloisPoly(ct.Polys[0], gk.G, par.Q, ev.Meter)
+	c1g := applyGaloisPoly(ct.Polys[1], gk.G, par.Q, ev.Meter)
+
+	// Key switch τ(c1) from s(X^g) to s.
+	digitsP := decomposePoly(c1g, par)
+	outC1 := poly.NewPoly(par.N, par.Q.W)
+	tmp := poly.NewPoly(par.N, par.Q.W)
+	for i, d := range digitsP {
+		if i >= len(gk.K0) {
+			break
+		}
+		poly.MulNegacyclic(tmp, gk.K0[i], d, par.Q, ev.Meter)
+		poly.Add(c0, c0, tmp, par.Q, ev.Meter)
+		poly.MulNegacyclic(tmp, gk.K1[i], d, par.Q, ev.Meter)
+		poly.Add(outC1, outC1, tmp, par.Q, ev.Meter)
+	}
+	return &Ciphertext{Polys: []*poly.Poly{c0, outC1}}, nil
+}
+
+// PermuteGalois applies the coefficient permutation τ_g to every
+// component of ct without key switching — exported for accelerator
+// backends that run the key-switching products themselves. The result
+// decrypts under s(X^g), not s.
+func PermuteGalois(ct *Ciphertext, g uint64, params *Parameters) *Ciphertext {
+	out := &Ciphertext{Polys: make([]*poly.Poly, len(ct.Polys))}
+	for i, p := range ct.Polys {
+		out.Polys[i] = applyGaloisPoly(p, g, params.Q, nil)
+	}
+	return out
+}
+
+// GaloisPlaintext applies τ_g to a plaintext — the reference the
+// homomorphic version must match after decryption.
+func GaloisPlaintext(params *Parameters, pt *Plaintext, g uint64) *Plaintext {
+	n := params.N
+	out := NewPlaintext(params)
+	t := params.T
+	for i := 0; i < n; i++ {
+		v := pt.Coeffs[i] % t
+		j := int((uint64(i) * g) % uint64(2*n))
+		if j < n {
+			out.Coeffs[j] = (out.Coeffs[j] + v) % t
+		} else {
+			out.Coeffs[j-n] = (out.Coeffs[j-n] + t - v) % t
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package bfv
+
+import (
+	"math/big"
+
+	"repro/internal/limb32"
+	"repro/internal/poly"
+	"repro/internal/sampling"
+)
+
+// SecretKey is a ternary polynomial s ∈ R_q.
+type SecretKey struct {
+	S *poly.Poly
+}
+
+// PublicKey is the RLWE pair (p0, p1) = (-(a·s + e), a).
+type PublicKey struct {
+	P0, P1 *poly.Poly
+}
+
+// RelinKey holds the evaluation keys for relinearization: for each base-w
+// digit i, (k0_i, k1_i) = (-(a_i·s + e_i) + wⁱ·s², a_i).
+type RelinKey struct {
+	BaseBits uint
+	K0, K1   []*poly.Poly
+}
+
+// KeyGenerator derives keys from a parameter set and randomness source.
+type KeyGenerator struct {
+	params *Parameters
+	src    *sampling.Source
+}
+
+// NewKeyGenerator returns a key generator. Pass a deterministic source for
+// reproducible tests or one from sampling.NewSystemSource for real use.
+func NewKeyGenerator(params *Parameters, src *sampling.Source) *KeyGenerator {
+	return &KeyGenerator{params: params, src: src}
+}
+
+// signedPoly maps a slice of small signed samples into R_q.
+func signedPoly(vals []int8, mod *poly.Modulus) *poly.Poly {
+	coeffs := make([]int64, len(vals))
+	for i, v := range vals {
+		coeffs[i] = int64(v)
+	}
+	return poly.FromInt64Coeffs(coeffs, mod)
+}
+
+// uniformPoly samples a uniform element of R_q.
+func uniformPoly(src *sampling.Source, n int, mod *poly.Modulus) *poly.Poly {
+	p := poly.NewPoly(n, mod.W)
+	for i := 0; i < n; i++ {
+		p.Coeff(i).Set(src.UniformNat(mod.Q, mod.W))
+	}
+	return p
+}
+
+// gaussianPoly samples a discrete-Gaussian error polynomial.
+func gaussianPoly(src *sampling.Source, n int, mod *poly.Modulus) *poly.Poly {
+	e := make([]int8, n)
+	src.Gaussian(e)
+	return signedPoly(e, mod)
+}
+
+// ternaryPoly samples a uniform ternary polynomial.
+func ternaryPoly(src *sampling.Source, n int, mod *poly.Modulus) *poly.Poly {
+	v := make([]int8, n)
+	src.Ternary(v)
+	return signedPoly(v, mod)
+}
+
+// GenSecretKey samples a fresh ternary secret.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	return &SecretKey{S: ternaryPoly(kg.src, kg.params.N, kg.params.Q)}
+}
+
+// GenPublicKey derives a public key for sk.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	par := kg.params
+	a := uniformPoly(kg.src, par.N, par.Q)
+	e := gaussianPoly(kg.src, par.N, par.Q)
+
+	// p0 = -(a·s + e)
+	as := poly.NewPoly(par.N, par.Q.W)
+	poly.MulNegacyclic(as, a, sk.S, par.Q, nil)
+	poly.Add(as, as, e, par.Q, nil)
+	poly.Neg(as, as, par.Q, nil)
+	return &PublicKey{P0: as, P1: a}
+}
+
+// GenRelinKey derives the relinearization (evaluation) key for sk.
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
+	par := kg.params
+	s2 := poly.NewPoly(par.N, par.Q.W)
+	poly.MulNegacyclic(s2, sk.S, sk.S, par.Q, nil)
+
+	digits := par.RelinDigits()
+	rk := &RelinKey{
+		BaseBits: par.RelinBaseBits,
+		K0:       make([]*poly.Poly, digits),
+		K1:       make([]*poly.Poly, digits),
+	}
+	wPow := big.NewInt(1)
+	base := new(big.Int).Lsh(big.NewInt(1), par.RelinBaseBits)
+	for i := 0; i < digits; i++ {
+		a := uniformPoly(kg.src, par.N, par.Q)
+		e := gaussianPoly(kg.src, par.N, par.Q)
+
+		// k0 = -(a·s + e) + wⁱ·s²
+		k0 := poly.NewPoly(par.N, par.Q.W)
+		poly.MulNegacyclic(k0, a, sk.S, par.Q, nil)
+		poly.Add(k0, k0, e, par.Q, nil)
+		poly.Neg(k0, k0, par.Q, nil)
+
+		scaled := poly.NewPoly(par.N, par.Q.W)
+		wq := new(big.Int).Mod(wPow, par.Q.QBig)
+		poly.MulScalar(scaled, s2, limb32.FromBig(wq, par.Q.W), par.Q, nil)
+		poly.Add(k0, k0, scaled, par.Q, nil)
+
+		rk.K0[i] = k0
+		rk.K1[i] = a
+		wPow.Mul(wPow, base)
+	}
+	return rk
+}
+
+// GenKeyPair is a convenience bundling secret and public key generation.
+func (kg *KeyGenerator) GenKeyPair() (*SecretKey, *PublicKey) {
+	sk := kg.GenSecretKey()
+	return sk, kg.GenPublicKey(sk)
+}

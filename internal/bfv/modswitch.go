@@ -1,0 +1,48 @@
+package bfv
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/poly"
+)
+
+// Modulus switching: rescale a ciphertext from modulus q to a smaller
+// modulus q', dividing the noise by ~q/q' at the cost of a small rounding
+// term. In the paper's deployment this shrinks result ciphertexts before
+// the DPU→host transfer — directly attacking the §2 data-movement cost —
+// and is the standard noise-management lever of BFV implementations.
+
+// ModSwitch maps ct from params to target (same N and T, smaller q):
+// each coefficient becomes ⌊q'/q · c⌉ adjusted so the scaled value stays
+// ≡ c (mod t)-consistent for BFV decryption.
+func ModSwitch(ct *Ciphertext, params, target *Parameters) (*Ciphertext, error) {
+	if params.N != target.N || params.T != target.T {
+		return nil, errors.New("bfv: ModSwitch requires matching N and t")
+	}
+	if target.Q.QBig.Cmp(params.Q.QBig) >= 0 {
+		return nil, errors.New("bfv: ModSwitch target modulus must be smaller")
+	}
+	out := &Ciphertext{Polys: make([]*poly.Poly, len(ct.Polys))}
+	for i, p := range ct.Polys {
+		coeffs := p.ToCenteredCoeffs(params.Q)
+		scaled := make([]*big.Int, len(coeffs))
+		for j, c := range coeffs {
+			num := new(big.Int).Mul(c, target.Q.QBig)
+			scaled[j] = divRound(num, params.Q.QBig)
+		}
+		out.Polys[i] = poly.FromBigCoeffs(scaled, target.Q)
+	}
+	return out, nil
+}
+
+// ModSwitchSecretKey maps a secret key to the target parameters (the
+// ternary secret is modulus-independent; only its representation
+// changes).
+func ModSwitchSecretKey(sk *SecretKey, params, target *Parameters) (*SecretKey, error) {
+	if params.N != target.N {
+		return nil, errors.New("bfv: ModSwitchSecretKey requires matching N")
+	}
+	coeffs := sk.S.ToCenteredCoeffs(params.Q)
+	return &SecretKey{S: poly.FromBigCoeffs(coeffs, target.Q)}, nil
+}

@@ -1,0 +1,94 @@
+package bfv
+
+import (
+	"math/big"
+	"testing"
+)
+
+// modSwitchParams: same N and t; the target modulus is 30-bit, crossing
+// the limb-width boundary (W=2 → W=1) so the ciphertext really shrinks.
+func modSwitchParams(t *testing.T) (*Parameters, *Parameters) {
+	t.Helper()
+	from := ParamsToy()           // 60-bit q, N=64, t=16
+	q30 := big.NewInt(1073741789) // 2^30 - 35, prime
+	to, err := NewParameters(64, q30, 16, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return from, to
+}
+
+func TestModSwitchPreservesPlaintext(t *testing.T) {
+	from, to := modSwitchParams(t)
+	c := newCtx(t, from, 60, false)
+	for _, v := range []uint64{0, 1, 7, 15} {
+		ct, err := c.enc.EncryptValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switched, err := ModSwitch(ct, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skTo, err := ModSwitchSecretKey(c.sk, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decTo := NewDecryptor(to, skTo)
+		if got := decTo.DecryptValue(switched); got != v {
+			t.Errorf("ModSwitch(%d) decrypts to %d", v, got)
+		}
+	}
+}
+
+func TestModSwitchShrinksCiphertext(t *testing.T) {
+	from, to := modSwitchParams(t)
+	if to.CiphertextBytes() >= from.CiphertextBytes() {
+		t.Errorf("switched ciphertext (%d B) not smaller than original (%d B)",
+			to.CiphertextBytes(), from.CiphertextBytes())
+	}
+}
+
+func TestModSwitchKeepsWorkingBudget(t *testing.T) {
+	from, to := modSwitchParams(t)
+	c := newCtx(t, from, 61, false)
+	ct, _ := c.enc.EncryptValue(5)
+	sum := c.eval.Add(ct, ct)
+	switched, err := ModSwitch(sum, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skTo, _ := ModSwitchSecretKey(c.sk, from, to)
+	decTo := NewDecryptor(to, skTo)
+	if got := decTo.DecryptValue(switched); got != 10 {
+		t.Errorf("post-switch 5+5 = %d", got)
+	}
+	if b := decTo.NoiseBudget(switched); b <= 0 {
+		t.Errorf("post-switch budget exhausted: %d", b)
+	}
+	// Additions must still work after the switch.
+	evalTo := NewEvaluator(to, nil)
+	sum2 := evalTo.Add(switched, switched)
+	if got := decTo.DecryptValue(sum2); got != 4 { // 20 mod 16
+		t.Errorf("post-switch addition = %d, want 4", got)
+	}
+}
+
+func TestModSwitchValidation(t *testing.T) {
+	from, to := modSwitchParams(t)
+	c := newCtx(t, from, 62, false)
+	ct, _ := c.enc.EncryptValue(1)
+	if _, err := ModSwitch(ct, from, from); err == nil {
+		t.Error("switch to same modulus accepted")
+	}
+	if _, err := ModSwitch(ct, to, from); err == nil {
+		t.Error("switch to larger modulus accepted")
+	}
+	bad := ParamsSec27() // different N
+	if _, err := ModSwitch(ct, from, bad); err == nil {
+		t.Error("mismatched N accepted")
+	}
+	if _, err := ModSwitchSecretKey(c.sk, from, bad); err == nil {
+		t.Error("mismatched N secret-key switch accepted")
+	}
+}

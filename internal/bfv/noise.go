@@ -1,0 +1,103 @@
+package bfv
+
+import (
+	"math"
+
+	"repro/internal/sampling"
+)
+
+// Analytic noise-growth model. The scheme's usability hinges on the noise
+// budget (the paper's SHE setting constrains multiplicative depth, §2);
+// this model predicts worst-case budgets for an operation sequence
+// without touching a secret key, so applications can pick parameters
+// up front. Predictions are upper bounds on the noise (lower bounds on
+// the budget); tests verify measured budgets never fall below them.
+
+// NoiseModel predicts noise magnitudes (log2) for a parameter set.
+type NoiseModel struct {
+	params *Parameters
+}
+
+// NewNoiseModel returns a noise model for params.
+func NewNoiseModel(params *Parameters) *NoiseModel {
+	return &NoiseModel{params: params}
+}
+
+// errBound is the worst-case magnitude of a fresh error sample.
+func (nm *NoiseModel) errBound() float64 {
+	return math.Ceil(6 * sampling.DefaultSigma)
+}
+
+// FreshNoiseLog2 bounds log2 |v − Δm| of a fresh encryption:
+// e1 + u·e_pk + e2·s with ternary u, s: |noise| ≤ B(2N + 1).
+func (nm *NoiseModel) FreshNoiseLog2() float64 {
+	b := nm.errBound()
+	return math.Log2(b * float64(2*nm.params.N+1))
+}
+
+// AddNoiseLog2 bounds the noise after adding two ciphertexts with the
+// given noise levels (log2 domain): |n1 + n2| ≤ |n1| + |n2|.
+func (nm *NoiseModel) AddNoiseLog2(n1, n2 float64) float64 {
+	return math.Log2(math.Exp2(n1) + math.Exp2(n2))
+}
+
+// MulNoiseLog2 bounds the noise after multiplying two ciphertexts with
+// the given noise levels, including relinearization at the configured
+// base: the dominant term is t·N·(|n1| + |n2|) plus the rounding and
+// key-switching contributions.
+func (nm *NoiseModel) MulNoiseLog2(n1, n2 float64) float64 {
+	par := nm.params
+	t := float64(par.T)
+	n := float64(par.N)
+	// Tensor scaling: t·N·(noise1 + noise2) + t·N·(t·N/2 + ...) rounding.
+	tensor := t * n * (math.Exp2(n1) + math.Exp2(n2) + 1)
+	rounding := t * n * (1 + t)
+	// Relinearization: digits · N · B · 2^base / 2.
+	relin := float64(par.RelinDigits()) * n * nm.errBound() *
+		math.Exp2(float64(par.RelinBaseBits)) / 2
+	return math.Log2(tensor + rounding + relin)
+}
+
+// BudgetForNoise converts a noise bound (log2) to a noise budget in bits.
+func (nm *NoiseModel) BudgetForNoise(noiseLog2 float64) int {
+	return int(float64(nm.params.Q.Bits()-1) - noiseLog2)
+}
+
+// FreshBudget predicts the minimum budget of a fresh ciphertext.
+func (nm *NoiseModel) FreshBudget() int {
+	return nm.BudgetForNoise(nm.FreshNoiseLog2())
+}
+
+// SupportedAdditions bounds how many fresh ciphertexts can be summed
+// while keeping a positive budget: each addition at most doubles the
+// worst-case noise of equal operands, so the sum of k ciphertexts has
+// noise ≤ k·fresh.
+func (nm *NoiseModel) SupportedAdditions() int {
+	head := float64(nm.params.Q.Bits()-1) - nm.FreshNoiseLog2() - 1 // keep 1 bit
+	if head <= 0 {
+		return 0
+	}
+	k := math.Exp2(head)
+	if k > 1<<40 {
+		return 1 << 40
+	}
+	return int(k)
+}
+
+// SupportedMulDepth bounds the multiplicative depth of a balanced
+// product tree of fresh ciphertexts.
+func (nm *NoiseModel) SupportedMulDepth() int {
+	noise := nm.FreshNoiseLog2()
+	depth := 0
+	for {
+		next := nm.MulNoiseLog2(noise, noise)
+		if nm.BudgetForNoise(next) <= 0 {
+			return depth
+		}
+		noise = next
+		depth++
+		if depth > 64 {
+			return depth
+		}
+	}
+}

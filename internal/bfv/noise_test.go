@@ -1,0 +1,79 @@
+package bfv
+
+import "testing"
+
+// TestNoiseModelIsConservative: the predicted budget must never exceed
+// the measured budget (predictions are worst-case bounds).
+func TestNoiseModelIsConservative(t *testing.T) {
+	c := newCtx(t, ParamsToy(), 50, true)
+	nm := NewNoiseModel(c.params)
+
+	ct, _ := c.enc.EncryptValue(5)
+	measuredFresh := c.dec.NoiseBudget(ct)
+	predictedFresh := nm.FreshBudget()
+	if predictedFresh > measuredFresh {
+		t.Errorf("fresh: predicted budget %d exceeds measured %d", predictedFresh, measuredFresh)
+	}
+	if predictedFresh <= 0 {
+		t.Errorf("fresh predicted budget %d should be positive for toy params", predictedFresh)
+	}
+
+	// After one multiplication.
+	prod, err := c.eval.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measuredMul := c.dec.NoiseBudget(prod)
+	fresh := nm.FreshNoiseLog2()
+	predictedMul := nm.BudgetForNoise(nm.MulNoiseLog2(fresh, fresh))
+	if predictedMul > measuredMul {
+		t.Errorf("mul: predicted budget %d exceeds measured %d", predictedMul, measuredMul)
+	}
+
+	// After an addition chain of 16.
+	acc := ct
+	for i := 0; i < 15; i++ {
+		acc = c.eval.Add(acc, ct)
+	}
+	measuredAdd := c.dec.NoiseBudget(acc)
+	noise := fresh
+	for i := 0; i < 15; i++ {
+		noise = nm.AddNoiseLog2(noise, fresh)
+	}
+	predictedAdd := nm.BudgetForNoise(noise)
+	if predictedAdd > measuredAdd {
+		t.Errorf("adds: predicted budget %d exceeds measured %d", predictedAdd, measuredAdd)
+	}
+}
+
+func TestNoiseModelPresets(t *testing.T) {
+	// Sec27 supports many additions but no multiplication; Sec54 and
+	// Sec109 support at least one multiplication — exactly the paper's
+	// usage of the three levels.
+	if got := NewNoiseModel(ParamsSec27()).SupportedMulDepth(); got != 0 {
+		t.Errorf("sec27 mul depth = %d, want 0", got)
+	}
+	if got := NewNoiseModel(ParamsSec27()).SupportedAdditions(); got < 64 {
+		t.Errorf("sec27 supported additions = %d, want >= 64", got)
+	}
+	if got := NewNoiseModel(ParamsSec54()).SupportedMulDepth(); got < 1 {
+		t.Errorf("sec54 mul depth = %d, want >= 1", got)
+	}
+	if got := NewNoiseModel(ParamsSec109()).SupportedMulDepth(); got < 2 {
+		t.Errorf("sec109 mul depth = %d, want >= 2", got)
+	}
+}
+
+func TestNoiseModelMonotonic(t *testing.T) {
+	nm := NewNoiseModel(ParamsSec109())
+	f := nm.FreshNoiseLog2()
+	if nm.AddNoiseLog2(f, f) <= f {
+		t.Error("addition must not shrink noise")
+	}
+	if nm.MulNoiseLog2(f, f) <= nm.AddNoiseLog2(f, f) {
+		t.Error("multiplication must grow noise faster than addition")
+	}
+	if nm.BudgetForNoise(f) <= nm.BudgetForNoise(nm.MulNoiseLog2(f, f)) {
+		t.Error("budget must shrink as noise grows")
+	}
+}

@@ -1,0 +1,140 @@
+// Package bfv implements the Brakerski–Fan–Vercauteren somewhat-
+// homomorphic encryption scheme — the scheme the paper accelerates on the
+// UPMEM PIM system (§1, §3). It provides key generation, encryption,
+// decryption, homomorphic addition and multiplication (with tensor
+// scaling and relinearization), noise-budget tracking, integer and batch
+// encoders, and binary serialization.
+//
+// The three parameter presets correspond to the paper's security levels:
+// 27-bit coefficients with 1024-coefficient polynomials, 54-bit with 2048,
+// and 109-bit with 4096 (§3: "for 27-bit security we need a polynomial
+// that has 1024 27-bit coefficients ... we use integers of 32, 64 and 128
+// bits respectively").
+package bfv
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/poly"
+)
+
+// Parameters fixes a BFV instance: ring degree N, coefficient modulus Q,
+// plaintext modulus T, and the relinearization decomposition base 2^RelinBaseBits.
+type Parameters struct {
+	N             int
+	Q             *poly.Modulus
+	T             uint64
+	Delta         *big.Int // ⌊Q/T⌋, the plaintext scaling factor
+	RelinBaseBits uint
+
+	relinDigits int // ⌈bits(Q)/RelinBaseBits⌉
+}
+
+// NewParameters validates and assembles a parameter set.
+func NewParameters(n int, q *big.Int, t uint64, relinBaseBits uint) (*Parameters, error) {
+	if n <= 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("bfv: N=%d must be a power of two > 1", n)
+	}
+	if t < 2 {
+		return nil, errors.New("bfv: plaintext modulus must be >= 2")
+	}
+	if q.Cmp(new(big.Int).SetUint64(4*t)) < 0 {
+		return nil, errors.New("bfv: coefficient modulus too small for plaintext modulus")
+	}
+	if relinBaseBits == 0 || relinBaseBits > 32 {
+		return nil, errors.New("bfv: relinearization base must be 1..32 bits")
+	}
+	mod, err := poly.NewModulus(q)
+	if err != nil {
+		return nil, err
+	}
+	delta := new(big.Int).Div(q, new(big.Int).SetUint64(t))
+	digits := (q.BitLen() + int(relinBaseBits) - 1) / int(relinBaseBits)
+	return &Parameters{
+		N:             n,
+		Q:             mod,
+		T:             t,
+		Delta:         delta,
+		RelinBaseBits: relinBaseBits,
+		relinDigits:   digits,
+	}, nil
+}
+
+// The paper's moduli: the largest primes below 2^27, 2^54 and 2^109.
+const (
+	prime27  = "134217689"
+	prime54  = "18014398509481951"
+	prime109 = "649037107316853453566312041152481"
+)
+
+func mustParams(n int, qs string, t uint64, base uint) *Parameters {
+	q, ok := new(big.Int).SetString(qs, 10)
+	if !ok {
+		panic("bfv: bad modulus literal")
+	}
+	p, err := NewParameters(n, q, t, base)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParamsSec27 is the paper's 27-bit security level: N=1024, 27-bit q,
+// coefficients held in one 32-bit word. Supports homomorphic addition;
+// the noise headroom is too small for multiplication (the paper's PIM
+// microbenchmarks likewise treat multiplication as a raw-throughput
+// experiment at this level).
+func ParamsSec27() *Parameters { return mustParams(1024, prime27, 16, 9) }
+
+// ParamsSec54 is the 54-bit level: N=2048, 54-bit q, two 32-bit words per
+// coefficient. Supports addition chains and a shallow multiplication.
+func ParamsSec54() *Parameters { return mustParams(2048, prime54, 16, 18) }
+
+// ParamsSec109 is the 109-bit level: N=4096, 109-bit q, four 32-bit words
+// per coefficient. Supports multiplication with comfortable noise margin.
+func ParamsSec109() *Parameters { return mustParams(4096, prime109, 16, 28) }
+
+// ParamsToy is a deliberately small instance (N=64, 60-bit q) for fast
+// functional tests. It offers no security.
+func ParamsToy() *Parameters { return mustParams(64, "1152921504606846883", 16, 20) }
+
+// ParamsBatching returns a parameter set whose plaintext modulus 65537
+// supports CRT batching (t ≡ 1 mod 2N) at the 109-bit level.
+func ParamsBatching() *Parameters { return mustParams(4096, prime109, 65537, 28) }
+
+// RelinDigits returns the number of base-2^RelinBaseBits digits used to
+// decompose a ciphertext polynomial during relinearization.
+func (p *Parameters) RelinDigits() int { return p.relinDigits }
+
+// CiphertextBytes returns the size of a fresh (degree-1) ciphertext in
+// bytes: 2 polynomials × N coefficients × W limbs × 4 bytes. This is the
+// "ciphertext length" that drives the paper's data-movement argument.
+func (p *Parameters) CiphertextBytes() int { return 2 * p.N * p.Q.W * 4 }
+
+// PlaintextBytes returns the nominal size of the plain data a ciphertext
+// carries under constant-coefficient encoding (one T-ary value).
+func (p *Parameters) PlaintextBytes() int {
+	bits := 0
+	for v := p.T - 1; v > 0; v >>= 8 {
+		bits += 8
+	}
+	if bits == 0 {
+		bits = 8
+	}
+	return bits / 8
+}
+
+// Equal reports whether two parameter sets are interoperable.
+func (p *Parameters) Equal(o *Parameters) bool {
+	return p.N == o.N && p.T == o.T &&
+		p.Q.QBig.Cmp(o.Q.QBig) == 0 &&
+		p.RelinBaseBits == o.RelinBaseBits
+}
+
+// String summarizes the parameter set.
+func (p *Parameters) String() string {
+	return fmt.Sprintf("BFV{N=%d, |q|=%d bits (W=%d), t=%d, relin base=2^%d}",
+		p.N, p.Q.Bits(), p.Q.W, p.T, p.RelinBaseBits)
+}

@@ -1,0 +1,128 @@
+package bfv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/poly"
+)
+
+// Binary serialization. Layout (all little-endian):
+//
+//	ciphertext: magic "BFVc" | u32 polyCount | u32 N | u32 W | limbs…
+//	secret key: magic "BFVs" | u32 N | u32 W | limbs…
+//
+// Ciphertexts are what crosses the user↔server boundary in the paper's
+// deployment model (§3: users encrypt, the PIM server computes).
+
+var (
+	magicCiphertext = [4]byte{'B', 'F', 'V', 'c'}
+	magicSecretKey  = [4]byte{'B', 'F', 'V', 's'}
+)
+
+const maxSerializedPolys = 16 // sanity bound when decoding
+
+func writePoly(w io.Writer, p *poly.Poly) error {
+	return binary.Write(w, binary.LittleEndian, p.C)
+}
+
+func readPoly(r io.Reader, n, width int) (*poly.Poly, error) {
+	p := poly.NewPoly(n, width)
+	if err := binary.Read(r, binary.LittleEndian, p.C); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Serialize writes the ciphertext in binary form.
+func (ct *Ciphertext) Serialize(w io.Writer) error {
+	if len(ct.Polys) == 0 {
+		return errors.New("bfv: cannot serialize empty ciphertext")
+	}
+	if _, err := w.Write(magicCiphertext[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(len(ct.Polys)), uint32(ct.Polys[0].N), uint32(ct.Polys[0].W)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, p := range ct.Polys {
+		if err := writePoly(w, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCiphertext deserializes a ciphertext and validates it against params.
+func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != magicCiphertext {
+		return nil, errors.New("bfv: bad ciphertext magic")
+	}
+	hdr := make([]uint32, 3)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	count, n, w := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	if count == 0 || count > maxSerializedPolys {
+		return nil, fmt.Errorf("bfv: implausible polynomial count %d", count)
+	}
+	if n != params.N || w != params.Q.W {
+		return nil, fmt.Errorf("bfv: ciphertext shape %d/%d does not match parameters %d/%d",
+			n, w, params.N, params.Q.W)
+	}
+	ct := &Ciphertext{Polys: make([]*poly.Poly, count)}
+	for i := range ct.Polys {
+		p, err := readPoly(r, n, w)
+		if err != nil {
+			return nil, err
+		}
+		ct.Polys[i] = p
+	}
+	return ct, nil
+}
+
+// Serialize writes the secret key in binary form.
+func (sk *SecretKey) Serialize(w io.Writer) error {
+	if _, err := w.Write(magicSecretKey[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(sk.S.N), uint32(sk.S.W)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	return writePoly(w, sk.S)
+}
+
+// ReadSecretKey deserializes a secret key.
+func ReadSecretKey(r io.Reader, params *Parameters) (*SecretKey, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != magicSecretKey {
+		return nil, errors.New("bfv: bad secret-key magic")
+	}
+	hdr := make([]uint32, 2)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	if int(hdr[0]) != params.N || int(hdr[1]) != params.Q.W {
+		return nil, errors.New("bfv: secret key shape mismatch")
+	}
+	return readPolyAsSecret(r, params)
+}
+
+func readPolyAsSecret(r io.Reader, params *Parameters) (*SecretKey, error) {
+	p, err := readPoly(r, params.N, params.Q.W)
+	if err != nil {
+		return nil, err
+	}
+	return &SecretKey{S: p}, nil
+}

@@ -1,0 +1,99 @@
+package bfv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicKeySerializationRoundTrip(t *testing.T) {
+	c := newCtx(t, ParamsToy(), 40, false)
+	var buf bytes.Buffer
+	if err := c.pk.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPublicKey(&buf, c.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.P0.Equal(c.pk.P0) || !back.P1.Equal(c.pk.P1) {
+		t.Fatal("public key round trip differs")
+	}
+	// A deserialized public key must produce decryptable ciphertexts.
+	enc := NewEncryptor(c.params, back, samplingSource(40))
+	ct, err := enc.EncryptValue(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.dec.DecryptValue(ct); got != 6 {
+		t.Errorf("ciphertext from deserialized pk decrypts to %d", got)
+	}
+}
+
+func TestRelinKeySerializationRoundTrip(t *testing.T) {
+	c := newCtx(t, ParamsToy(), 41, true)
+	var buf bytes.Buffer
+	if err := c.rlk.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRelinKey(&buf, c.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.K0) != len(c.rlk.K0) || back.BaseBits != c.rlk.BaseBits {
+		t.Fatal("relin key shape differs")
+	}
+	for i := range back.K0 {
+		if !back.K0[i].Equal(c.rlk.K0[i]) || !back.K1[i].Equal(c.rlk.K1[i]) {
+			t.Fatalf("relin key digit %d differs", i)
+		}
+	}
+	// Multiplication with the deserialized key must still relinearize
+	// correctly.
+	eval := NewEvaluator(c.params, back)
+	ct1, _ := c.enc.EncryptValue(3)
+	ct2, _ := c.enc.EncryptValue(4)
+	prod, err := eval.Mul(ct1, ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.dec.DecryptValue(prod); got != 12 {
+		t.Errorf("mul with deserialized rlk = %d", got)
+	}
+}
+
+func TestKeySerializationRejectsGarbage(t *testing.T) {
+	params := ParamsToy()
+	if _, err := ReadPublicKey(bytes.NewReader([]byte("BFVxXXXXXXXX")), params); err == nil {
+		t.Error("bad magic accepted for public key")
+	}
+	if _, err := ReadRelinKey(bytes.NewReader([]byte("BFVp")), params); err == nil {
+		t.Error("wrong magic accepted for relin key")
+	}
+	// Shape mismatch: toy-params key read under sec27.
+	c := newCtx(t, params, 42, true)
+	var buf bytes.Buffer
+	c.pk.Serialize(&buf)
+	if _, err := ReadPublicKey(&buf, ParamsSec27()); err == nil {
+		t.Error("public key shape mismatch accepted")
+	}
+	buf.Reset()
+	c.rlk.Serialize(&buf)
+	if _, err := ReadRelinKey(&buf, ParamsSec27()); err == nil {
+		t.Error("relin key shape mismatch accepted")
+	}
+	// Truncation.
+	buf.Reset()
+	c.rlk.Serialize(&buf)
+	trunc := buf.Bytes()[:buf.Len()/3]
+	if _, err := ReadRelinKey(bytes.NewReader(trunc), params); err == nil {
+		t.Error("truncated relin key accepted")
+	}
+}
+
+func TestRelinKeySerializeRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	bad := &RelinKey{}
+	if err := bad.Serialize(&buf); err == nil {
+		t.Error("empty relin key serialized")
+	}
+}

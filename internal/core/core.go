@@ -1,0 +1,118 @@
+// Package core is the top-level facade of the library: it bundles the
+// client side (key generation, encryption, decryption) and the server
+// side (a PIM-resident or host evaluator) of the paper's deployment model
+// (§3): "Users handle key generation, encryption, and decryption to
+// guarantee their data privacy. Computation of homomorphic operations
+// takes place in a PIM system."
+//
+// Most applications need only this package plus the hestats workloads;
+// the underlying packages (bfv, pim, hepim, perfmodel, bench) remain
+// available for fine-grained control.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bfv"
+	"repro/internal/hepim"
+	"repro/internal/hestats"
+	"repro/internal/pim"
+	"repro/internal/sampling"
+)
+
+// Re-exported parameter presets (see bfv for details).
+var (
+	// ParamsSec27 is the paper's 27-bit security level (N=1024, add-only).
+	ParamsSec27 = bfv.ParamsSec27
+	// ParamsSec54 is the 54-bit level (N=2048, one multiplication).
+	ParamsSec54 = bfv.ParamsSec54
+	// ParamsSec109 is the 109-bit level (N=4096, comfortable mul margin).
+	ParamsSec109 = bfv.ParamsSec109
+	// ParamsToy is an insecure, fast instance for tests and demos.
+	ParamsToy = bfv.ParamsToy
+)
+
+// Client owns the keys and performs the user-side operations.
+type Client struct {
+	Params *bfv.Parameters
+
+	sk  *bfv.SecretKey
+	pk  *bfv.PublicKey
+	rlk *bfv.RelinKey
+	enc *bfv.Encryptor
+	dec *bfv.Decryptor
+}
+
+// NewClient generates fresh keys from the system entropy source.
+func NewClient(params *bfv.Parameters) (*Client, error) {
+	src, err := sampling.NewSystemSource()
+	if err != nil {
+		return nil, err
+	}
+	return NewClientWithSource(params, src)
+}
+
+// NewClientWithSource generates keys from a caller-provided source
+// (deterministic sources make tests reproducible).
+func NewClientWithSource(params *bfv.Parameters, src *sampling.Source) (*Client, error) {
+	if params == nil {
+		return nil, fmt.Errorf("core: nil parameters")
+	}
+	kg := bfv.NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinKey(sk)
+	return &Client{
+		Params: params,
+		sk:     sk,
+		pk:     pk,
+		rlk:    rlk,
+		enc:    bfv.NewEncryptor(params, pk, src),
+		dec:    bfv.NewDecryptor(params, sk),
+	}, nil
+}
+
+// Encrypt encrypts one value (constant-coefficient encoding).
+func (c *Client) Encrypt(v uint64) (*bfv.Ciphertext, error) { return c.enc.EncryptValue(v) }
+
+// EncryptAll encrypts a batch of values, one ciphertext each.
+func (c *Client) EncryptAll(vals []uint64) ([]*bfv.Ciphertext, error) {
+	out := make([]*bfv.Ciphertext, len(vals))
+	for i, v := range vals {
+		ct, err := c.enc.EncryptValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// Decrypt recovers a value.
+func (c *Client) Decrypt(ct *bfv.Ciphertext) uint64 { return c.dec.DecryptValue(ct) }
+
+// NoiseBudget reports the remaining noise budget of ct in bits.
+func (c *Client) NoiseBudget(ct *bfv.Ciphertext) int { return c.dec.NoiseBudget(ct) }
+
+// Decryptor exposes the underlying decryptor for the hestats result types.
+func (c *Client) Decryptor() *bfv.Decryptor { return c.dec }
+
+// RelinKey exposes the evaluation key a server needs for multiplication.
+// It does not reveal the secret key.
+func (c *Client) RelinKey() *bfv.RelinKey { return c.rlk }
+
+// NewPIMServer builds a PIM evaluation server for this client's
+// parameters on a simulated UPMEM system with the given DPU count
+// (0 = the paper's full 2,524-DPU system).
+func (c *Client) NewPIMServer(dpus int) (*hepim.Server, error) {
+	cfg := pim.DefaultConfig()
+	if dpus > 0 {
+		cfg.NumDPUs = dpus
+	}
+	return hepim.NewServer(cfg, c.Params, c.rlk)
+}
+
+// NewHostServer builds the custom-CPU evaluation engine for this
+// client's parameters.
+func (c *Client) NewHostServer() *hestats.HostEngine {
+	return &hestats.HostEngine{Eval: bfv.NewEvaluator(c.Params, c.rlk)}
+}

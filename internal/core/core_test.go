@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hestats"
+	"repro/internal/sampling"
+)
+
+func testClient(t *testing.T, seed uint64) *Client {
+	t.Helper()
+	c, err := NewClientWithSource(ParamsToy(), sampling.NewSourceFromUint64(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c := testClient(t, 1)
+	ct, err := c.Encrypt(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Decrypt(ct); got != 9 {
+		t.Errorf("round trip = %d", got)
+	}
+	if c.NoiseBudget(ct) <= 0 {
+		t.Error("fresh ciphertext has no budget")
+	}
+}
+
+func TestClientRejectsNilParams(t *testing.T) {
+	if _, err := NewClientWithSource(nil, sampling.NewSourceFromUint64(1)); err == nil {
+		t.Error("nil params accepted")
+	}
+}
+
+func TestEncryptAll(t *testing.T) {
+	c := testClient(t, 2)
+	cts, err := c.EncryptAll([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range cts {
+		if got := c.Decrypt(ct); got != uint64(i+1) {
+			t.Errorf("ct %d decrypts to %d", i, got)
+		}
+	}
+}
+
+func TestEndToEndPIMWorkflow(t *testing.T) {
+	// The full deployment of the paper through the facade: client
+	// encrypts, PIM server computes mean and a product, client decrypts.
+	c := testClient(t, 3)
+	srv, err := c.NewPIMServer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, err := c.EncryptAll([]uint64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hestats.Mean(srv, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Decrypt(c.Decryptor()); got != 4.0 {
+		t.Errorf("mean = %v", got)
+	}
+	prod, err := srv.Mul(cts[0], cts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Decrypt(prod); got != 8 {
+		t.Errorf("2*4 = %d", got)
+	}
+	if srv.ModeledSeconds() <= 0 {
+		t.Error("server reported no kernel time")
+	}
+}
+
+func TestHostAndPIMServersAgree(t *testing.T) {
+	c := testClient(t, 4)
+	pimSrv, err := c.NewPIMServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := c.NewHostServer()
+	cts, err := c.EncryptAll([]uint64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := host.Mul(cts[0], cts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := pimSrv.Mul(cts[0], cts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hp.Equal(pp) {
+		t.Error("host and PIM multiplication disagree")
+	}
+}
+
+func TestPresetAliases(t *testing.T) {
+	if ParamsSec27().N != 1024 || ParamsSec54().N != 2048 || ParamsSec109().N != 4096 {
+		t.Error("preset aliases broken")
+	}
+}

@@ -1,0 +1,124 @@
+package limb32
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperModuli are 27-, 54- and 109-bit primes shaped like the paper's three
+// security levels (§3).
+func paperModuli() []Nat {
+	q27 := FromBig(big.NewInt((1<<27)-39), 1) // 134217689, prime
+	q54, _ := new(big.Int).SetString("18014398509481951", 10)
+	q109, _ := new(big.Int).SetString("649037107316853453566312041152481", 10)
+	return []Nat{q27, FromBig(q54, 2), FromBig(q109, 4)}
+}
+
+func TestBarrettReduceMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, q := range paperModuli() {
+		br := NewBarrett(q)
+		k := q.TrimmedLen()
+		qb := q.Big()
+		q2 := new(big.Int).Mul(qb, qb)
+		for i := 0; i < 300; i++ {
+			// Random x < q².
+			xb := new(big.Int).Rand(rng, q2)
+			x := FromBig(xb, 2*k)
+			dst := NewNat(k)
+			br.Reduce(dst, x, nil)
+			want := new(big.Int).Mod(xb, qb)
+			if dst.Big().Cmp(want) != 0 {
+				t.Fatalf("q=%v: Reduce(%#x) = %v, want %#x", q, xb, dst, want)
+			}
+		}
+	}
+}
+
+func TestBarrettMulModMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, q := range paperModuli() {
+		br := NewBarrett(q)
+		k := q.TrimmedLen()
+		qb := q.Big()
+		for i := 0; i < 200; i++ {
+			ab := new(big.Int).Rand(rng, qb)
+			bb := new(big.Int).Rand(rng, qb)
+			a, b := FromBig(ab, k), FromBig(bb, k)
+			dst := NewNat(k)
+			br.MulMod(dst, a, b, nil)
+			want := new(big.Int).Mul(ab, bb)
+			want.Mod(want, qb)
+			if dst.Big().Cmp(want) != 0 {
+				t.Fatalf("q=%v: MulMod mismatch", q)
+			}
+		}
+	}
+}
+
+func TestBarrettEdgeValues(t *testing.T) {
+	for _, q := range paperModuli() {
+		br := NewBarrett(q)
+		k := q.TrimmedLen()
+		qb := q.Big()
+		qm1 := new(big.Int).Sub(qb, big.NewInt(1))
+		edges := []*big.Int{
+			big.NewInt(0), big.NewInt(1), qm1,
+			new(big.Int).Mul(qm1, qm1), // max product of reduced operands
+			qb,                         // exactly q reduces to 0
+		}
+		for _, xb := range edges {
+			x := FromBig(xb, 2*k)
+			dst := NewNat(k)
+			br.Reduce(dst, x, nil)
+			want := new(big.Int).Mod(xb, qb)
+			if dst.Big().Cmp(want) != 0 {
+				t.Fatalf("edge %#x mod %v = %v, want %#x", xb, q, dst, want)
+			}
+		}
+	}
+}
+
+func TestBarrettMulModProperty(t *testing.T) {
+	q := paperModuli()[2] // 109-bit, 4 limbs
+	br := NewBarrett(q)
+	qb := q.Big()
+	f := func(av, bv [4]uint32) bool {
+		a, b := NewNat(4), NewNat(4)
+		Mod(a, Nat(av[:]), q, nil)
+		Mod(b, Nat(bv[:]), q, nil)
+		dst := NewNat(4)
+		br.MulMod(dst, a, b, nil)
+		want := new(big.Int).Mul(a.Big(), b.Big())
+		want.Mod(want, qb)
+		return dst.Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarrettPanicsOnZeroModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero modulus")
+		}
+	}()
+	NewBarrett(NewNat(4))
+}
+
+func BenchmarkBarrettMulMod128(b *testing.B) {
+	q := paperModuli()[2]
+	br := NewBarrett(q)
+	rng := rand.New(rand.NewSource(32))
+	x, y := NewNat(4), NewNat(4)
+	Mod(x, randNat(rng, 4), q, nil)
+	Mod(y, randNat(rng, 4), q, nil)
+	dst := NewNat(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.MulMod(dst, x, y, nil)
+	}
+}

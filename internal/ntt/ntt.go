@@ -1,0 +1,165 @@
+// Package ntt implements the in-place negacyclic Number Theoretic
+// Transform over NTT-friendly primes (p ≡ 1 mod 2n), using the
+// Cooley–Tukey / Gentleman–Sande butterfly pair with Shoup multiplication
+// (Harvey-style lazy arithmetic is kept simple: fully reduced at each
+// butterfly).
+//
+// This is the algorithmic core of the CPU-SEAL baseline in the paper
+// (§4.1): SEAL "leverages the Residue Number System (RNS) and the Number
+// Theoretic Transform (NTT) implementations for faster operations". The
+// paper's own PIM kernels deliberately do NOT use the NTT (§3: "We do not
+// incorporate Number Theoretic Transform techniques ... we leave them for
+// future work"), which is why SEAL overtakes PIM on multiplication-heavy
+// workloads.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/modring"
+	"repro/internal/nt"
+)
+
+// Table holds the precomputed twiddle factors for one (prime, n) pair.
+type Table struct {
+	N    int
+	R    *modring.Ring
+	nInv uint64 // n^{-1} mod q
+
+	psiRev      []uint64 // psi^bitrev(i), CT order
+	psiRevShoup []uint64
+	psiInvRev   []uint64 // psi^{-bitrev(i)}, GS order
+	psiInvShoup []uint64
+	nInvShoup   uint64
+}
+
+// NewTable precomputes twiddles for the negacyclic NTT of size n (a power
+// of two) modulo the NTT-friendly prime q.
+func NewTable(q uint64, n int) (*Table, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: size %d is not a power of two", n)
+	}
+	r := modring.New(q)
+	psi, err := nt.RootOfUnity(q, n)
+	if err != nil {
+		return nil, fmt.Errorf("ntt: %w", err)
+	}
+	psiInv := r.Inv(psi)
+	logN := bits.TrailingZeros(uint(n))
+
+	t := &Table{
+		N:           n,
+		R:           r,
+		psiRev:      make([]uint64, n),
+		psiRevShoup: make([]uint64, n),
+		psiInvRev:   make([]uint64, n),
+		psiInvShoup: make([]uint64, n),
+	}
+	pw, pwInv := uint64(1), uint64(1)
+	powers := make([]uint64, n)
+	powersInv := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		powers[i], powersInv[i] = pw, pwInv
+		pw = r.Mul(pw, psi)
+		pwInv = r.Mul(pwInv, psiInv)
+	}
+	for i := 0; i < n; i++ {
+		j := bitrev(uint(i), logN)
+		t.psiRev[i] = powers[j]
+		t.psiRevShoup[i] = r.ShoupConst(powers[j])
+		t.psiInvRev[i] = powersInv[j]
+		t.psiInvShoup[i] = r.ShoupConst(powersInv[j])
+	}
+	t.nInv = r.Inv(uint64(n))
+	t.nInvShoup = r.ShoupConst(t.nInv)
+	return t, nil
+}
+
+func bitrev(x uint, bits int) uint {
+	var r uint
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (x>>i)&1
+	}
+	return r
+}
+
+// Forward transforms a (length N, coefficients < q) into the NTT domain in
+// place. Cooley–Tukey, decimation in time, no explicit bit reversal
+// (Longa–Naehrig layout).
+func (t *Table) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: Forward length mismatch")
+	}
+	n := t.N
+	step := n
+	for m := 1; m < n; m <<= 1 {
+		step >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * step
+			w := t.psiRev[m+i]
+			ws := t.psiRevShoup[m+i]
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := t.R.MulShoup(a[j+step], w, ws)
+				a[j] = t.R.Add(u, v)
+				a[j+step] = t.R.Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms a back to the coefficient domain in place
+// (Gentleman–Sande, decimation in frequency) and divides by N.
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: Inverse length mismatch")
+	}
+	n := t.N
+	step := 1
+	for m := n >> 1; m >= 1; m >>= 1 {
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * step
+			w := t.psiInvRev[m+i]
+			ws := t.psiInvShoup[m+i]
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = t.R.Add(u, v)
+				a[j+step] = t.R.MulShoup(t.R.Sub(u, v), w, ws)
+			}
+		}
+		step <<= 1
+	}
+	for i := range a {
+		a[i] = t.R.MulShoup(a[i], t.nInv, t.nInvShoup)
+	}
+}
+
+// PointwiseMul sets dst[i] = a[i]*b[i] mod q. dst may alias a or b.
+func (t *Table) PointwiseMul(dst, a, b []uint64) {
+	if len(dst) != t.N || len(a) != t.N || len(b) != t.N {
+		panic("ntt: PointwiseMul length mismatch")
+	}
+	for i := range dst {
+		dst[i] = t.R.Mul(a[i], b[i])
+	}
+}
+
+// Convolve computes the negacyclic convolution dst = a ⊛ b (i.e. the
+// product of the polynomials in Z_q[X]/(Xⁿ+1)) without mutating a or b.
+func (t *Table) Convolve(dst, a, b []uint64) {
+	ta := append([]uint64(nil), a...)
+	tb := append([]uint64(nil), b...)
+	t.Forward(ta)
+	t.Forward(tb)
+	t.PointwiseMul(dst, ta, tb)
+	t.Inverse(dst)
+}
+
+// OpCount returns the number of (mulmod, addmod) operation pairs a forward
+// or inverse transform performs: (n/2)·log2(n) butterflies. Used by the
+// CPU-SEAL performance model.
+func (t *Table) OpCount() int {
+	return t.N / 2 * bits.TrailingZeros(uint(t.N))
+}

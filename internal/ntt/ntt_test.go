@@ -1,0 +1,181 @@
+package ntt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nt"
+)
+
+func testTable(t *testing.T, bits uint, n int) *Table {
+	t.Helper()
+	q, err := nt.NTTPrime(bits, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewTable(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, n := range []int{4, 8, 64, 256, 1024, 4096} {
+		tab := testTable(t, 50, n)
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % tab.R.Q
+		}
+		orig := append([]uint64(nil), a...)
+		tab.Forward(a)
+		tab.Inverse(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("n=%d: round trip mismatch at %d: %d != %d", n, i, a[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestForwardIsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tab := testTable(t, 50, 256)
+	n := tab.N
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	sum := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % tab.R.Q
+		b[i] = rng.Uint64() % tab.R.Q
+		sum[i] = tab.R.Add(a[i], b[i])
+	}
+	tab.Forward(a)
+	tab.Forward(b)
+	tab.Forward(sum)
+	for i := range sum {
+		if sum[i] != tab.R.Add(a[i], b[i]) {
+			t.Fatalf("NTT(a+b) != NTT(a)+NTT(b) at %d", i)
+		}
+	}
+}
+
+// naiveNegacyclic computes a ⊛ b in Z_q[X]/(X^n+1) by schoolbook.
+func naiveNegacyclic(a, b []uint64, q uint64) []uint64 {
+	n := len(a)
+	qb := new(big.Int).SetUint64(q)
+	acc := make([]*big.Int, n)
+	for i := range acc {
+		acc[i] = new(big.Int)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := new(big.Int).Mul(new(big.Int).SetUint64(a[i]), new(big.Int).SetUint64(b[j]))
+			k := i + j
+			if k < n {
+				acc[k].Add(acc[k], p)
+			} else {
+				acc[k-n].Sub(acc[k-n], p)
+			}
+		}
+	}
+	out := make([]uint64, n)
+	for i := range acc {
+		out[i] = acc[i].Mod(acc[i], qb).Uint64()
+	}
+	return out
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, n := range []int{4, 8, 32, 128} {
+		tab := testTable(t, 50, n)
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % tab.R.Q
+			b[i] = rng.Uint64() % tab.R.Q
+		}
+		got := make([]uint64, n)
+		tab.Convolve(got, a, b)
+		want := naiveNegacyclic(a, b, tab.R.Q)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: convolution mismatch at %d: %d != %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConvolveNegacyclicWraparound(t *testing.T) {
+	// X^(n-1) * X = X^n ≡ -1 (mod X^n + 1): the defining identity.
+	tab := testTable(t, 50, 8)
+	n := tab.N
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	a[n-1] = 1 // X^{n-1}
+	b[1] = 1   // X
+	dst := make([]uint64, n)
+	tab.Convolve(dst, a, b)
+	for i, v := range dst {
+		want := uint64(0)
+		if i == 0 {
+			want = tab.R.Q - 1 // -1 mod q
+		}
+		if v != want {
+			t.Fatalf("X^{n-1}·X: coeff %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	tab := testTable(t, 50, 64)
+	n := tab.N
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % tab.R.Q
+	}
+	one := make([]uint64, n)
+	one[0] = 1
+	dst := make([]uint64, n)
+	tab.Convolve(dst, a, one)
+	for i := range dst {
+		if dst[i] != a[i] {
+			t.Fatalf("a * 1 != a at %d", i)
+		}
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable(97, 3); err == nil {
+		t.Error("expected error for non-power-of-two size")
+	}
+	// 97 ≡ 1 mod 32 fails for n=64 (2n=128 does not divide 96).
+	if _, err := NewTable(97, 64); err == nil {
+		t.Error("expected error for non-NTT-friendly prime")
+	}
+}
+
+func TestOpCount(t *testing.T) {
+	tab := testTable(t, 50, 1024)
+	if got := tab.OpCount(); got != 512*10 {
+		t.Errorf("OpCount(1024) = %d, want 5120", got)
+	}
+}
+
+func BenchmarkForward4096(b *testing.B) {
+	q, _ := nt.NTTPrime(50, 4096)
+	tab, _ := NewTable(q, 4096)
+	rng := rand.New(rand.NewSource(64))
+	a := make([]uint64, 4096)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Forward(a)
+	}
+}

@@ -1,0 +1,83 @@
+package perfmodel
+
+import "math"
+
+// CPUModel is the paper's custom CPU baseline: a limb-based scalar
+// implementation on the 4-core Intel i5-8250U. Vector microbenchmarks and
+// multiplication-heavy workloads run on all cores; the add-only mean loop
+// is sequential (see calib.go for the disclosed assumptions).
+type CPUModel struct {
+	ClockHz      float64
+	Threads      int
+	MeanThreads  int
+	MemBandwidth float64
+}
+
+// NewCPUModel returns the calibrated i5-8250U model.
+func NewCPUModel() *CPUModel {
+	return &CPUModel{
+		ClockHz:      cpuClockHz,
+		Threads:      cpuThreads,
+		MeanThreads:  cpuMeanThreads,
+		MemBandwidth: cpuMemBandwidth,
+	}
+}
+
+// Name implements Model.
+func (m *CPUModel) Name() string { return "CPU" }
+
+// addSecondsFor returns the time for `coeffs` W-limb modular additions on
+// `threads` cores: compute bound vs streaming bandwidth roofline.
+func (m *CPUModel) addSecondsFor(coeffs, w, threads int) float64 {
+	compute := float64(coeffs) * float64(w) * cpuAddCyclesPerLimb /
+		(m.ClockHz * float64(threads))
+	traffic := float64(coeffs*w*4*3) / m.MemBandwidth // 2 reads + 1 write
+	return math.Max(compute, traffic)
+}
+
+// VectorAddSeconds implements Model.
+func (m *CPUModel) VectorAddSeconds(v VectorSpec) float64 {
+	return m.addSecondsFor(v.Coeffs(), v.W, m.Threads)
+}
+
+// mulPairSeconds is one N-coefficient schoolbook negacyclic product on one
+// core.
+func (m *CPUModel) mulPairSeconds(n, w int) float64 {
+	return float64(n) * float64(n) * cpuMulCyclesPerProduct(w) / m.ClockHz
+}
+
+// VectorMulSeconds implements Model.
+func (m *CPUModel) VectorMulSeconds(v VectorSpec) float64 {
+	return float64(v.Elems) * m.mulPairSeconds(v.N, v.W) / float64(m.Threads)
+}
+
+func (m *CPUModel) ctAddSeconds(s StatsSpec, threads int) float64 {
+	return m.addSecondsFor(ctAddPolys*s.N, s.W, threads)
+}
+
+func (m *CPUModel) ctMulSeconds(s StatsSpec) float64 {
+	return float64(polyMulsPerCtMul(s.RelinDigits)) * m.mulPairSeconds(s.N, s.W) /
+		float64(m.Threads)
+}
+
+// MeanSeconds implements Model: a sequential pass summing every sample
+// ciphertext, then one scalar division.
+func (m *CPUModel) MeanSeconds(s StatsSpec) float64 {
+	adds := float64(s.Users * s.CtsPerUser)
+	return adds * m.ctAddSeconds(s, m.MeanThreads)
+}
+
+// VarianceSeconds implements Model: square and sum every sample.
+func (m *CPUModel) VarianceSeconds(s StatsSpec) float64 {
+	ops := float64(s.Users * s.CtsPerUser)
+	return ops*m.ctMulSeconds(s) + ops*m.ctAddSeconds(s, m.Threads)
+}
+
+// LinRegSeconds implements Model: Features multiplications plus additions
+// per sample ciphertext.
+func (m *CPUModel) LinRegSeconds(s StatsSpec) float64 {
+	ops := float64(s.Users * s.CtsPerUser * s.Features)
+	return ops*m.ctMulSeconds(s) + ops*m.ctAddSeconds(s, m.Threads)
+}
+
+var _ Model = (*CPUModel)(nil)

@@ -1,0 +1,83 @@
+package perfmodel
+
+// GPUModel is the paper's custom GPU baseline on an NVIDIA A100. Its two
+// defining mechanisms (both visible in the paper's results) are:
+//
+//   - native 32-bit integer multipliers: coefficient products run orders
+//     of magnitude faster than on the multiplier-less DPUs, which is why
+//     the GPU wins multiplication (Fig. 1(b), Key Takeaway 2);
+//   - fixed kernel-launch overhead and uncoalesced access patterns in the
+//     naive custom kernels: low-intensity additions leave most of the HBM
+//     bandwidth unused, which is why PIM wins addition (Fig. 1(a)).
+type GPUModel struct {
+	HBMBandwidth  float64
+	HBMEfficiency float64
+	LaunchSec     float64
+}
+
+// NewGPUModel returns the calibrated A100 model.
+func NewGPUModel() *GPUModel {
+	return &GPUModel{
+		HBMBandwidth:  gpuHBMBandwidth,
+		HBMEfficiency: gpuHBMEfficiency,
+		LaunchSec:     gpuLaunchOverheadSec,
+	}
+}
+
+// Name implements Model.
+func (m *GPUModel) Name() string { return "GPU" }
+
+func (m *GPUModel) effBW() float64 { return m.HBMBandwidth * m.HBMEfficiency }
+
+// VectorAddSeconds implements Model: one kernel, memory-bound (2 reads +
+// 1 write per coefficient).
+func (m *GPUModel) VectorAddSeconds(v VectorSpec) float64 {
+	return m.LaunchSec + float64(3*v.Bytes())/m.effBW()
+}
+
+// mulPairSeconds is one N-coefficient negacyclic product using the native
+// integer pipelines.
+func (m *GPUModel) mulPairSeconds(n, w int) float64 {
+	return float64(n) * float64(n) / gpuMulProductsPerSec(w)
+}
+
+// VectorMulSeconds implements Model.
+func (m *GPUModel) VectorMulSeconds(v VectorSpec) float64 {
+	return m.LaunchSec + float64(v.Elems)*m.mulPairSeconds(v.N, v.W)
+}
+
+func (m *GPUModel) ctAddSeconds(s StatsSpec) float64 {
+	bytes := ctAddPolys * s.N * s.W * 4 * 3
+	return gpuStatsLaunchPerOp + float64(bytes)/m.effBW()
+}
+
+func (m *GPUModel) ctMulSeconds(s StatsSpec) float64 {
+	polyMuls := polyMulsPerCtMul(s.RelinDigits)
+	return float64(polyMuls) * (gpuStatsLaunchPerOp + m.mulPairSeconds(s.N, s.W))
+}
+
+// PCIeSeconds is the host↔device transfer time for the given byte count
+// — the data-movement cost the PIM paradigm eliminates (paper §2).
+func (m *GPUModel) PCIeSeconds(bytes int64) float64 {
+	return float64(bytes) / gpuPCIeBytesPerSec
+}
+
+// MeanSeconds implements Model: the custom workload launches one kernel
+// per homomorphic addition (naive port; see calib.go).
+func (m *GPUModel) MeanSeconds(s StatsSpec) float64 {
+	return float64(s.Users*s.CtsPerUser) * m.ctAddSeconds(s)
+}
+
+// VarianceSeconds implements Model.
+func (m *GPUModel) VarianceSeconds(s StatsSpec) float64 {
+	ops := float64(s.Users * s.CtsPerUser)
+	return ops*m.ctMulSeconds(s) + ops*m.ctAddSeconds(s)
+}
+
+// LinRegSeconds implements Model.
+func (m *GPUModel) LinRegSeconds(s StatsSpec) float64 {
+	ops := float64(s.Users * s.CtsPerUser * s.Features)
+	return ops*m.ctMulSeconds(s) + ops*m.ctAddSeconds(s)
+}
+
+var _ Model = (*GPUModel)(nil)

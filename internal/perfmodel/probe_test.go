@@ -1,0 +1,70 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/pim"
+)
+
+// TestProbePrintFigures prints the modeled times and speedups for every
+// figure when run with -v; it asserts nothing and exists to make the
+// calibration transparent.
+func TestProbePrintFigures(t *testing.T) {
+	pimM, err := NewPIMModel(pim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, gpu, seal := NewCPUModel(), NewGPUModel(), NewSEALModel()
+
+	t.Log("== Fig 1(a): 128-bit vector addition ==")
+	for _, n := range []int{20480, 40960, 81920, 163840, 327680} {
+		v := VectorSpec{Elems: n, N: 4096, W: 4}
+		tp, tc, ts, tg := pimM.VectorAddSeconds(v), cpu.VectorAddSeconds(v), seal.VectorAddSeconds(v), gpu.VectorAddSeconds(v)
+		t.Logf("N=%6d: CPU=%.4gms PIM=%.4gms SEAL=%.4gms GPU=%.4gms | PIM/CPU=%.1fx PIM/SEAL=%.1fx PIM/GPU=%.1fx",
+			n, tc*1e3, tp*1e3, ts*1e3, tg*1e3, tc/tp, ts/tp, tg/tp)
+	}
+
+	t.Log("== Fig 1(b): 128-bit vector multiplication ==")
+	for _, n := range []int{5120, 10240, 20480, 40960, 81920} {
+		v := VectorSpec{Elems: n, N: 4096, W: 4}
+		tp, tc, ts, tg := pimM.VectorMulSeconds(v), cpu.VectorMulSeconds(v), seal.VectorMulSeconds(v), gpu.VectorMulSeconds(v)
+		t.Logf("N=%6d: CPU=%.4gs PIM=%.4gs SEAL=%.4gs GPU=%.4gs | PIM/CPU=%.1fx SEAL/PIM=%.2fx GPU/PIM=%.1fx",
+			n, tc, tp, ts, tg, tc/tp, tp/ts, tp/tg)
+	}
+
+	t.Log("== width sweep: add & mul at fixed elems ==")
+	for _, w := range []int{1, 2, 4} {
+		nn := map[int]int{1: 1024, 2: 2048, 4: 4096}[w]
+		va := VectorSpec{Elems: 20480, N: nn, W: w}
+		vm := VectorSpec{Elems: 5120, N: nn, W: w}
+		t.Logf("w=%d add: PIM/CPU=%.1fx PIM/SEAL=%.1fx PIM/GPU=%.1fx | mul: PIM/CPU=%.1fx PIM/SEAL=%.2fx GPU/PIM=%.1fx",
+			w,
+			cpu.VectorAddSeconds(va)/pimM.VectorAddSeconds(va),
+			seal.VectorAddSeconds(va)/pimM.VectorAddSeconds(va),
+			gpu.VectorAddSeconds(va)/pimM.VectorAddSeconds(va),
+			cpu.VectorMulSeconds(vm)/pimM.VectorMulSeconds(vm),
+			seal.VectorMulSeconds(vm)/pimM.VectorMulSeconds(vm),
+			pimM.VectorMulSeconds(vm)/gpu.VectorMulSeconds(vm))
+	}
+
+	t.Log("== Fig 2: statistical workloads ==")
+	for _, u := range []int{640, 1280, 2560} {
+		s := PaperStatsSpec(u)
+		t.Logf("mean     u=%4d: CPU=%.4gs PIM=%.4gs SEAL=%.4gs GPU=%.4gs | PIM/CPU=%.1fx PIM/SEAL=%.1fx PIM/GPU=%.1fx",
+			u, cpu.MeanSeconds(s), pimM.MeanSeconds(s), seal.MeanSeconds(s), gpu.MeanSeconds(s),
+			cpu.MeanSeconds(s)/pimM.MeanSeconds(s), seal.MeanSeconds(s)/pimM.MeanSeconds(s), gpu.MeanSeconds(s)/pimM.MeanSeconds(s))
+	}
+	for _, u := range []int{640, 1280, 2560} {
+		s := PaperStatsSpec(u)
+		t.Logf("variance u=%4d: CPU=%.4gs PIM=%.4gs SEAL=%.4gs GPU=%.4gs | PIM/CPU=%.1fx SEAL/PIM=%.1fx GPU/PIM=%.1fx",
+			u, cpu.VarianceSeconds(s), pimM.VarianceSeconds(s), seal.VarianceSeconds(s), gpu.VarianceSeconds(s),
+			cpu.VarianceSeconds(s)/pimM.VarianceSeconds(s), pimM.VarianceSeconds(s)/seal.VarianceSeconds(s), pimM.VarianceSeconds(s)/gpu.VarianceSeconds(s))
+	}
+	for _, cts := range []int{32, 64} {
+		s := PaperStatsSpec(640)
+		s.CtsPerUser = cts
+		t.Logf("linreg cts=%3d: CPU=%.4gs PIM=%.4gs SEAL=%.4gs GPU=%.4gs | PIM/CPU=%.1fx SEAL/PIM=%.1fx GPU/PIM=%.1fx",
+			cts, cpu.LinRegSeconds(s), pimM.LinRegSeconds(s), seal.LinRegSeconds(s), gpu.LinRegSeconds(s),
+			cpu.LinRegSeconds(s)/pimM.LinRegSeconds(s), pimM.LinRegSeconds(s)/seal.LinRegSeconds(s), pimM.LinRegSeconds(s)/gpu.LinRegSeconds(s))
+	}
+}

@@ -1,0 +1,77 @@
+package perfmodel
+
+import "math"
+
+// SEALModel is the paper's optimized CPU baseline: Microsoft SEAL, which
+// "leverages the Residue Number System (RNS) and the Number Theoretic
+// Transform (NTT) implementations for faster operations" (§4.1). Its
+// multiplication is O(k·n·log n) instead of the custom implementations'
+// O(n²) — the algorithmic edge that lets it overtake PIM on 64/128-bit
+// multiplication while losing at 32 bits (Fig. 1(b)). SEAL runs
+// single-threaded (its default).
+type SEALModel struct {
+	ClockHz float64
+}
+
+// NewSEALModel returns the calibrated SEAL-on-i5 model.
+func NewSEALModel() *SEALModel {
+	return &SEALModel{ClockHz: cpuClockHz}
+}
+
+// Name implements Model.
+func (m *SEALModel) Name() string { return "CPU-SEAL" }
+
+// addElemSeconds is one polynomial addition in RNS (k channels).
+func (m *SEALModel) addElemSeconds(n, w int) float64 {
+	k := sealChannels(w)
+	return float64(k*n)*sealAddCyclesPerChannelCoeff/m.ClockHz + sealPerOpOverheadSec
+}
+
+// VectorAddSeconds implements Model.
+func (m *SEALModel) VectorAddSeconds(v VectorSpec) float64 {
+	return float64(v.Elems) * m.addElemSeconds(v.N, v.W)
+}
+
+// nttMulPairSeconds is one negacyclic product via NTT in RNS: per channel
+// 3 transforms ((n/2)·log₂n butterflies each) plus the pointwise product.
+func (m *SEALModel) nttMulPairSeconds(n, w int) float64 {
+	k := float64(sealChannels(w))
+	butterflies := float64(n) / 2 * math.Log2(float64(n))
+	cycles := k * (3*butterflies*sealButterflyCycles + float64(n)*10)
+	return cycles / m.ClockHz
+}
+
+// VectorMulSeconds implements Model.
+func (m *SEALModel) VectorMulSeconds(v VectorSpec) float64 {
+	per := m.nttMulPairSeconds(v.N, v.W) + sealPerOpOverheadSec
+	return float64(v.Elems) * per
+}
+
+func (m *SEALModel) ctAddSeconds(s StatsSpec) float64 {
+	return float64(ctAddPolys)*m.addElemSeconds(s.N, s.W) + sealPerOpOverheadSec
+}
+
+// ctMulSeconds is a full BFV multiply + relinearize (tensor in an extended
+// basis, rescaling, key switching): sealStatsMulFactor bare NTT products.
+func (m *SEALModel) ctMulSeconds(s StatsSpec) float64 {
+	return sealStatsMulFactor*m.nttMulPairSeconds(s.N, s.W) + sealPerOpOverheadSec
+}
+
+// MeanSeconds implements Model.
+func (m *SEALModel) MeanSeconds(s StatsSpec) float64 {
+	return float64(s.Users*s.CtsPerUser) * m.ctAddSeconds(s)
+}
+
+// VarianceSeconds implements Model.
+func (m *SEALModel) VarianceSeconds(s StatsSpec) float64 {
+	ops := float64(s.Users * s.CtsPerUser)
+	return ops*m.ctMulSeconds(s) + ops*m.ctAddSeconds(s)
+}
+
+// LinRegSeconds implements Model.
+func (m *SEALModel) LinRegSeconds(s StatsSpec) float64 {
+	ops := float64(s.Users * s.CtsPerUser * s.Features)
+	return ops*m.ctMulSeconds(s) + ops*m.ctAddSeconds(s)
+}
+
+var _ Model = (*SEALModel)(nil)

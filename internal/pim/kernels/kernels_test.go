@@ -1,0 +1,243 @@
+package kernels
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/limb32"
+	"repro/internal/pim"
+	"repro/internal/poly"
+)
+
+func testSystem(t *testing.T, dpus, tasklets int) *pim.System {
+	t.Helper()
+	cfg := pim.DefaultConfig()
+	cfg.NumDPUs = dpus
+	cfg.Tasklets = tasklets
+	sys, err := pim.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// paper moduli by width.
+func modulusFor(t *testing.T, w int) *poly.Modulus {
+	t.Helper()
+	var s string
+	switch w {
+	case 1:
+		s = "134217689"
+	case 2:
+		s = "18014398509481951"
+	case 4:
+		s = "649037107316853453566312041152481"
+	default:
+		t.Fatalf("no modulus for width %d", w)
+	}
+	q, _ := new(big.Int).SetString(s, 10)
+	m, err := poly.NewModulus(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, coeffs int, mod *poly.Modulus) []uint32 {
+	out := make([]uint32, coeffs*mod.W)
+	for i := 0; i < coeffs; i++ {
+		c := new(big.Int).Rand(rng, mod.QBig)
+		copy(out[i*mod.W:(i+1)*mod.W], limb32.FromBig(c, mod.W))
+	}
+	return out
+}
+
+// hostAdd is the trusted host result for element-wise modular addition.
+func hostAdd(a, b []uint32, mod *poly.Modulus) []uint32 {
+	out := make([]uint32, len(a))
+	w := mod.W
+	for i := 0; i < len(a)/w; i++ {
+		limb32.AddMod(
+			limb32.Nat(out[i*w:(i+1)*w]),
+			limb32.Nat(a[i*w:(i+1)*w]),
+			limb32.Nat(b[i*w:(i+1)*w]),
+			mod.Q, nil)
+	}
+	return out
+}
+
+func TestVectorAddBitExactAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, w := range []int{1, 2, 4} {
+		mod := modulusFor(t, w)
+		for _, dpus := range []int{1, 3, 8} {
+			for _, tasklets := range []int{1, 11, 16} {
+				sys := testSystem(t, dpus, tasklets)
+				coeffs := 1000
+				a := randVec(rng, coeffs, mod)
+				b := randVec(rng, coeffs, mod)
+				got, rep, err := RunVectorAdd(sys, a, b, w, mod.Q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := hostAdd(a, b, mod)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("w=%d dpus=%d tasklets=%d: limb %d differs", w, dpus, tasklets, i)
+					}
+				}
+				if rep.KernelCycles <= 0 {
+					t.Error("kernel charged no cycles")
+				}
+			}
+		}
+	}
+}
+
+func TestVectorAddUnevenShards(t *testing.T) {
+	// Coefficient counts that do not divide evenly across DPUs/tasklets.
+	rng := rand.New(rand.NewSource(101))
+	mod := modulusFor(t, 4)
+	sys := testSystem(t, 7, 13)
+	for _, coeffs := range []int{1, 6, 7, 8, 97} {
+		a := randVec(rng, coeffs, mod)
+		b := randVec(rng, coeffs, mod)
+		got, _, err := RunVectorAdd(sys, a, b, 4, mod.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := hostAdd(a, b, mod)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("coeffs=%d: limb %d differs", coeffs, i)
+			}
+		}
+	}
+}
+
+func TestVectorAddRejectsBadInput(t *testing.T) {
+	sys := testSystem(t, 1, 1)
+	mod := modulusFor(t, 2)
+	if _, _, err := RunVectorAdd(sys, make([]uint32, 4), make([]uint32, 6), 2, mod.Q); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := RunVectorAdd(sys, make([]uint32, 5), make([]uint32, 5), 2, mod.Q); err == nil {
+		t.Error("non-multiple length accepted")
+	}
+}
+
+func hostPolyMul(t *testing.T, a, b []uint32, n int, mod *poly.Modulus) []uint32 {
+	t.Helper()
+	pairs := len(a) / (n * mod.W)
+	out := make([]uint32, len(a))
+	pa, pb, po := poly.NewPoly(n, mod.W), poly.NewPoly(n, mod.W), poly.NewPoly(n, mod.W)
+	for p := 0; p < pairs; p++ {
+		copy(pa.C, a[p*n*mod.W:(p+1)*n*mod.W])
+		copy(pb.C, b[p*n*mod.W:(p+1)*n*mod.W])
+		poly.MulNegacyclic(po, pa, pb, mod, nil)
+		copy(out[p*n*mod.W:(p+1)*n*mod.W], po.C)
+	}
+	return out
+}
+
+func TestVectorPolyMulBitExactAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, w := range []int{1, 2, 4} {
+		mod := modulusFor(t, w)
+		for _, n := range []int{16, 64} {
+			for _, tasklets := range []int{1, 11, 16} {
+				sys := testSystem(t, 3, tasklets)
+				pairs := 5
+				a := randVec(rng, pairs*n, mod)
+				b := randVec(rng, pairs*n, mod)
+				got, rep, err := RunVectorPolyMul(sys, a, b, n, w, mod.Q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := hostPolyMul(t, a, b, n, mod)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("w=%d n=%d tasklets=%d: limb %d differs (got %#x want %#x)",
+							w, n, tasklets, i, got[i], want[i])
+					}
+				}
+				if rep.Counts[limb32.OpMul32] == 0 {
+					t.Error("poly mul charged no multiplies")
+				}
+			}
+		}
+	}
+}
+
+func TestVectorPolyMulChargesQuadratically(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	mod := modulusFor(t, 4)
+	cycles := func(n int) int64 {
+		sys := testSystem(t, 1, 16)
+		a := randVec(rng, n, mod)
+		b := randVec(rng, n, mod)
+		_, rep, err := RunVectorPolyMul(sys, a, b, n, 4, mod.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.KernelCycles
+	}
+	c32, c64 := cycles(32), cycles(64)
+	ratio := float64(c64) / float64(c32)
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("doubling n scaled cycles by %.2f, want ~4 (schoolbook is O(n²))", ratio)
+	}
+}
+
+func TestVectorPolyMulKaratsubaAdvantage(t *testing.T) {
+	// The 128-bit kernel must charge 9 mul32 per coefficient product
+	// (Karatsuba), not 16 (schoolbook): paper §3.
+	rng := rand.New(rand.NewSource(104))
+	mod := modulusFor(t, 4)
+	n := 16
+	sys := testSystem(t, 1, 1)
+	a := randVec(rng, n, mod)
+	b := randVec(rng, n, mod)
+	_, rep, err := RunVectorPolyMul(sys, a, b, n, 4, mod.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n² products à 9 mul32, plus 2n modular reductions (divisions) which
+	// charge ~2(w+1) mul32 each: the total must stay well under the
+	// schoolbook count of 16 per product.
+	products := int64(n * n)
+	if rep.Counts[limb32.OpMul32] >= products*16 {
+		t.Errorf("mul32 count %d suggests schoolbook, want Karatsuba (< %d)",
+			rep.Counts[limb32.OpMul32], products*16)
+	}
+	if rep.Counts[limb32.OpMul32] < products*9 {
+		t.Errorf("mul32 count %d below Karatsuba floor %d", rep.Counts[limb32.OpMul32], products*9)
+	}
+}
+
+func TestMoreTaskletsNotSlower(t *testing.T) {
+	// Tasklet scaling on a real kernel: simulated time at 16 tasklets must
+	// beat 1 tasklet and roughly match 11 (paper observation 1).
+	rng := rand.New(rand.NewSource(105))
+	mod := modulusFor(t, 4)
+	coeffs := 4096
+	a := randVec(rng, coeffs, mod)
+	b := randVec(rng, coeffs, mod)
+	cyclesAt := func(tasklets int) int64 {
+		sys := testSystem(t, 1, tasklets)
+		_, rep, err := RunVectorAdd(sys, a, b, 4, mod.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.KernelCycles
+	}
+	c1, c11, c16 := cyclesAt(1), cyclesAt(11), cyclesAt(16)
+	if c11 >= c1 {
+		t.Errorf("11 tasklets (%d cycles) not faster than 1 (%d)", c11, c1)
+	}
+	// Beyond saturation the improvement should be marginal (< 15%).
+	if float64(c16) < 0.85*float64(c11) {
+		t.Errorf("16 tasklets (%d) improved too much over 11 (%d): saturation missing", c16, c11)
+	}
+}

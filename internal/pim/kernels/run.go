@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/limb32"
+	"repro/internal/pim"
+)
+
+// Host-side drivers: distribute flat coefficient arrays across DPUs, stage
+// the data, launch the kernel, and gather the results. These mirror the
+// paper's host program, which "dynamically adjusts the utilization of PIM
+// cores" to the problem size (§4.3 observation 4).
+
+// RunVectorAdd computes out[i] = (a[i] + b[i]) mod q element-wise over two
+// flat vectors of W-limb coefficients, spread across the system's DPUs.
+// It returns the result vector and the launch report.
+func RunVectorAdd(sys *pim.System, a, b []uint32, w int, q limb32.Nat) ([]uint32, *pim.Report, error) {
+	if len(a) != len(b) {
+		return nil, nil, errors.New("kernels: operand length mismatch")
+	}
+	if len(a)%w != 0 {
+		return nil, nil, errors.New("kernels: vector length not a multiple of the limb width")
+	}
+	coeffs := len(a) / w
+	dpus := activeDPUsFor(sys, coeffs)
+
+	type shard struct{ start, end int }
+	shards := make([]shard, dpus)
+	sys.ResetTransferAccounting()
+	for d := 0; d < dpus; d++ {
+		s, e := pim.Partition(coeffs, dpus, d)
+		shards[d] = shard{s, e}
+		cw := (e - s) * w
+		if cw == 0 {
+			continue
+		}
+		if err := sys.CopyToDPU(d, 0, a[s*w:e*w]); err != nil {
+			return nil, nil, err
+		}
+		if err := sys.CopyToDPU(d, cw, b[s*w:e*w]); err != nil {
+			return nil, nil, err
+		}
+		if err := sys.DPUs[d].EnsureMRAM(3 * cw); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	rep, err := sys.Launch(dpus, func(ctx *pim.TaskletCtx) error {
+		sh := shards[dpuIDOf(ctx)]
+		cnt := sh.end - sh.start
+		if cnt == 0 {
+			return nil
+		}
+		return VectorAdd(VecAddLayout{
+			W: w, Coeffs: cnt,
+			OffA: 0, OffB: cnt * w, OffOut: 2 * cnt * w,
+			Q: q,
+		})(ctx)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := make([]uint32, len(a))
+	for d := 0; d < dpus; d++ {
+		sh := shards[d]
+		cw := (sh.end - sh.start) * w
+		if cw == 0 {
+			continue
+		}
+		if err := sys.CopyFromDPU(d, 2*cw, out[sh.start*w:sh.end*w]); err != nil {
+			return nil, nil, err
+		}
+	}
+	rep.CopyOutSeconds = float64(int64(len(out)*4)) / sys.Config.DPUToHostBytesPerSec
+	return out, rep, nil
+}
+
+// RunVectorPolyMul computes, for every polynomial pair p, the negacyclic
+// product a_p·b_p in R_q. a and b hold `pairs` concatenated polynomials of
+// n coefficients × w limbs.
+func RunVectorPolyMul(sys *pim.System, a, b []uint32, n, w int, q limb32.Nat) ([]uint32, *pim.Report, error) {
+	if len(a) != len(b) {
+		return nil, nil, errors.New("kernels: operand length mismatch")
+	}
+	polyWords := n * w
+	if polyWords == 0 || len(a)%polyWords != 0 {
+		return nil, nil, fmt.Errorf("kernels: vector length %d not a multiple of poly size %d", len(a), polyWords)
+	}
+	pairs := len(a) / polyWords
+	dpus := activeDPUsFor(sys, pairs)
+	br := limb32.NewBarrett(q)
+
+	type shard struct{ start, end int }
+	shards := make([]shard, dpus)
+	sys.ResetTransferAccounting()
+	for d := 0; d < dpus; d++ {
+		s, e := pim.Partition(pairs, dpus, d)
+		shards[d] = shard{s, e}
+		words := (e - s) * polyWords
+		if words == 0 {
+			continue
+		}
+		if err := sys.CopyToDPU(d, 0, a[s*polyWords:e*polyWords]); err != nil {
+			return nil, nil, err
+		}
+		if err := sys.CopyToDPU(d, words, b[s*polyWords:e*polyWords]); err != nil {
+			return nil, nil, err
+		}
+		if err := sys.DPUs[d].EnsureMRAM(3 * words); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	rep, err := sys.Launch(dpus, func(ctx *pim.TaskletCtx) error {
+		sh := shards[dpuIDOf(ctx)]
+		cnt := sh.end - sh.start
+		if cnt == 0 {
+			return nil
+		}
+		words := cnt * polyWords
+		return VectorPolyMul(PolyMulLayout{
+			W: w, N: n, Pairs: cnt,
+			OffA: 0, OffB: words, OffOut: 2 * words,
+			Q: q, BR: br,
+		})(ctx)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := make([]uint32, len(a))
+	for d := 0; d < dpus; d++ {
+		sh := shards[d]
+		words := (sh.end - sh.start) * polyWords
+		if words == 0 {
+			continue
+		}
+		if err := sys.CopyFromDPU(d, 2*words, out[sh.start*polyWords:sh.end*polyWords]); err != nil {
+			return nil, nil, err
+		}
+	}
+	rep.CopyOutSeconds = float64(int64(len(out)*4)) / sys.Config.DPUToHostBytesPerSec
+	return out, rep, nil
+}
+
+// activeDPUsFor picks how many DPUs to use for `items` independent work
+// items: all of them, unless there are fewer items than DPUs.
+func activeDPUsFor(sys *pim.System, items int) int {
+	d := sys.Config.NumDPUs
+	if items < d {
+		d = items
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// dpuIDOf extracts the DPU ID from a tasklet context.
+func dpuIDOf(ctx *pim.TaskletCtx) int { return ctx.DPUID() }

@@ -1,0 +1,247 @@
+package pim
+
+import (
+	"testing"
+
+	"repro/internal/limb32"
+)
+
+func testSystem(t *testing.T, dpus, tasklets int) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NumDPUs = dpus
+	cfg.Tasklets = tasklets
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []SystemConfig{
+		{NumDPUs: 0, ClockHz: 1, Tasklets: 1, Cost: DefaultCostModel()},
+		{NumDPUs: 1, ClockHz: 0, Tasklets: 1, Cost: DefaultCostModel()},
+		{NumDPUs: 1, ClockHz: 1, Tasklets: 0, Cost: DefaultCostModel()},
+		{NumDPUs: 1, ClockHz: 1, Tasklets: 25, Cost: DefaultCostModel()},
+		{NumDPUs: 1, ClockHz: 1, Tasklets: 1, Cost: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSystem(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewSystem(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestMRAMBounds(t *testing.T) {
+	sys := testSystem(t, 1, 1)
+	d := sys.DPUs[0]
+	if err := d.EnsureMRAM(MRAMWords + 1); err == nil {
+		t.Error("MRAM over-allocation accepted")
+	}
+	if err := d.EnsureMRAM(1024); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MRAM()) < 1024 {
+		t.Error("EnsureMRAM did not grow")
+	}
+}
+
+func TestCopyRoundTrip(t *testing.T) {
+	sys := testSystem(t, 2, 1)
+	data := []uint32{1, 2, 3, 4, 5}
+	if err := sys.CopyToDPU(1, 10, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint32, 5)
+	if err := sys.CopyFromDPU(1, 10, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("copy round trip: %v != %v", got, data)
+		}
+	}
+	if err := sys.CopyFromDPU(1, 1<<20, got); err == nil {
+		t.Error("out-of-bounds copy-out accepted")
+	}
+}
+
+func TestLaunchChargesInstructions(t *testing.T) {
+	sys := testSystem(t, 4, 8)
+	rep, err := sys.Launch(4, func(ctx *TaskletCtx) error {
+		ctx.Tick(limb32.OpAdd, 100)
+		ctx.Tick(limb32.OpMul32, 10)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each tasklet: 100 adds + 10 muls × 32 instr = 420; 8 tasklets × 4 DPUs.
+	wantPerTasklet := int64(100 + 10*32)
+	if rep.TotalInstr != wantPerTasklet*8*4 {
+		t.Errorf("TotalInstr = %d, want %d", rep.TotalInstr, wantPerTasklet*32)
+	}
+	// 8 tasklets < 11: latency-bound → cycles = maxPerTasklet × 11.
+	if rep.KernelCycles != wantPerTasklet*11 {
+		t.Errorf("KernelCycles = %d, want %d", rep.KernelCycles, wantPerTasklet*11)
+	}
+	if rep.Counts[limb32.OpAdd] != 100*8*4 {
+		t.Errorf("op tally add = %d", rep.Counts[limb32.OpAdd])
+	}
+}
+
+func TestPipelineSaturationAtEleven(t *testing.T) {
+	// The paper's observation 1: performance saturates at ≥11 tasklets.
+	perTasklet := int64(1000)
+	cyclesAt := func(tasklets int) int64 {
+		sys := testSystem(t, 1, tasklets)
+		rep, err := sys.Launch(1, func(ctx *TaskletCtx) error {
+			ctx.ChargeInstr(perTasklet)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.KernelCycles
+	}
+	// With a fixed per-tasklet load, total work grows with tasklet count,
+	// so compare throughput: work/cycles.
+	var prev float64
+	for _, tk := range []int{1, 2, 4, 8, 11, 16, 24} {
+		cyc := cyclesAt(tk)
+		throughput := float64(int64(tk)*perTasklet) / float64(cyc)
+		if tk <= 11 && throughput < prev {
+			t.Errorf("throughput dropped below %d tasklets: %f < %f", tk, throughput, prev)
+		}
+		if tk >= 11 && throughput != 1.0 {
+			t.Errorf("tasklets=%d: throughput %f, want 1.0 (saturated pipeline)", tk, throughput)
+		}
+		prev = throughput
+	}
+	// 1 tasklet must be exactly 11× slower than saturation per instruction.
+	if c1, c11 := cyclesAt(1), cyclesAt(11); c1 != perTasklet*11 || c11 != perTasklet*11 {
+		t.Errorf("revolver model wrong: c1=%d c11=%d want both %d", c1, c11, perTasklet*11)
+	}
+}
+
+func TestDMARoofline(t *testing.T) {
+	sys := testSystem(t, 1, 16)
+	words := 4096
+	sys.DPUs[0].EnsureMRAM(2 * words)
+	rep, err := sys.Launch(1, func(ctx *TaskletCtx) error {
+		if ctx.TaskletID != 0 {
+			return nil
+		}
+		buf := make([]uint32, words)
+		ctx.MRAMRead(0, buf)
+		ctx.MRAMWrite(words, buf)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sys.Config.Cost
+	wantDMA := 2 * cost.DMACycles(4*words)
+	if rep.TotalDMACycles != wantDMA {
+		t.Errorf("TotalDMACycles = %d, want %d", rep.TotalDMACycles, wantDMA)
+	}
+	// No compute: the DMA term must be the binding roofline.
+	if rep.KernelCycles != wantDMA {
+		t.Errorf("KernelCycles = %d, want DMA-bound %d", rep.KernelCycles, wantDMA)
+	}
+}
+
+func TestLaunchErrorPropagates(t *testing.T) {
+	sys := testSystem(t, 2, 2)
+	_, err := sys.Launch(2, func(ctx *TaskletCtx) error {
+		if ctx.DPUID() == 1 && ctx.TaskletID == 1 {
+			return errConfig("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("kernel error not propagated")
+	}
+}
+
+func TestLaunchValidatesActiveDPUs(t *testing.T) {
+	sys := testSystem(t, 2, 2)
+	if _, err := sys.Launch(0, func(*TaskletCtx) error { return nil }); err == nil {
+		t.Error("activeDPUs=0 accepted")
+	}
+	if _, err := sys.Launch(3, func(*TaskletCtx) error { return nil }); err == nil {
+		t.Error("activeDPUs>NumDPUs accepted")
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	sys := testSystem(t, 1, 1)
+	data := make([]uint32, 1000)
+	sys.CopyToDPU(0, 0, data)
+	rep, err := sys.Launch(1, func(*TaskletCtx) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIn := float64(4000) / sys.Config.HostToDPUBytesPerSec
+	if rep.CopyInSeconds != wantIn {
+		t.Errorf("CopyInSeconds = %g, want %g", rep.CopyInSeconds, wantIn)
+	}
+	if rep.TotalSeconds() < rep.KernelSeconds {
+		t.Error("TotalSeconds must include kernel time")
+	}
+	sys.ResetTransferAccounting()
+	rep2, _ := sys.Launch(1, func(*TaskletCtx) error { return nil })
+	if rep2.CopyInSeconds != 0 {
+		t.Error("ResetTransferAccounting did not clear copy-in")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	// Covers all items exactly once, in order.
+	for _, c := range []struct{ items, workers int }{
+		{10, 3}, {3, 10}, {16, 16}, {0, 4}, {100, 7},
+	} {
+		last := 0
+		for w := 0; w < c.workers; w++ {
+			s, e := Partition(c.items, c.workers, w)
+			if s != last {
+				t.Fatalf("items=%d workers=%d w=%d: gap (start %d, want %d)", c.items, c.workers, w, s, last)
+			}
+			if e < s {
+				t.Fatalf("negative shard")
+			}
+			last = e
+		}
+		if last != c.items {
+			t.Fatalf("items=%d workers=%d: covered %d", c.items, c.workers, last)
+		}
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	def := DefaultCostModel()
+	nat := NativeMul32CostModel()
+	if def.InstrFor(limb32.OpMul32, 1) != 32 {
+		t.Errorf("default mul32 cost = %d", def.InstrFor(limb32.OpMul32, 1))
+	}
+	if nat.InstrFor(limb32.OpMul32, 1) >= def.InstrFor(limb32.OpMul32, 1) {
+		t.Error("native multiplier model must be cheaper")
+	}
+	if def.InstrFor(limb32.OpAdd, 5) != 5 {
+		t.Error("adds are single-cycle")
+	}
+	var counts limb32.Counts
+	counts[limb32.OpAdd] = 10
+	counts[limb32.OpMul32] = 2
+	if got := def.InstrTotal(&counts); got != 10+64 {
+		t.Errorf("InstrTotal = %d, want 74", got)
+	}
+	wantDMAOnKB := int64(77) + int64(float64(1024)*def.DMACyclesPerByte)
+	if def.DMACycles(1024) != wantDMAOnKB {
+		t.Errorf("DMACycles(1024) = %d", def.DMACycles(1024))
+	}
+}

@@ -1,0 +1,172 @@
+package pim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/limb32"
+)
+
+// System is a collection of DPUs plus the host-side transfer engine.
+type System struct {
+	Config SystemConfig
+	DPUs   []*DPU
+
+	copyInBytes  int64
+	copyOutBytes int64
+}
+
+// NewSystem allocates a system; DPU MRAM is grown on demand.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{Config: cfg, DPUs: make([]*DPU, cfg.NumDPUs)}
+	for i := range s.DPUs {
+		s.DPUs[i] = &DPU{ID: i}
+	}
+	return s, nil
+}
+
+// CopyToDPU stages data into a DPU's MRAM at word offset off and accounts
+// the host→DPU transfer.
+func (s *System) CopyToDPU(dpuID, off int, data []uint32) error {
+	d := s.DPUs[dpuID]
+	if err := d.EnsureMRAM(off + len(data)); err != nil {
+		return err
+	}
+	copy(d.mram[off:off+len(data)], data)
+	s.copyInBytes += int64(4 * len(data))
+	return nil
+}
+
+// CopyFromDPU reads a DPU's MRAM at word offset off and accounts the
+// DPU→host transfer.
+func (s *System) CopyFromDPU(dpuID, off int, dst []uint32) error {
+	d := s.DPUs[dpuID]
+	if off+len(dst) > len(d.mram) {
+		return fmt.Errorf("pim: DPU %d copy-out [%d,%d) beyond MRAM %d",
+			dpuID, off, off+len(dst), len(d.mram))
+	}
+	copy(dst, d.mram[off:off+len(dst)])
+	s.copyOutBytes += int64(4 * len(dst))
+	return nil
+}
+
+// ResetTransferAccounting zeroes the host transfer counters (call between
+// experiments sharing a System).
+func (s *System) ResetTransferAccounting() {
+	s.copyInBytes, s.copyOutBytes = 0, 0
+}
+
+// KernelFunc is the code one tasklet executes. Kernels are ordinary Go:
+// they read/write MRAM through the context (charged DMA) and perform limb
+// arithmetic with the context as Meter (charged instructions).
+type KernelFunc func(ctx *TaskletCtx) error
+
+// Report is the outcome of one kernel launch.
+type Report struct {
+	// KernelCycles is the simulated execution time in DPU cycles: the
+	// maximum over the active DPUs (they run in parallel).
+	KernelCycles int64
+	// KernelSeconds = KernelCycles / ClockHz + launch overhead.
+	KernelSeconds float64
+	// CopyInSeconds / CopyOutSeconds price the host transfers accumulated
+	// since the last ResetTransferAccounting.
+	CopyInSeconds  float64
+	CopyOutSeconds float64
+	// TotalInstr and TotalDMACycles aggregate over all DPUs and tasklets.
+	TotalInstr     int64
+	TotalDMACycles int64
+	// Counts tallies the arithmetic operation mix across the system.
+	Counts limb32.Counts
+	// ActiveDPUs is how many DPUs ran a non-empty tasklet set.
+	ActiveDPUs int
+	// PerDPUCycles holds each active DPU's cycle count (index = DPU ID).
+	PerDPUCycles []int64
+}
+
+// TotalSeconds is the end-to-end modeled time including host transfers.
+func (r *Report) TotalSeconds() float64 {
+	return r.CopyInSeconds + r.KernelSeconds + r.CopyOutSeconds
+}
+
+// Launch runs kernel on DPUs [0, activeDPUs) with the configured tasklet
+// count, in parallel host goroutines (the simulation is deterministic:
+// tasklets within a DPU run sequentially and DPUs do not share state).
+func (s *System) Launch(activeDPUs int, kernel KernelFunc) (*Report, error) {
+	if activeDPUs <= 0 || activeDPUs > len(s.DPUs) {
+		return nil, fmt.Errorf("pim: activeDPUs=%d out of range 1..%d", activeDPUs, len(s.DPUs))
+	}
+	T := s.Config.Tasklets
+
+	var wg sync.WaitGroup
+	errs := make([]error, activeDPUs)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < activeDPUs; i++ {
+		d := s.DPUs[i]
+		d.resetAccounting(T)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(d *DPU, slot int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for t := 0; t < T; t++ {
+				ctx := &TaskletCtx{dpu: d, cost: s.Config.Cost, TaskletID: t, NumTasklets: T}
+				if err := kernel(ctx); err != nil {
+					errs[slot] = fmt.Errorf("pim: DPU %d tasklet %d: %w", d.ID, t, err)
+					return
+				}
+			}
+		}(d, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{ActiveDPUs: activeDPUs, PerDPUCycles: make([]int64, activeDPUs)}
+	for i := 0; i < activeDPUs; i++ {
+		d := s.DPUs[i]
+		cyc := d.cycles(s.Config.Cost)
+		rep.PerDPUCycles[i] = cyc
+		if cyc > rep.KernelCycles {
+			rep.KernelCycles = cyc
+		}
+		for _, ti := range d.taskletInstr {
+			rep.TotalInstr += ti
+		}
+		for _, td := range d.taskletDMA {
+			rep.TotalDMACycles += td
+		}
+		rep.Counts.Add(&d.counts)
+	}
+	rep.KernelSeconds = float64(rep.KernelCycles)/s.Config.ClockHz + s.Config.LaunchOverheadSec
+	rep.CopyInSeconds = float64(s.copyInBytes) / s.Config.HostToDPUBytesPerSec
+	rep.CopyOutSeconds = float64(s.copyOutBytes) / s.Config.DPUToHostBytesPerSec
+	return rep, nil
+}
+
+// Partition splits `items` work items across `workers` as evenly as
+// possible, returning the [start, end) range of worker w. The standard
+// block distribution used by both the DPU-level and tasklet-level splits.
+func Partition(items, workers, w int) (start, end int) {
+	base := items / workers
+	rem := items % workers
+	start = w*base + minInt(w, rem)
+	end = start + base
+	if w < rem {
+		end++
+	}
+	return start, end
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

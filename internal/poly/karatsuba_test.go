@@ -1,0 +1,119 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/limb32"
+)
+
+func mod27(t *testing.T) *Modulus {
+	t.Helper()
+	m, err := NewModulus(big.NewInt(134217689))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestKaratsubaPolyMatchesSchoolbook(t *testing.T) {
+	mod := mod27(t)
+	rng := rand.New(rand.NewSource(90))
+	for _, n := range []int{4, 8, 16, 32, 64, 128, 256} {
+		a, b := randPoly(rng, n, mod), randPoly(rng, n, mod)
+		want := NewPoly(n, 1)
+		MulNegacyclic(want, a, b, mod, nil)
+		got := NewPoly(n, 1)
+		MulNegacyclicKaratsuba(got, a, b, mod, nil)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: Karatsuba differs from schoolbook", n)
+		}
+	}
+}
+
+func TestKaratsubaPolyEdgeInputs(t *testing.T) {
+	mod := mod27(t)
+	n := 64
+	zero := NewPoly(n, 1)
+	one := NewPoly(n, 1)
+	one.Coeff(0).Set(limb32.FromUint64(1, 1))
+	xn1 := NewPoly(n, 1)
+	xn1.Coeff(n - 1).Set(limb32.FromUint64(1, 1))
+	x := NewPoly(n, 1)
+	x.Coeff(1).Set(limb32.FromUint64(1, 1))
+
+	dst := NewPoly(n, 1)
+	MulNegacyclicKaratsuba(dst, zero, one, mod, nil)
+	if !dst.IsZero() {
+		t.Error("0 * 1 != 0")
+	}
+	rng := rand.New(rand.NewSource(91))
+	a := randPoly(rng, n, mod)
+	MulNegacyclicKaratsuba(dst, a, one, mod, nil)
+	if !dst.Equal(a) {
+		t.Error("a * 1 != a")
+	}
+	// X^{n-1} · X ≡ −1.
+	MulNegacyclicKaratsuba(dst, xn1, x, mod, nil)
+	wantC := new(big.Int).Sub(mod.QBig, big.NewInt(1))
+	if dst.Coeff(0).Big().Cmp(wantC) != 0 {
+		t.Errorf("X^{n-1}·X coeff 0 = %v, want q-1", dst.Coeff(0))
+	}
+}
+
+func TestKaratsubaPolyRejectsWideModulus(t *testing.T) {
+	q, _ := new(big.Int).SetString("18014398509481951", 10)
+	mod, err := NewModulus(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewPoly(16, mod.W)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for W>1 modulus")
+		}
+	}()
+	MulNegacyclicKaratsuba(a.Clone(), a, a, mod, nil)
+}
+
+func TestKaratsubaPolyUsesFewerMultiplies(t *testing.T) {
+	mod := mod27(t)
+	rng := rand.New(rand.NewSource(92))
+	n := 256
+	a, b := randPoly(rng, n, mod), randPoly(rng, n, mod)
+	var mk, ms limb32.Counts
+	dst := NewPoly(n, 1)
+	MulNegacyclicKaratsuba(dst, a, b, mod, &mk)
+	MulNegacyclic(dst, a, b, mod, &ms)
+	if mk[limb32.OpMul32] >= ms[limb32.OpMul32] {
+		t.Errorf("polynomial Karatsuba multiplies (%d) not below schoolbook (%d)",
+			mk[limb32.OpMul32], ms[limb32.OpMul32])
+	}
+	// O(n^1.585): at n=256 with threshold 16 the ratio should be ~3x.
+	if ratio := float64(ms[limb32.OpMul32]) / float64(mk[limb32.OpMul32]); ratio < 2 {
+		t.Errorf("Karatsuba multiply saving only %.2fx at n=%d", ratio, n)
+	}
+}
+
+func BenchmarkMulNegacyclicSchoolbook1024(b *testing.B) {
+	q, _ := NewModulus(big.NewInt(134217689))
+	rng := rand.New(rand.NewSource(93))
+	x, y := randPoly(rng, 1024, q), randPoly(rng, 1024, q)
+	dst := NewPoly(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulNegacyclic(dst, x, y, q, nil)
+	}
+}
+
+func BenchmarkMulNegacyclicKaratsuba1024(b *testing.B) {
+	q, _ := NewModulus(big.NewInt(134217689))
+	rng := rand.New(rand.NewSource(94))
+	x, y := randPoly(rng, 1024, q), randPoly(rng, 1024, q)
+	dst := NewPoly(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulNegacyclicKaratsuba(dst, x, y, q, nil)
+	}
+}

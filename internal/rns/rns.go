@@ -1,0 +1,170 @@
+// Package rns implements the Residue Number System representation used by
+// the SEAL-style CPU baseline: a wide coefficient modulus Q = q₁·q₂·…·q_k
+// is replaced by its residues modulo word-sized NTT-friendly primes, so
+// all arithmetic happens on independent uint64 channels (HORNS/SEAL
+// style, paper refs [97], [79]).
+package rns
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/modring"
+	"repro/internal/nt"
+)
+
+// Basis is an ordered set of pairwise-distinct word-sized primes together
+// with the precomputed constants for CRT recombination.
+type Basis struct {
+	Primes []uint64
+	Rings  []*modring.Ring
+	Q      *big.Int // product of the primes
+
+	// CRT recombination constants: Qi = Q/qi, QiInv = Qi^{-1} mod qi.
+	qi    []*big.Int
+	qiInv []uint64
+}
+
+// NewBasis builds a basis from the given primes.
+func NewBasis(primes []uint64) (*Basis, error) {
+	if len(primes) == 0 {
+		return nil, errors.New("rns: empty basis")
+	}
+	b := &Basis{
+		Primes: append([]uint64(nil), primes...),
+		Q:      big.NewInt(1),
+	}
+	seen := map[uint64]bool{}
+	for _, p := range primes {
+		if !nt.IsPrime(p) {
+			return nil, fmt.Errorf("rns: %d is not prime", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("rns: duplicate prime %d", p)
+		}
+		seen[p] = true
+		b.Rings = append(b.Rings, modring.New(p))
+		b.Q.Mul(b.Q, new(big.Int).SetUint64(p))
+	}
+	for i, p := range primes {
+		pi := new(big.Int).SetUint64(p)
+		Qi := new(big.Int).Div(b.Q, pi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(Qi, pi), pi)
+		if inv == nil {
+			return nil, fmt.Errorf("rns: prime %d not invertible (duplicate?)", p)
+		}
+		b.qi = append(b.qi, Qi)
+		b.qiInv = append(b.qiInv, inv.Uint64())
+		_ = i
+	}
+	return b, nil
+}
+
+// K returns the number of channels.
+func (b *Basis) K() int { return len(b.Primes) }
+
+// Decompose returns the residues of x (taken mod Q, so negative values are
+// lifted) in each channel.
+func (b *Basis) Decompose(x *big.Int) []uint64 {
+	v := new(big.Int).Mod(x, b.Q) // canonical representative in [0, Q)
+	out := make([]uint64, b.K())
+	t := new(big.Int)
+	for i, p := range b.Primes {
+		out[i] = t.Mod(v, new(big.Int).SetUint64(p)).Uint64()
+	}
+	return out
+}
+
+// DecomposeUint64 is a fast path for x < 2⁶⁴.
+func (b *Basis) DecomposeUint64(x uint64) []uint64 {
+	out := make([]uint64, b.K())
+	for i, p := range b.Primes {
+		out[i] = x % p
+	}
+	return out
+}
+
+// Recombine returns the unique value in [0, Q) with the given residues.
+func (b *Basis) Recombine(residues []uint64) (*big.Int, error) {
+	if len(residues) != b.K() {
+		return nil, errors.New("rns: residue count mismatch")
+	}
+	x := new(big.Int)
+	t := new(big.Int)
+	for i := range residues {
+		// term = residues[i] * QiInv mod qi, then * Qi
+		ri := nt.MulMod(residues[i]%b.Primes[i], b.qiInv[i], b.Primes[i])
+		t.SetUint64(ri)
+		t.Mul(t, b.qi[i])
+		x.Add(x, t)
+	}
+	return x.Mod(x, b.Q), nil
+}
+
+// RecombineCentered returns the representative in [-Q/2, Q/2).
+func (b *Basis) RecombineCentered(residues []uint64) (*big.Int, error) {
+	x, err := b.Recombine(residues)
+	if err != nil {
+		return nil, err
+	}
+	half := new(big.Int).Rsh(b.Q, 1)
+	if x.Cmp(half) >= 0 {
+		x.Sub(x, b.Q)
+	}
+	return x, nil
+}
+
+// DecomposePoly decomposes every coefficient of a big-integer polynomial
+// into per-channel residue polynomials: out[channel][coeff].
+func (b *Basis) DecomposePoly(coeffs []*big.Int) [][]uint64 {
+	out := make([][]uint64, b.K())
+	for c := range out {
+		out[c] = make([]uint64, len(coeffs))
+	}
+	t := new(big.Int)
+	for j, x := range coeffs {
+		v := t.Mod(x, b.Q)
+		for c, p := range b.Primes {
+			out[c][j] = new(big.Int).Mod(v, new(big.Int).SetUint64(p)).Uint64()
+		}
+	}
+	return out
+}
+
+// RecombinePoly inverts DecomposePoly, producing centered big-integer
+// coefficients.
+func (b *Basis) RecombinePoly(channels [][]uint64) ([]*big.Int, error) {
+	if len(channels) != b.K() {
+		return nil, errors.New("rns: channel count mismatch")
+	}
+	n := len(channels[0])
+	res := make([]uint64, b.K())
+	out := make([]*big.Int, n)
+	for j := 0; j < n; j++ {
+		for c := range channels {
+			res[c] = channels[c][j]
+		}
+		x, err := b.RecombineCentered(res)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = x
+	}
+	return out, nil
+}
+
+// ForBFV builds the standard RNS basis for a target coefficient-modulus
+// bit size: enough primeBits-sized NTT-friendly primes (for ring degree n)
+// to cover targetBits.
+func ForBFV(targetBits int, primeBits uint, n int) (*Basis, error) {
+	k := (targetBits + int(primeBits) - 1) / int(primeBits)
+	if k == 0 {
+		k = 1
+	}
+	primes, err := nt.NTTPrimes(primeBits, n, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewBasis(primes)
+}

@@ -1,0 +1,173 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nt"
+)
+
+func testBasis(t *testing.T) *Basis {
+	t.Helper()
+	primes, err := nt.NTTPrimes(50, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBasis(primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDecomposeRecombineRoundTrip(t *testing.T) {
+	b := testBasis(t)
+	rng := rand.New(rand.NewSource(70))
+	for i := 0; i < 200; i++ {
+		x := new(big.Int).Rand(rng, b.Q)
+		res := b.Decompose(x)
+		got, err := b.Recombine(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(x) != 0 {
+			t.Fatalf("round trip: got %v, want %v", got, x)
+		}
+	}
+}
+
+func TestDecomposeNegative(t *testing.T) {
+	b := testBasis(t)
+	x := big.NewInt(-42)
+	res := b.Decompose(x)
+	got, err := b.RecombineCentered(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != -42 {
+		t.Fatalf("centered recombine of -42 = %v", got)
+	}
+}
+
+func TestRecombineCenteredRange(t *testing.T) {
+	b := testBasis(t)
+	rng := rand.New(rand.NewSource(71))
+	half := new(big.Int).Rsh(b.Q, 1)
+	negHalf := new(big.Int).Neg(half)
+	for i := 0; i < 100; i++ {
+		x := new(big.Int).Rand(rng, b.Q)
+		got, err := b.RecombineCentered(b.Decompose(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(negHalf) < 0 || got.Cmp(half) >= 0 {
+			t.Fatalf("centered value %v outside [-Q/2, Q/2)", got)
+		}
+	}
+}
+
+func TestHomomorphicAddMul(t *testing.T) {
+	// RNS arithmetic must commute with integer arithmetic mod Q.
+	b := testBasis(t)
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 100; i++ {
+		x := new(big.Int).Rand(rng, b.Q)
+		y := new(big.Int).Rand(rng, b.Q)
+		rx, ry := b.Decompose(x), b.Decompose(y)
+
+		sum := make([]uint64, b.K())
+		prod := make([]uint64, b.K())
+		for c := range rx {
+			sum[c] = b.Rings[c].Add(rx[c], ry[c])
+			prod[c] = b.Rings[c].Mul(rx[c], ry[c])
+		}
+		gotSum, _ := b.Recombine(sum)
+		gotProd, _ := b.Recombine(prod)
+
+		wantSum := new(big.Int).Add(x, y)
+		wantSum.Mod(wantSum, b.Q)
+		wantProd := new(big.Int).Mul(x, y)
+		wantProd.Mod(wantProd, b.Q)
+		if gotSum.Cmp(wantSum) != 0 {
+			t.Fatal("RNS add mismatch")
+		}
+		if gotProd.Cmp(wantProd) != 0 {
+			t.Fatal("RNS mul mismatch")
+		}
+	}
+}
+
+func TestDecomposeUint64(t *testing.T) {
+	b := testBasis(t)
+	f := func(x uint64) bool {
+		fast := b.DecomposeUint64(x)
+		slow := b.Decompose(new(big.Int).SetUint64(x))
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeRecombinePoly(t *testing.T) {
+	b := testBasis(t)
+	rng := rand.New(rand.NewSource(73))
+	n := 16
+	coeffs := make([]*big.Int, n)
+	half := new(big.Int).Rsh(b.Q, 1)
+	for i := range coeffs {
+		c := new(big.Int).Rand(rng, b.Q)
+		c.Sub(c, half) // exercise negative coefficients
+		coeffs[i] = c
+	}
+	ch := b.DecomposePoly(coeffs)
+	if len(ch) != b.K() || len(ch[0]) != n {
+		t.Fatalf("DecomposePoly shape %dx%d", len(ch), len(ch[0]))
+	}
+	back, err := b.RecombinePoly(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coeffs {
+		if back[i].Cmp(coeffs[i]) != 0 {
+			t.Fatalf("poly round trip at %d: %v != %v", i, back[i], coeffs[i])
+		}
+	}
+}
+
+func TestNewBasisErrors(t *testing.T) {
+	if _, err := NewBasis(nil); err == nil {
+		t.Error("expected error for empty basis")
+	}
+	if _, err := NewBasis([]uint64{15}); err == nil {
+		t.Error("expected error for composite prime")
+	}
+	if _, err := NewBasis([]uint64{97, 97}); err == nil {
+		t.Error("expected error for duplicate primes")
+	}
+}
+
+func TestForBFV(t *testing.T) {
+	b, err := ForBFV(109, 50, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Q.BitLen() < 109 {
+		t.Errorf("basis covers only %d bits, need ≥ 109", b.Q.BitLen())
+	}
+	if b.K() != 3 {
+		t.Errorf("expected 3 channels for 109 bits at 50-bit primes, got %d", b.K())
+	}
+	for _, p := range b.Primes {
+		if (p-1)%uint64(2*4096) != 0 {
+			t.Errorf("prime %d not NTT-friendly for n=4096", p)
+		}
+	}
+}

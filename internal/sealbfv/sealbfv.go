@@ -1,0 +1,237 @@
+// Package sealbfv is the functional core of the CPU-SEAL baseline
+// (§4.1): polynomial arithmetic in the Residue Number System with
+// negacyclic NTT multiplication — the algorithmic recipe Microsoft SEAL
+// uses ("leverages the Residue Number System (RNS) and the Number
+// Theoretic Transform (NTT) implementations for faster operations").
+//
+// Where the custom CPU/PIM path multiplies polynomials in O(n²)
+// coefficient products over a single wide modulus, this path splits the
+// modulus into word-sized NTT-friendly primes and multiplies in
+// O(k·n·log n). The two paths are cross-validated in tests: for the same
+// RNS modulus they must produce identical ring elements.
+package sealbfv
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/ntt"
+	"repro/internal/rns"
+)
+
+// Context fixes a ring degree and an RNS basis, with one NTT table per
+// channel prime.
+type Context struct {
+	N     int
+	Basis *rns.Basis
+	Tabs  []*ntt.Table
+}
+
+// NewContext builds a context for degree n over the given basis; every
+// basis prime must be NTT-friendly for n.
+func NewContext(n int, basis *rns.Basis) (*Context, error) {
+	ctx := &Context{N: n, Basis: basis}
+	for _, p := range basis.Primes {
+		tab, err := ntt.NewTable(p, n)
+		if err != nil {
+			return nil, fmt.Errorf("sealbfv: prime %d: %w", p, err)
+		}
+		ctx.Tabs = append(ctx.Tabs, tab)
+	}
+	return ctx, nil
+}
+
+// NewContextForBits builds a context whose RNS modulus covers at least
+// targetBits bits using primeBits-sized primes — how SEAL picks a
+// coefficient modulus for a requested security level.
+func NewContextForBits(n, targetBits int, primeBits uint) (*Context, error) {
+	basis, err := rns.ForBFV(targetBits, primeBits, n)
+	if err != nil {
+		return nil, err
+	}
+	return NewContext(n, basis)
+}
+
+// Poly is a ring element in RNS double-CRT-style representation:
+// Coeffs[channel][coefficient], each channel reduced modulo its prime.
+// IsNTT tracks whether the element currently sits in the NTT domain.
+type Poly struct {
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// NewPoly returns the zero element (coefficient domain).
+func (c *Context) NewPoly() *Poly {
+	coeffs := make([][]uint64, c.Basis.K())
+	for i := range coeffs {
+		coeffs[i] = make([]uint64, c.N)
+	}
+	return &Poly{Coeffs: coeffs}
+}
+
+// Clone deep-copies p.
+func (p *Poly) Clone() *Poly {
+	out := &Poly{Coeffs: make([][]uint64, len(p.Coeffs)), IsNTT: p.IsNTT}
+	for i := range p.Coeffs {
+		out.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+	}
+	return out
+}
+
+// Equal reports exact equality (same domain and values).
+func (p *Poly) Equal(o *Poly) bool {
+	if p.IsNTT != o.IsNTT || len(p.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for i := range p.Coeffs {
+		if len(p.Coeffs[i]) != len(o.Coeffs[i]) {
+			return false
+		}
+		for j := range p.Coeffs[i] {
+			if p.Coeffs[i][j] != o.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromBigCoeffs decomposes big-integer coefficients into the basis.
+func (c *Context) FromBigCoeffs(coeffs []*big.Int) (*Poly, error) {
+	if len(coeffs) != c.N {
+		return nil, errors.New("sealbfv: coefficient count mismatch")
+	}
+	p := c.NewPoly()
+	ch := c.Basis.DecomposePoly(coeffs)
+	for i := range ch {
+		copy(p.Coeffs[i], ch[i])
+	}
+	return p, nil
+}
+
+// ToBigCoeffs recombines to centered big-integer coefficients
+// (coefficient domain required).
+func (c *Context) ToBigCoeffs(p *Poly) ([]*big.Int, error) {
+	if p.IsNTT {
+		return nil, errors.New("sealbfv: element is in NTT domain")
+	}
+	return c.Basis.RecombinePoly(p.Coeffs)
+}
+
+// NTT moves p to the evaluation domain in place.
+func (c *Context) NTT(p *Poly) {
+	if p.IsNTT {
+		return
+	}
+	for i, tab := range c.Tabs {
+		tab.Forward(p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// INTT moves p back to the coefficient domain in place.
+func (c *Context) INTT(p *Poly) {
+	if !p.IsNTT {
+		return
+	}
+	for i, tab := range c.Tabs {
+		tab.Inverse(p.Coeffs[i])
+	}
+	p.IsNTT = false
+}
+
+// Add sets dst = a + b channel-wise. Operands must share a domain.
+func (c *Context) Add(dst, a, b *Poly) error {
+	if a.IsNTT != b.IsNTT {
+		return errors.New("sealbfv: mixed-domain addition")
+	}
+	for i, r := range c.Basis.Rings {
+		for j := 0; j < c.N; j++ {
+			dst.Coeffs[i][j] = r.Add(a.Coeffs[i][j], b.Coeffs[i][j])
+		}
+	}
+	dst.IsNTT = a.IsNTT
+	return nil
+}
+
+// Sub sets dst = a − b channel-wise.
+func (c *Context) Sub(dst, a, b *Poly) error {
+	if a.IsNTT != b.IsNTT {
+		return errors.New("sealbfv: mixed-domain subtraction")
+	}
+	for i, r := range c.Basis.Rings {
+		for j := 0; j < c.N; j++ {
+			dst.Coeffs[i][j] = r.Sub(a.Coeffs[i][j], b.Coeffs[i][j])
+		}
+	}
+	dst.IsNTT = a.IsNTT
+	return nil
+}
+
+// Neg sets dst = −a channel-wise.
+func (c *Context) Neg(dst, a *Poly) {
+	for i, r := range c.Basis.Rings {
+		for j := 0; j < c.N; j++ {
+			dst.Coeffs[i][j] = r.Neg(a.Coeffs[i][j])
+		}
+	}
+	dst.IsNTT = a.IsNTT
+}
+
+// MulNTT sets dst = a·b for NTT-domain operands (pointwise).
+func (c *Context) MulNTT(dst, a, b *Poly) error {
+	if !a.IsNTT || !b.IsNTT {
+		return errors.New("sealbfv: MulNTT needs NTT-domain operands")
+	}
+	for i, tab := range c.Tabs {
+		tab.PointwiseMul(dst.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	}
+	dst.IsNTT = true
+	return nil
+}
+
+// Mul sets dst = a·b in the ring, transforming coefficient-domain
+// operands through the NTT (the SEAL fast path: 2 forward transforms,
+// a pointwise product, 1 inverse transform per channel).
+func (c *Context) Mul(dst, a, b *Poly) error {
+	ta, tb := a, b
+	if !a.IsNTT {
+		ta = a.Clone()
+		c.NTT(ta)
+	}
+	if !b.IsNTT {
+		tb = b.Clone()
+		c.NTT(tb)
+	}
+	if err := c.MulNTT(dst, ta, tb); err != nil {
+		return err
+	}
+	c.INTT(dst)
+	return nil
+}
+
+// MulScalar sets dst = a·s for a word-sized scalar.
+func (c *Context) MulScalar(dst, a *Poly, s uint64) {
+	for i, r := range c.Basis.Rings {
+		sv := s % r.Q
+		for j := 0; j < c.N; j++ {
+			dst.Coeffs[i][j] = r.Mul(a.Coeffs[i][j], sv)
+		}
+	}
+	dst.IsNTT = a.IsNTT
+}
+
+// OpCounts summarizes the arithmetic a ring multiplication costs in this
+// context — the numbers behind the CPU-SEAL performance model.
+type OpCounts struct {
+	Butterflies int // total NTT butterflies (3 transforms per channel)
+	Pointwise   int // pointwise modular products
+}
+
+// MulOpCounts returns the operation counts of one Mul.
+func (c *Context) MulOpCounts() OpCounts {
+	per := c.Tabs[0].OpCount()
+	k := c.Basis.K()
+	return OpCounts{Butterflies: 3 * k * per, Pointwise: k * c.N}
+}

@@ -1,0 +1,245 @@
+package sealbfv
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+func testContext(t *testing.T, n int) *Context {
+	t.Helper()
+	ctx, err := NewContextForBits(n, 109, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func randBigCoeffs(rng *rand.Rand, n int, q *big.Int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int).Rand(rng, q)
+	}
+	return out
+}
+
+func TestRoundTripThroughRNS(t *testing.T) {
+	ctx := testContext(t, 64)
+	rng := rand.New(rand.NewSource(200))
+	coeffs := randBigCoeffs(rng, 64, ctx.Basis.Q)
+	p, err := ctx.FromBigCoeffs(coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ctx.ToBigCoeffs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coeffs {
+		want := new(big.Int).Mod(coeffs[i], ctx.Basis.Q)
+		got := new(big.Int).Mod(back[i], ctx.Basis.Q)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("coeff %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	ctx := testContext(t, 128)
+	rng := rand.New(rand.NewSource(201))
+	p, _ := ctx.FromBigCoeffs(randBigCoeffs(rng, 128, ctx.Basis.Q))
+	orig := p.Clone()
+	ctx.NTT(p)
+	if !p.IsNTT {
+		t.Fatal("NTT did not set domain flag")
+	}
+	ctx.NTT(p) // idempotent
+	ctx.INTT(p)
+	ctx.INTT(p) // idempotent
+	if !p.Equal(orig) {
+		t.Fatal("NTT/INTT round trip changed the element")
+	}
+}
+
+// TestMulMatchesSchoolbookPath is the cross-validation DESIGN.md promises:
+// the SEAL-style RNS-NTT product must equal the custom schoolbook path
+// (internal/poly) for the same ring modulus.
+func TestMulMatchesSchoolbookPath(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		ctx := testContext(t, n)
+		mod, err := poly.NewModulus(ctx.Basis.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(202 + n)))
+		ac := randBigCoeffs(rng, n, ctx.Basis.Q)
+		bc := randBigCoeffs(rng, n, ctx.Basis.Q)
+
+		// SEAL path.
+		pa, _ := ctx.FromBigCoeffs(ac)
+		pb, _ := ctx.FromBigCoeffs(bc)
+		dst := ctx.NewPoly()
+		if err := ctx.Mul(dst, pa, pb); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ctx.ToBigCoeffs(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Schoolbook path over the same modulus.
+		sa := poly.FromBigCoeffs(ac, mod)
+		sb := poly.FromBigCoeffs(bc, mod)
+		sd := poly.NewPoly(n, mod.W)
+		poly.MulNegacyclic(sd, sa, sb, mod, nil)
+		want := sd.ToBigCoeffs()
+
+		for i := range got {
+			g := new(big.Int).Mod(got[i], ctx.Basis.Q)
+			if g.Cmp(want[i]) != 0 {
+				t.Fatalf("n=%d coeff %d: RNS-NTT %v != schoolbook %v", n, i, g, want[i])
+			}
+		}
+	}
+}
+
+func TestAddSubNegMatchBig(t *testing.T) {
+	ctx := testContext(t, 32)
+	rng := rand.New(rand.NewSource(203))
+	ac := randBigCoeffs(rng, 32, ctx.Basis.Q)
+	bc := randBigCoeffs(rng, 32, ctx.Basis.Q)
+	pa, _ := ctx.FromBigCoeffs(ac)
+	pb, _ := ctx.FromBigCoeffs(bc)
+
+	sum := ctx.NewPoly()
+	if err := ctx.Add(sum, pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	diff := ctx.NewPoly()
+	if err := ctx.Sub(diff, pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	neg := ctx.NewPoly()
+	ctx.Neg(neg, pa)
+
+	gs, _ := ctx.ToBigCoeffs(sum)
+	gd, _ := ctx.ToBigCoeffs(diff)
+	gn, _ := ctx.ToBigCoeffs(neg)
+	for i := range ac {
+		ws := new(big.Int).Add(ac[i], bc[i])
+		ws.Mod(ws, ctx.Basis.Q)
+		wd := new(big.Int).Sub(ac[i], bc[i])
+		wd.Mod(wd, ctx.Basis.Q)
+		wn := new(big.Int).Neg(ac[i])
+		wn.Mod(wn, ctx.Basis.Q)
+		if new(big.Int).Mod(gs[i], ctx.Basis.Q).Cmp(ws) != 0 {
+			t.Fatalf("add coeff %d", i)
+		}
+		if new(big.Int).Mod(gd[i], ctx.Basis.Q).Cmp(wd) != 0 {
+			t.Fatalf("sub coeff %d", i)
+		}
+		if new(big.Int).Mod(gn[i], ctx.Basis.Q).Cmp(wn) != 0 {
+			t.Fatalf("neg coeff %d", i)
+		}
+	}
+}
+
+func TestAdditionIsNTTDomainInvariant(t *testing.T) {
+	// Adding in the NTT domain then inverting must equal adding in the
+	// coefficient domain (linearity of the transform).
+	ctx := testContext(t, 64)
+	rng := rand.New(rand.NewSource(204))
+	pa, _ := ctx.FromBigCoeffs(randBigCoeffs(rng, 64, ctx.Basis.Q))
+	pb, _ := ctx.FromBigCoeffs(randBigCoeffs(rng, 64, ctx.Basis.Q))
+
+	coefSum := ctx.NewPoly()
+	if err := ctx.Add(coefSum, pa, pb); err != nil {
+		t.Fatal(err)
+	}
+
+	na, nb := pa.Clone(), pb.Clone()
+	ctx.NTT(na)
+	ctx.NTT(nb)
+	nttSum := ctx.NewPoly()
+	if err := ctx.Add(nttSum, na, nb); err != nil {
+		t.Fatal(err)
+	}
+	ctx.INTT(nttSum)
+	if !nttSum.Equal(coefSum) {
+		t.Fatal("NTT-domain addition disagrees with coefficient-domain addition")
+	}
+}
+
+func TestMixedDomainRejected(t *testing.T) {
+	ctx := testContext(t, 16)
+	a := ctx.NewPoly()
+	b := ctx.NewPoly()
+	ctx.NTT(b)
+	if err := ctx.Add(ctx.NewPoly(), a, b); err == nil {
+		t.Error("mixed-domain add accepted")
+	}
+	if err := ctx.Sub(ctx.NewPoly(), a, b); err == nil {
+		t.Error("mixed-domain sub accepted")
+	}
+	if err := ctx.MulNTT(ctx.NewPoly(), a, b); err == nil {
+		t.Error("coefficient-domain MulNTT accepted")
+	}
+	if _, err := ctx.ToBigCoeffs(b); err == nil {
+		t.Error("ToBigCoeffs on NTT-domain element accepted")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	ctx := testContext(t, 32)
+	rng := rand.New(rand.NewSource(205))
+	ac := randBigCoeffs(rng, 32, ctx.Basis.Q)
+	pa, _ := ctx.FromBigCoeffs(ac)
+	s := uint64(12345)
+	dst := ctx.NewPoly()
+	ctx.MulScalar(dst, pa, s)
+	got, _ := ctx.ToBigCoeffs(dst)
+	for i := range ac {
+		want := new(big.Int).Mul(ac[i], new(big.Int).SetUint64(s))
+		want.Mod(want, ctx.Basis.Q)
+		if new(big.Int).Mod(got[i], ctx.Basis.Q).Cmp(want) != 0 {
+			t.Fatalf("scalar mul coeff %d", i)
+		}
+	}
+}
+
+func TestMulOpCounts(t *testing.T) {
+	ctx := testContext(t, 1024)
+	oc := ctx.MulOpCounts()
+	k := ctx.Basis.K()
+	if oc.Butterflies != 3*k*512*10 {
+		t.Errorf("butterflies = %d", oc.Butterflies)
+	}
+	if oc.Pointwise != k*1024 {
+		t.Errorf("pointwise = %d", oc.Pointwise)
+	}
+}
+
+func TestNewContextErrors(t *testing.T) {
+	if _, err := NewContextForBits(1000, 109, 50); err == nil {
+		t.Error("non-power-of-two n accepted")
+	}
+}
+
+func BenchmarkSEALMul4096(b *testing.B) {
+	ctx, err := NewContextForBits(4096, 109, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(206))
+	pa, _ := ctx.FromBigCoeffs(randBigCoeffs(rng, 4096, ctx.Basis.Q))
+	pb, _ := ctx.FromBigCoeffs(randBigCoeffs(rng, 4096, ctx.Basis.Q))
+	dst := ctx.NewPoly()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.Mul(dst, pa, pb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
