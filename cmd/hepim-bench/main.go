@@ -1,11 +1,14 @@
 // Command hepim-bench regenerates every table and figure of the paper's
-// evaluation section.
+// evaluation section, and tracks the repo's own evaluation-layer
+// performance (double-CRT vs schoolbook).
 //
 // Usage:
 //
-//	hepim-bench -fig all          # every figure (default)
+//	hepim-bench -fig all          # every paper figure (default)
 //	hepim-bench -fig 1a           # one figure: 1a 1b 2a 2b 2c width tasklets transfers ablation
 //	hepim-bench -fig 1b -csv      # machine-readable output
+//	hepim-bench -fig dcrt         # measure host EvalMul, both backends (slow: runs the schoolbook)
+//	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # also emit the tracking JSON
 package main
 
 import (
@@ -17,9 +20,35 @@ import (
 )
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|all")
+	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|dcrt|all")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonFlag := flag.String("dcrt-json", "", "write the measured DCRT-vs-schoolbook EvalMul report to this path (e.g. BENCH_dcrt.json)")
 	flag.Parse()
+
+	// The dcrt figure measures this process's real evaluator rather than
+	// replaying the paper's models, so it bypasses the suite. It is not
+	// part of -fig all: the schoolbook side alone costs ~10s.
+	if *figFlag == "dcrt" || *jsonFlag != "" {
+		fig, rep, err := bench.MeasureDCRT([]int{1024, 4096})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+			os.Exit(1)
+		}
+		if *jsonFlag != "" {
+			if err := bench.WriteDCRTJSON(*jsonFlag, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+				os.Exit(1)
+			}
+		}
+		if *figFlag == "dcrt" {
+			if *csvFlag {
+				fmt.Print(bench.CSV(fig))
+			} else {
+				fmt.Print(bench.Render(fig))
+			}
+			return
+		}
+	}
 
 	suite, err := bench.NewSuite()
 	if err != nil {

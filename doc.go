@@ -7,7 +7,28 @@
 // and a benchmark harness that regenerates every figure of the paper's
 // evaluation.
 //
+// # Evaluation backends
+//
+// Host-side BFV evaluation runs on a double-CRT (RNS + NTT) backend
+// (internal/dcrt): each R_q polynomial is represented by its residues
+// modulo word-sized NTT-friendly primes and kept in the NTT domain, so
+// ring products are pointwise O(n) per limb instead of O(n²·W²) limb
+// schoolbook, and the BFV tensor product runs in an extended basis wide
+// enough that the exact integer coefficients never wrap — making the
+// backend bit-identical to the schoolbook path. Limb channels execute on
+// a bounded process-wide worker pool; twiddle tables and contexts are
+// cached per (q, n).
+//
+// The O(n²) schoolbook path remains authoritative in two places: any
+// bfv.Evaluator with a limb32.Meter attached runs it, because its
+// instruction stream is what the PIM cost model counts (the paper's
+// kernels deliberately do not use the NTT, §3); and it is the
+// correctness oracle the double-CRT backend is differentially tested
+// against (bfv.NewSchoolbookEvaluator).
+//
 // The root package holds the per-figure benchmarks (bench_test.go); the
 // implementation lives under internal/ (see DESIGN.md for the map) and
-// the runnable entry points under cmd/ and examples/.
+// the runnable entry points under cmd/ and examples/. Evaluation-layer
+// performance is tracked by `hepim-bench -fig dcrt -dcrt-json
+// BENCH_dcrt.json`.
 package repro

@@ -10,6 +10,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/perfmodel"
@@ -283,15 +284,38 @@ func (s *Suite) Ablations() (*Figure, error) {
 // columns returns the platforms that appear in any row, in plot order.
 func columns(f *Figure) []string {
 	var cols []string
+	seen := map[string]bool{}
 	for _, p := range Platforms {
 		for _, r := range f.Rows {
 			if _, ok := r.Seconds[p]; ok {
 				cols = append(cols, p)
+				seen[p] = true
 				break
 			}
 		}
 	}
+	// Figures outside the paper's four platforms (e.g. the DCRT-vs-
+	// schoolbook tracking figure) contribute their columns in row order.
+	for _, r := range f.Rows {
+		for _, p := range r.sortedExtra(seen) {
+			cols = append(cols, p)
+			seen[p] = true
+		}
+	}
 	return cols
+}
+
+// sortedExtra returns r's column names not yet seen, sorted for
+// deterministic rendering.
+func (r Row) sortedExtra(seen map[string]bool) []string {
+	var extra []string
+	for p := range r.Seconds {
+		if !seen[p] {
+			extra = append(extra, p)
+		}
+	}
+	sort.Strings(extra)
+	return extra
 }
 
 // Transfers is the data-movement ablation (DESIGN.md): kernel-only vs

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bfv"
+	"repro/internal/sampling"
+)
+
+// DCRT perf tracking: measures the repo's own host-side EvalMul on both
+// backends (double-CRT vs the retired schoolbook hot path) and emits
+// BENCH_dcrt.json, so the performance trajectory of the evaluation layer
+// is recorded from the PR that introduced it onward.
+
+// DCRTPoint is one measured backend × ring-degree combination.
+type DCRTPoint struct {
+	N        int     `json:"n"`
+	QBits    int     `json:"q_bits"`
+	Backend  string  `json:"backend"` // "schoolbook" | "dcrt"
+	Iters    int     `json:"iters"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	SpeedupX float64 `json:"speedup_vs_schoolbook,omitempty"` // dcrt rows
+}
+
+// DCRTReport is the BENCH_dcrt.json schema.
+type DCRTReport struct {
+	Schema      string      `json:"schema"`
+	GeneratedAt string      `json:"generated_at"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	Op          string      `json:"op"`
+	Points      []DCRTPoint `json:"points"`
+}
+
+// measureEvalMul times one relinearized homomorphic multiplication.
+// Setup (keygen, encryption, cache warming) is excluded. The schoolbook
+// point runs a single iteration — it is seconds per op by design.
+func measureEvalMul(n int, schoolbook bool) (DCRTPoint, error) {
+	params := bfv.ParamsSec54AtDegree(n)
+	src := sampling.NewSourceFromUint64(uint64(n))
+	kg := bfv.NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinKey(sk)
+	_ = sk
+	enc := bfv.NewEncryptor(params, pk, src)
+	ct0, err := enc.EncryptValue(11)
+	if err != nil {
+		return DCRTPoint{}, err
+	}
+	ct1, err := enc.EncryptValue(13)
+	if err != nil {
+		return DCRTPoint{}, err
+	}
+	ev := bfv.NewEvaluator(params, rlk)
+	backend := "dcrt"
+	if schoolbook {
+		ev = bfv.NewSchoolbookEvaluator(params, rlk)
+		backend = "schoolbook"
+	}
+	if _, err := ev.Mul(ct0, ct1); err != nil { // warm caches
+		return DCRTPoint{}, err
+	}
+	iters := 0
+	start := time.Now()
+	for {
+		if _, err := ev.Mul(ct0, ct1); err != nil {
+			return DCRTPoint{}, err
+		}
+		iters++
+		if schoolbook || (time.Since(start) > 300*time.Millisecond && iters >= 3) || iters >= 50 {
+			break
+		}
+	}
+	return DCRTPoint{
+		N:       n,
+		QBits:   params.Q.Bits(),
+		Backend: backend,
+		Iters:   iters,
+		NsPerOp: time.Since(start).Nanoseconds() / int64(iters),
+	}, nil
+}
+
+// MeasureDCRT measures EvalMul on both backends at the given ring
+// degrees and returns the tracking figure plus the JSON report.
+func MeasureDCRT(degrees []int) (*Figure, *DCRTReport, error) {
+	fig := &Figure{
+		ID:     "dcrt",
+		Title:  "Host EvalMul: double-CRT (RNS+NTT) vs schoolbook, 54-bit q",
+		XLabel: "Ring degree",
+		Unit:   "ms",
+		PaperNote: "§4.1: SEAL's RNS+NTT evaluation is the optimization the paper's " +
+			"PIM kernels defer; this repo's host path now has it",
+	}
+	rep := &DCRTReport{
+		Schema:      "repro/dcrt-evalmul/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Op:          "EvalMul (tensor + relinearize)",
+	}
+	for _, n := range degrees {
+		sb, err := measureEvalMul(n, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		dc, err := measureEvalMul(n, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		dc.SpeedupX = float64(sb.NsPerOp) / float64(dc.NsPerOp)
+		rep.Points = append(rep.Points, sb, dc)
+		fig.Rows = append(fig.Rows, Row{
+			Label: fmt.Sprintf("n=%d", n),
+			Seconds: map[string]float64{
+				"Schoolbook": float64(sb.NsPerOp) / 1e9,
+				"DCRT":       float64(dc.NsPerOp) / 1e9,
+			},
+			Annotation: fmt.Sprintf("%.0fx", dc.SpeedupX),
+		})
+	}
+	return fig, rep, nil
+}
+
+// WriteDCRTJSON writes the report to path (the conventional name is
+// BENCH_dcrt.json at the repo root).
+func WriteDCRTJSON(path string, rep *DCRTReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,87 @@
+package bfv
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/dcrt"
+	"repro/internal/poly"
+)
+
+// Double-CRT glue: every host-side ring multiplication in the scheme
+// (encryption, key generation, decryption phases, plaintext products,
+// tensor products and key switching) routes through a shared
+// dcrt.Context instead of the O(n²) limb schoolbook. The schoolbook path
+// survives in two roles: it is the PIM-simulator cost model (any
+// Evaluator with a Meter attached charges the exact schoolbook
+// instruction stream), and it is the correctness oracle the double-CRT
+// backend is differentially tested against (NewSchoolbookEvaluator).
+
+// dcrtFor returns the process-shared double-CRT context for par. The
+// basis is sized for the largest exact integer the evaluation produces:
+// tensor-product coefficients reach n·q²/4 on centered lifts (and ring
+// products n·q² on canonical ones), key-switching accumulators reach
+// D·n·q·2^base. Construction cannot fail for any parameter set
+// NewParameters accepts with q below ~2^3500 (basis primes run out only
+// then), so failure panics rather than threading errors through
+// infallible APIs.
+func dcrtFor(par *Parameters) *dcrt.Context {
+	logN := bits.TrailingZeros(uint(par.N))
+	qb := par.Q.Bits()
+	tensor := 2*qb + logN + 1
+	keySwitch := qb + int(par.RelinBaseBits) + bits.Len(uint(par.RelinDigits())) + logN + 1
+	bound := tensor
+	if keySwitch > bound {
+		bound = keySwitch
+	}
+	ctx, err := dcrt.GetContext(par.Q, par.N, bound+1)
+	if err != nil {
+		panic(fmt.Sprintf("bfv: double-CRT context for %v: %v", par, err))
+	}
+	return ctx
+}
+
+// mulRq multiplies two R_q polynomials on the double-CRT backend.
+func mulRq(par *Parameters, a, b *poly.Poly) *poly.Poly {
+	return dcrtFor(par).MulRq(a, b)
+}
+
+// keyForms caches the double-CRT NTT forms of a key-switching key's
+// polynomials, so every Relinearize/ApplyGalois pays only the digit-side
+// transforms. Keys are immutable after generation/deserialization, and
+// the cache is keyed to the context that built it (a key is only ever
+// used with one parameter set).
+type keyForms struct {
+	once   sync.Once
+	k0, k1 []*dcrt.Poly
+}
+
+func (kf *keyForms) get(ctx *dcrt.Context, k0, k1 []*poly.Poly) (f0, f1 []*dcrt.Poly) {
+	kf.once.Do(func() {
+		kf.k0 = make([]*dcrt.Poly, len(k0))
+		kf.k1 = make([]*dcrt.Poly, len(k1))
+		for i := range k0 {
+			kf.k0[i] = ctx.ToRNS(k0[i])
+			kf.k1[i] = ctx.ToRNS(k1[i])
+		}
+	})
+	return kf.k0, kf.k1
+}
+
+// keySwitchAcc folds Σᵢ digitᵢ·keyᵢ for both key components entirely in
+// the NTT domain: one forward transform per digit, one inverse transform
+// per component — the double-CRT key-switching inner loop.
+func keySwitchAcc(ctx *dcrt.Context, digits []*poly.Poly, k0, k1 []*dcrt.Poly) (s0, s1 *poly.Poly) {
+	acc0 := ctx.NewPoly()
+	acc1 := ctx.NewPoly()
+	for i, d := range digits {
+		if i >= len(k0) {
+			break
+		}
+		dR := ctx.ToRNS(d)
+		ctx.MulAddNTT(acc0, k0[i], dR)
+		ctx.MulAddNTT(acc1, k1[i], dR)
+	}
+	return ctx.FromRNS(acc0), ctx.FromRNS(acc1)
+}

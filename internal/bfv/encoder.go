@@ -57,7 +57,10 @@ func NewBatchEncoder(params *Parameters) (*BatchEncoder, error) {
 	if (t-1)%uint64(2*params.N) != 0 {
 		return nil, fmt.Errorf("bfv: batching needs t ≡ 1 (mod 2N); t=%d N=%d", t, params.N)
 	}
-	tab, err := ntt.NewTable(t, params.N)
+	// The (t, N) twiddle table comes from the process-wide cache, so
+	// constructing encoders per request (a server pattern) costs nothing
+	// after the first.
+	tab, err := ntt.GetTable(t, params.N)
 	if err != nil {
 		return nil, err
 	}

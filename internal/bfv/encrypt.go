@@ -49,13 +49,21 @@ func (e *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
 	e1 := gaussianPoly(e.src, par.N, par.Q)
 	e2 := gaussianPoly(e.src, par.N, par.Q)
 
-	c0 := poly.NewPoly(par.N, par.Q.W)
-	poly.MulNegacyclic(c0, e.pk.P0, u, par.Q, nil)
+	// Both masking products p0·u and p1·u run on the double-CRT backend:
+	// the public key's NTT forms are cached across encryptions and the
+	// ephemeral u pays one forward transform set for both products.
+	ctx := dcrtFor(par)
+	p0R, p1R := e.pk.forms.get(ctx, []*poly.Poly{e.pk.P0}, []*poly.Poly{e.pk.P1})
+	uR := ctx.ToRNS(u)
+
+	prod := ctx.NewPoly()
+	ctx.MulNTT(prod, p0R[0], uR)
+	c0 := ctx.FromRNS(prod)
 	poly.Add(c0, c0, e1, par.Q, nil)
 	poly.Add(c0, c0, deltaPoly(par, pt), par.Q, nil)
 
-	c1 := poly.NewPoly(par.N, par.Q.W)
-	poly.MulNegacyclic(c1, e.pk.P1, u, par.Q, nil)
+	ctx.MulNTT(prod, p1R[0], uR)
+	c1 := ctx.FromRNS(prod)
 	poly.Add(c1, c1, e2, par.Q, nil)
 
 	return &Ciphertext{Polys: []*poly.Poly{c0, c1}}, nil
@@ -87,14 +95,11 @@ func (d *Decryptor) phase(ct *Ciphertext) *poly.Poly {
 	par := d.params
 	acc := ct.Polys[0].Clone()
 	sPow := d.sk.S.Clone()
-	tmp := poly.NewPoly(par.N, par.Q.W)
 	for i := 1; i < len(ct.Polys); i++ {
-		poly.MulNegacyclic(tmp, ct.Polys[i], sPow, par.Q, nil)
+		tmp := mulRq(par, ct.Polys[i], sPow)
 		poly.Add(acc, acc, tmp, par.Q, nil)
 		if i+1 < len(ct.Polys) {
-			next := poly.NewPoly(par.N, par.Q.W)
-			poly.MulNegacyclic(next, sPow, d.sk.S, par.Q, nil)
-			sPow = next
+			sPow = mulRq(par, sPow, d.sk.S)
 		}
 	}
 	return acc

@@ -13,19 +13,39 @@ import (
 // coefficient-wise polynomial addition, EvalMul is the tensor product
 // built from polynomial multiplications and additions (§3).
 //
-// An optional limb32.Meter charges every limb operation, which is how the
-// platform models obtain exact operation counts for these workloads.
+// Multiplicative operations run on one of two backends. The default is
+// the double-CRT (RNS + NTT) backend — O(n log n) per limb, the
+// optimization the paper's SEAL baseline owes its multiplication lead to
+// and defers to future work for PIM (§3, §4.1). Attaching a limb32.Meter
+// switches the evaluator to the metered O(n²) schoolbook path, which
+// charges every limb operation: that path is the PIM-simulator cost
+// model and stays bit-identical to the double-CRT results, so the two
+// backends differentially validate each other.
 type Evaluator struct {
-	params *Parameters
-	rlk    *RelinKey
-	Meter  limb32.Meter
+	params     *Parameters
+	rlk        *RelinKey
+	schoolbook bool
+	Meter      limb32.Meter
 }
 
-// NewEvaluator returns an evaluator; rlk may be nil if Relinearize and
-// Mul (which relinearizes by default) are not used.
+// NewEvaluator returns an evaluator on the double-CRT backend; rlk may be
+// nil if Relinearize and Mul (which relinearizes by default) are not
+// used.
 func NewEvaluator(params *Parameters, rlk *RelinKey) *Evaluator {
 	return &Evaluator{params: params, rlk: rlk}
 }
+
+// NewSchoolbookEvaluator returns an evaluator pinned to the O(n²)
+// schoolbook backend even without a Meter — the correctness oracle the
+// double-CRT backend is differentially tested against.
+func NewSchoolbookEvaluator(params *Parameters, rlk *RelinKey) *Evaluator {
+	return &Evaluator{params: params, rlk: rlk, schoolbook: true}
+}
+
+// useDCRT reports whether this evaluator runs the double-CRT backend: a
+// metered evaluator always runs the schoolbook path, whose instruction
+// stream is the quantity the meter exists to count.
+func (ev *Evaluator) useDCRT() bool { return ev.Meter == nil && !ev.schoolbook }
 
 // Add returns ct0 + ct1 (component-wise in R_q). Operands of different
 // degrees are supported; the missing components are treated as zero.
@@ -86,6 +106,16 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	}
 	mp := poly.FromBigCoeffs(coeffs, par.Q)
 	out := &Ciphertext{Polys: make([]*poly.Poly, len(ct.Polys))}
+	if ev.useDCRT() {
+		ctx := dcrtFor(par)
+		mpR := ctx.ToRNS(mp)
+		for i, p := range ct.Polys {
+			pR := ctx.ToRNS(p)
+			ctx.MulNTT(pR, pR, mpR)
+			out.Polys[i] = ctx.FromRNS(pR)
+		}
+		return out
+	}
 	for i, p := range ct.Polys {
 		np := poly.NewPoly(par.N, par.Q.W)
 		poly.MulNegacyclic(np, p, mp, par.Q, ev.Meter)
@@ -145,6 +175,32 @@ func (ev *Evaluator) MulNoRelin(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 		return nil, errors.New("bfv: MulNoRelin requires degree-1 operands")
 	}
 	par := ev.params
+	if ev.useDCRT() {
+		// Tensor product in the extended basis: centered operands enter
+		// the NTT domain (4 forward transform sets), the three tensor
+		// components are pointwise products, and the exact integer
+		// coefficients come back through CRT recombination — replacing
+		// the O(n²) big.Int schoolbook mulZ.
+		ctx := dcrtFor(par)
+		ra0 := ctx.ToRNSCentered(ct0.Polys[0])
+		ra1 := ctx.ToRNSCentered(ct0.Polys[1])
+		rb0 := ctx.ToRNSCentered(ct1.Polys[0])
+		rb1 := ctx.ToRNSCentered(ct1.Polys[1])
+
+		rd0 := ctx.NewPoly()
+		ctx.MulNTT(rd0, ra0, rb0)
+		rd1 := ctx.NewPoly()
+		ctx.MulNTT(rd1, ra0, rb1)
+		ctx.MulAddNTT(rd1, ra1, rb0)
+		rd2 := ctx.NewPoly()
+		ctx.MulNTT(rd2, ra1, rb1)
+
+		return &Ciphertext{Polys: []*poly.Poly{
+			ev.scaleRound(ctx.FromRNSBig(rd0)),
+			ev.scaleRound(ctx.FromRNSBig(rd1)),
+			ev.scaleRound(ctx.FromRNSBig(rd2)),
+		}}, nil
+	}
 	a0 := ct0.Polys[0].ToCenteredCoeffs(par.Q)
 	a1 := ct0.Polys[1].ToCenteredCoeffs(par.Q)
 	b0 := ct1.Polys[0].ToCenteredCoeffs(par.Q)
@@ -185,6 +241,15 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 	c0 := ct.Polys[0].Clone()
 	c1 := ct.Polys[1].Clone()
 	digits := decomposePoly(ct.Polys[2], par)
+
+	if ev.useDCRT() {
+		ctx := dcrtFor(par)
+		k0, k1 := ev.rlk.forms.get(ctx, ev.rlk.K0, ev.rlk.K1)
+		s0, s1 := keySwitchAcc(ctx, digits, k0, k1)
+		poly.Add(c0, c0, s0, par.Q, nil)
+		poly.Add(c1, c1, s1, par.Q, nil)
+		return &Ciphertext{Polys: []*poly.Poly{c0, c1}}, nil
+	}
 
 	tmp := poly.NewPoly(par.N, par.Q.W)
 	for i, d := range digits {

@@ -20,6 +20,8 @@ type GaloisKey struct {
 	G        uint64
 	BaseBits uint
 	K0, K1   []*poly.Poly
+
+	forms keyForms // lazily-built double-CRT forms (see dcrt.go)
 }
 
 // applyGaloisPoly maps coefficient i to position i·g mod 2N with the
@@ -68,8 +70,7 @@ func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g uint64) (*GaloisKey, error
 		a := uniformPoly(kg.src, par.N, par.Q)
 		e := gaussianPoly(kg.src, par.N, par.Q)
 
-		k0 := poly.NewPoly(par.N, par.Q.W)
-		poly.MulNegacyclic(k0, a, sk.S, par.Q, nil)
+		k0 := mulRq(par, a, sk.S)
 		poly.Add(k0, k0, e, par.Q, nil)
 		poly.Neg(k0, k0, par.Q, nil)
 
@@ -100,6 +101,13 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, er
 
 	// Key switch τ(c1) from s(X^g) to s.
 	digitsP := decomposePoly(c1g, par)
+	if ev.useDCRT() {
+		ctx := dcrtFor(par)
+		k0, k1 := gk.forms.get(ctx, gk.K0, gk.K1)
+		s0, outC1 := keySwitchAcc(ctx, digitsP, k0, k1)
+		poly.Add(c0, c0, s0, par.Q, nil)
+		return &Ciphertext{Polys: []*poly.Poly{c0, outC1}}, nil
+	}
 	outC1 := poly.NewPoly(par.N, par.Q.W)
 	tmp := poly.NewPoly(par.N, par.Q.W)
 	for i, d := range digitsP {

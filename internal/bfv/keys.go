@@ -16,6 +16,8 @@ type SecretKey struct {
 // PublicKey is the RLWE pair (p0, p1) = (-(a·s + e), a).
 type PublicKey struct {
 	P0, P1 *poly.Poly
+
+	forms keyForms // lazily-built double-CRT forms (see dcrt.go)
 }
 
 // RelinKey holds the evaluation keys for relinearization: for each base-w
@@ -23,6 +25,8 @@ type PublicKey struct {
 type RelinKey struct {
 	BaseBits uint
 	K0, K1   []*poly.Poly
+
+	forms keyForms // lazily-built double-CRT forms (see dcrt.go)
 }
 
 // KeyGenerator derives keys from a parameter set and randomness source.
@@ -81,8 +85,7 @@ func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 	e := gaussianPoly(kg.src, par.N, par.Q)
 
 	// p0 = -(a·s + e)
-	as := poly.NewPoly(par.N, par.Q.W)
-	poly.MulNegacyclic(as, a, sk.S, par.Q, nil)
+	as := mulRq(par, a, sk.S)
 	poly.Add(as, as, e, par.Q, nil)
 	poly.Neg(as, as, par.Q, nil)
 	return &PublicKey{P0: as, P1: a}
@@ -91,8 +94,7 @@ func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 // GenRelinKey derives the relinearization (evaluation) key for sk.
 func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
 	par := kg.params
-	s2 := poly.NewPoly(par.N, par.Q.W)
-	poly.MulNegacyclic(s2, sk.S, sk.S, par.Q, nil)
+	s2 := mulRq(par, sk.S, sk.S)
 
 	digits := par.RelinDigits()
 	rk := &RelinKey{
@@ -107,8 +109,7 @@ func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
 		e := gaussianPoly(kg.src, par.N, par.Q)
 
 		// k0 = -(a·s + e) + wⁱ·s²
-		k0 := poly.NewPoly(par.N, par.Q.W)
-		poly.MulNegacyclic(k0, a, sk.S, par.Q, nil)
+		k0 := mulRq(par, a, sk.S)
 		poly.Add(k0, k0, e, par.Q, nil)
 		poly.Neg(k0, k0, par.Q, nil)
 

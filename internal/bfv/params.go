@@ -96,6 +96,10 @@ func ParamsSec54() *Parameters { return mustParams(2048, prime54, 16, 18) }
 // per coefficient. Supports multiplication with comfortable noise margin.
 func ParamsSec109() *Parameters { return mustParams(4096, prime109, 16, 28) }
 
+// ParamsSec54AtDegree returns the 54-bit modulus at a custom power-of-two
+// ring degree — the axis the double-CRT perf-tracking benchmarks sweep.
+func ParamsSec54AtDegree(n int) *Parameters { return mustParams(n, prime54, 16, 18) }
+
 // ParamsToy is a deliberately small instance (N=64, 60-bit q) for fast
 // functional tests. It offers no security.
 func ParamsToy() *Parameters { return mustParams(64, "1152921504606846883", 16, 20) }

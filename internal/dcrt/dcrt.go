@@ -1,0 +1,329 @@
+// Package dcrt implements the double-CRT (RNS + NTT) representation of
+// R_q polynomials that routes the host-side BFV hot path around the
+// O(n²·W²) limb schoolbook: each polynomial is held as its residues
+// modulo word-sized NTT-friendly primes (the RNS/CRT layer), and each
+// residue vector is kept in the NTT domain (the second CRT layer), so
+// ring multiplication is a pointwise O(n) pass per limb and the
+// transforms cost O(n log n).
+//
+// Unlike package sealbfv — which models SEAL by *replacing* the
+// coefficient modulus with an RNS modulus — this package keeps the
+// paper's exact prime moduli q (27/54/109-bit): the basis is an
+// *extended* basis whose product Q' is sized so that the exact integer
+// (negacyclic) products never wrap, and results are CRT-recombined and
+// reduced mod q, bit-identical to the schoolbook path. That makes the
+// backend a drop-in replacement which the metered schoolbook
+// (PIM-simulator cost model) differentially validates against.
+//
+// Limb channels are independent, so transforms and pointwise passes are
+// parallelized across a process-wide bounded worker pool; scratch
+// buffers are pooled so steady-state operations allocate only their
+// results.
+package dcrt
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+	"sync"
+
+	"repro/internal/limb32"
+	"repro/internal/nt"
+	"repro/internal/ntt"
+	"repro/internal/poly"
+	"repro/internal/rns"
+)
+
+// Context fixes a ring degree n, a target modulus q, and an extended RNS
+// basis of NTT-friendly primes wide enough to hold every exact integer
+// coefficient the BFV evaluation produces (|v| < 2^BoundBits).
+type Context struct {
+	N         int
+	Mod       *poly.Modulus // the ring modulus q arithmetic is exact over
+	Basis     *rns.Basis
+	Tabs      []*ntt.Table // one shared twiddle table per basis prime
+	BoundBits int
+
+	halfQ      limb32.Nat // floor(q/2) as limbs, for centered decomposition
+	qModP      []uint64   // q mod p_i
+	two32      []uint64   // 2^32 mod p_i, for limb-wise residue folding
+	two32Shoup []uint64
+
+	scratch sync.Pool // *Poly buffers for transforms and accumulators
+}
+
+// ctxKey identifies a context in the process-wide cache.
+type ctxKey struct {
+	q         string
+	n         int
+	boundBits int
+}
+
+var contexts sync.Map // ctxKey -> *Context
+
+// GetContext returns the shared context for (mod, n, boundBits),
+// constructing it on first use. Contexts are immutable after construction
+// and safe for concurrent use.
+func GetContext(mod *poly.Modulus, n, boundBits int) (*Context, error) {
+	key := ctxKey{mod.QBig.String(), n, boundBits}
+	if v, ok := contexts.Load(key); ok {
+		return v.(*Context), nil
+	}
+	c, err := NewContext(mod, n, boundBits)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := contexts.LoadOrStore(key, c)
+	return v.(*Context), nil
+}
+
+// basisPrimeBits is the size of the extended-basis primes. 60-bit primes
+// maximize per-limb payload while staying under modring's 2⁶² ceiling.
+const basisPrimeBits = 60
+
+// NewContext builds a context whose basis product Q' exceeds
+// 2^(boundBits+1), so any integer v with |v| ≤ 2^boundBits is recovered
+// exactly by centered recombination.
+func NewContext(mod *poly.Modulus, n, boundBits int) (*Context, error) {
+	if n <= 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dcrt: n=%d must be a power of two > 1", n)
+	}
+	minRing := 2*mod.Bits() + bits.TrailingZeros(uint(n)) + 1
+	if boundBits < minRing {
+		// Ring products alone reach n·q²; never build a basis below that.
+		boundBits = minRing
+	}
+	basis, err := buildBasis(n, boundBits)
+	if err != nil {
+		return nil, err
+	}
+	c := &Context{
+		N:         n,
+		Mod:       mod,
+		Basis:     basis,
+		BoundBits: boundBits,
+		halfQ:     limb32.FromBig(mod.Half, mod.W),
+	}
+	for _, p := range basis.Primes {
+		tab, err := ntt.GetTable(p, n)
+		if err != nil {
+			return nil, fmt.Errorf("dcrt: prime %d: %w", p, err)
+		}
+		c.Tabs = append(c.Tabs, tab)
+		r := tab.R
+		qp := new(big.Int).Mod(mod.QBig, new(big.Int).SetUint64(p)).Uint64()
+		c.qModP = append(c.qModP, qp)
+		t32 := (uint64(1) << 32) % p
+		c.two32 = append(c.two32, t32)
+		c.two32Shoup = append(c.two32Shoup, r.ShoupConst(t32))
+	}
+	c.scratch.New = func() any { return c.newPoly() }
+	return c, nil
+}
+
+// buildBasis collects NTT-friendly primes for degree n until their
+// product exceeds 2^(boundBits+1).
+func buildBasis(n, boundBits int) (*rns.Basis, error) {
+	k := (boundBits+1)/(basisPrimeBits-1) + 1
+	for {
+		primes, err := nt.NTTPrimes(basisPrimeBits, n, k)
+		if err != nil {
+			return nil, fmt.Errorf("dcrt: basis for %d bits: %w", boundBits, err)
+		}
+		b, err := rns.NewBasis(primes)
+		if err != nil {
+			return nil, err
+		}
+		if b.Q.BitLen() > boundBits+1 {
+			return b, nil
+		}
+		k++
+	}
+}
+
+// K returns the number of limb channels.
+func (c *Context) K() int { return c.Basis.K() }
+
+// Poly is an R_q element in double-CRT form: Coeffs[limb][i] is the NTT
+// image of the residues modulo the limb's prime. Values are always kept
+// in the NTT (evaluation) domain between operations.
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// newPoly allocates a zero element with backing storage in one slab.
+func (c *Context) newPoly() *Poly {
+	k := c.K()
+	slab := make([]uint64, k*c.N)
+	p := &Poly{Coeffs: make([][]uint64, k)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = slab[i*c.N : (i+1)*c.N]
+	}
+	return p
+}
+
+// NewPoly returns the zero element (which is its own NTT image).
+func (c *Context) NewPoly() *Poly { return c.newPoly() }
+
+// getScratch returns a pooled Poly; contents are arbitrary.
+func (c *Context) getScratch() *Poly { return c.scratch.Get().(*Poly) }
+
+// PutScratch returns a Poly obtained from this context to its pool.
+func (c *Context) PutScratch(p *Poly) { c.scratch.Put(p) }
+
+// reduceCoeff folds the W-limb little-endian coefficient at limbs into a
+// residue modulo prime i, scanning limbs most-significant first:
+// r ← r·2³² + limb (mod p).
+func (c *Context) reduceCoeff(limbs []uint32, i int) uint64 {
+	r := c.Tabs[i].R
+	t32, t32s := c.two32[i], c.two32Shoup[i]
+	var acc uint64
+	for j := len(limbs) - 1; j >= 0; j-- {
+		acc = r.Add(r.MulShoup(acc, t32, t32s), uint64(limbs[j]))
+	}
+	return acc
+}
+
+// decompose fills dst's limb channel i with p's residues, using the
+// canonical representatives in [0, q) when centered is false, or the
+// centered representatives in [-q/2, q/2] (values above q/2 shifted down
+// by q) when centered is true. Centered decomposition is what the BFV
+// tensor product requires: the t/q rescaling divides the *integer* value,
+// so the lift must match the schoolbook oracle's ToCenteredCoeffs.
+func (c *Context) decompose(dst *Poly, p *poly.Poly, i int, centered bool) {
+	r := c.Tabs[i].R
+	out := dst.Coeffs[i]
+	qp := c.qModP[i]
+	for j := 0; j < c.N; j++ {
+		limbs := p.C[j*p.W : (j+1)*p.W]
+		v := c.reduceCoeff(limbs, i)
+		if centered && limb32.Cmp(limb32.Nat(limbs), c.halfQ, nil) > 0 {
+			v = r.Sub(v, qp)
+		}
+		out[j] = v
+	}
+}
+
+// toRNS converts a coefficient-domain R_q polynomial into double-CRT
+// form, performing the per-limb residue folding and forward NTT on the
+// worker pool.
+func (c *Context) toRNS(p *poly.Poly, centered bool) *Poly {
+	if p.N != c.N || p.W != c.Mod.W {
+		panic("dcrt: polynomial shape mismatch")
+	}
+	out := c.newPoly()
+	parallelFor(c.K(), func(i int) {
+		c.decompose(out, p, i, centered)
+		c.Tabs[i].Forward(out.Coeffs[i])
+	})
+	return out
+}
+
+// ToRNS converts p (canonical representatives) into double-CRT form.
+func (c *Context) ToRNS(p *poly.Poly) *Poly { return c.toRNS(p, false) }
+
+// ToRNSCentered converts p using centered representatives — required for
+// operands of the BFV tensor product (see decompose).
+func (c *Context) ToRNSCentered(p *poly.Poly) *Poly { return c.toRNS(p, true) }
+
+// FromRNSBig leaves the NTT domain and CRT-recombines to the exact
+// centered integer coefficients (valid while |coeff| < Q'/2, which the
+// context's BoundBits sizing guarantees). p is not mutated.
+func (c *Context) FromRNSBig(p *Poly) []*big.Int {
+	tmp := c.intt(p)
+	defer c.PutScratch(tmp)
+	out := make([]*big.Int, c.N)
+	c.recombine(tmp, func(j int, v *big.Int) {
+		out[j] = new(big.Int).Set(v)
+	})
+	return out
+}
+
+// FromRNS leaves the NTT domain, recombines, and reduces mod q, packing
+// the result into a coefficient-domain R_q polynomial. Because the basis
+// never wraps, this equals the schoolbook result bit-for-bit.
+func (c *Context) FromRNS(p *Poly) *poly.Poly {
+	tmp := c.intt(p)
+	defer c.PutScratch(tmp)
+	out := poly.NewPoly(c.N, c.Mod.W)
+	w := c.Mod.W
+	c.recombine(tmp, func(j int, v *big.Int) {
+		v.Mod(v, c.Mod.QBig)
+		limb32.Nat(out.C[j*w : (j+1)*w]).Set(limb32.FromBig(v, w))
+	})
+	return out
+}
+
+// intt returns a pooled copy of p transformed to the residue
+// (coefficient) domain, limb-parallel.
+func (c *Context) intt(p *Poly) *Poly {
+	tmp := c.getScratch()
+	parallelFor(c.K(), func(i int) {
+		copy(tmp.Coeffs[i], p.Coeffs[i])
+		c.Tabs[i].Inverse(tmp.Coeffs[i])
+	})
+	return tmp
+}
+
+// recombine CRT-recombines every coefficient of a residue-domain element,
+// calling visit(j, v) with the centered value. v is scratch reused across
+// calls within a chunk; visit must copy what it keeps. Chunks of
+// coefficients run on the worker pool; visit must be safe for concurrent
+// calls on distinct j (writes to disjoint indices are).
+func (c *Context) recombine(tmp *Poly, visit func(j int, v *big.Int)) {
+	k := c.K()
+	parallelChunks(c.N, func(lo, hi int) {
+		res := make([]uint64, k)
+		v := new(big.Int)
+		t := new(big.Int)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < k; i++ {
+				res[i] = tmp.Coeffs[i][j]
+			}
+			c.Basis.RecombineCenteredInto(v, t, res)
+			visit(j, v)
+		}
+	})
+}
+
+// AddNTT sets dst = a + b (pointwise in every limb). dst may alias a or b.
+func (c *Context) AddNTT(dst, a, b *Poly) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = r.Add(da[j], db[j])
+		}
+	})
+}
+
+// MulNTT sets dst = a·b (pointwise in every limb — the O(n)-per-limb ring
+// multiplication the representation exists for). dst may alias a or b.
+func (c *Context) MulNTT(dst, a, b *Poly) {
+	parallelFor(c.K(), func(i int) {
+		c.Tabs[i].PointwiseMul(dst.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	})
+}
+
+// MulAddNTT sets dst += a·b pointwise — the key-switching accumulator:
+// digit×key products stay in the NTT domain and only the final sum pays
+// an inverse transform.
+func (c *Context) MulAddNTT(dst, a, b *Poly) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = r.Add(dd[j], r.Mul(da[j], db[j]))
+		}
+	})
+}
+
+// MulRq returns a·b in R_q via the double-CRT path: both operands enter
+// the extended basis, multiply pointwise, and the exact integer product
+// is recombined and reduced mod q. Bit-identical to poly.MulNegacyclic.
+func (c *Context) MulRq(a, b *poly.Poly) *poly.Poly {
+	ra := c.ToRNS(a)
+	rb := c.ToRNS(b)
+	c.MulNTT(ra, ra, rb)
+	return c.FromRNS(ra)
+}

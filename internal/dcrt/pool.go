@@ -1,0 +1,87 @@
+package dcrt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// A process-wide bounded worker pool executes the per-limb and per-chunk
+// work of the double-CRT backend. One pool serves every Context so that
+// concurrent evaluators (e.g. a server handling many sessions) cannot
+// oversubscribe the machine: at most GOMAXPROCS limb tasks run at once,
+// the rest queue.
+
+type task struct {
+	f  func(int)
+	i  int
+	wg *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	taskCh   chan task
+)
+
+func startPool() {
+	workers := runtime.GOMAXPROCS(0)
+	taskCh = make(chan task, 2*workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range taskCh {
+				t.f(t.i)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelFor runs f(0..n-1) on the shared worker pool and waits for all
+// of them. When the pool's queue is full (including the nested case of a
+// worker submitting work), the task runs inline on the submitter, so
+// progress is always guaranteed.
+func parallelFor(n int, f func(int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		f(0)
+		return
+	}
+	poolOnce.Do(startPool)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		t := task{f: f, i: i, wg: &wg}
+		select {
+		case taskCh <- t:
+		default:
+			f(i)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// parallelChunks splits [0, n) into roughly worker-count contiguous chunks
+// and runs f(lo, hi) for each on the pool — the shape used for
+// per-coefficient recombination sweeps.
+func parallelChunks(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (n + workers - 1) / workers
+	if chunk < 256 { // below this the goroutine overhead dominates
+		f(0, n)
+		return
+	}
+	tasks := (n + chunk - 1) / chunk
+	parallelFor(tasks, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}

@@ -117,10 +117,18 @@ func (r *Ring) ShoupConst(w uint64) uint64 {
 // two-multiply butterfly primitive (Harvey, "Faster arithmetic for
 // number-theoretic transforms").
 func (r *Ring) MulShoup(a, w, wShoup uint64) uint64 {
-	qhat, _ := bits.Mul64(a, wShoup)
-	res := a*w - qhat*r.Q
+	res := r.MulShoupLazy(a, w, wShoup)
 	if res >= r.Q {
 		res -= r.Q
 	}
 	return res
+}
+
+// MulShoupLazy is MulShoup without the final conditional subtraction: the
+// result lies in [0, 2q). It accepts any a < 2^64 (the quotient estimate
+// floor(a·wShoup/2^64) undershoots floor(a·w/q) by at most one), which is
+// what lets the NTT butterflies run on lazily-reduced values < 4q.
+func (r *Ring) MulShoupLazy(a, w, wShoup uint64) uint64 {
+	qhat, _ := bits.Mul64(a, wShoup)
+	return a*w - qhat*r.Q
 }

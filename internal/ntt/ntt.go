@@ -1,8 +1,9 @@
 // Package ntt implements the in-place negacyclic Number Theoretic
 // Transform over NTT-friendly primes (p ≡ 1 mod 2n), using the
 // Cooley–Tukey / Gentleman–Sande butterfly pair with Shoup multiplication
-// (Harvey-style lazy arithmetic is kept simple: fully reduced at each
-// butterfly).
+// and Harvey-style lazy reduction: butterfly values are allowed to grow to
+// 4q (forward) / 2q (inverse) and are only brought back below q at the
+// end of a transform, saving the per-butterfly conditional subtractions.
 //
 // This is the algorithmic core of the CPU-SEAL baseline in the paper
 // (§4.1): SEAL "leverages the Residue Number System (RNS) and the Number
@@ -16,6 +17,7 @@ package ntt
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/modring"
 	"repro/internal/nt"
@@ -32,6 +34,36 @@ type Table struct {
 	psiInvRev   []uint64 // psi^{-bitrev(i)}, GS order
 	psiInvShoup []uint64
 	nInvShoup   uint64
+
+	scratch sync.Pool // *[]uint64 buffers of length N for Convolve
+}
+
+// tableKey identifies a twiddle table: one per (prime, ring degree) pair.
+type tableKey struct {
+	Q uint64
+	N int
+}
+
+// tables is the process-wide table cache. Twiddle construction costs
+// O(n log n) modular exponentiations and every (q, n) pair is immutable
+// after construction, so all callers — encoders, the double-CRT contexts,
+// the SEAL baseline — share one table per pair.
+var tables sync.Map // tableKey -> *Table
+
+// GetTable returns the shared twiddle table for (q, n), constructing and
+// caching it on first use. Tables are immutable and safe for concurrent
+// use.
+func GetTable(q uint64, n int) (*Table, error) {
+	key := tableKey{q, n}
+	if v, ok := tables.Load(key); ok {
+		return v.(*Table), nil
+	}
+	t, err := NewTable(q, n)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := tables.LoadOrStore(key, t)
+	return v.(*Table), nil
 }
 
 // NewTable precomputes twiddles for the negacyclic NTT of size n (a power
@@ -73,8 +105,17 @@ func NewTable(q uint64, n int) (*Table, error) {
 	}
 	t.nInv = r.Inv(uint64(n))
 	t.nInvShoup = r.ShoupConst(t.nInv)
+	t.scratch.New = func() any {
+		buf := make([]uint64, n)
+		return &buf
+	}
 	return t, nil
 }
+
+// getScratch returns a length-N scratch buffer from the table's pool.
+func (t *Table) getScratch() *[]uint64 { return t.scratch.Get().(*[]uint64) }
+
+func (t *Table) putScratch(buf *[]uint64) { t.scratch.Put(buf) }
 
 func bitrev(x uint, bits int) uint {
 	var r uint
@@ -86,12 +127,17 @@ func bitrev(x uint, bits int) uint {
 
 // Forward transforms a (length N, coefficients < q) into the NTT domain in
 // place. Cooley–Tukey, decimation in time, no explicit bit reversal
-// (Longa–Naehrig layout).
+// (Longa–Naehrig layout). Butterflies run on lazily-reduced values < 4q
+// (Harvey): u is folded below 2q on read, v = MulShoupLazy < 2q, and the
+// outputs u+v and u−v+2q stay below 4q (< 2^64 since q < 2^62). A final
+// pass restores the < q contract.
 func (t *Table) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: Forward length mismatch")
 	}
 	n := t.N
+	q := t.R.Q
+	twoQ := 2 * q
 	step := n
 	for m := 1; m < n; m <<= 1 {
 		step >>= 1
@@ -101,21 +147,35 @@ func (t *Table) Forward(a []uint64) {
 			ws := t.psiRevShoup[m+i]
 			for j := j1; j < j1+step; j++ {
 				u := a[j]
-				v := t.R.MulShoup(a[j+step], w, ws)
-				a[j] = t.R.Add(u, v)
-				a[j+step] = t.R.Sub(u, v)
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := t.R.MulShoupLazy(a[j+step], w, ws)
+				a[j] = u + v
+				a[j+step] = u + twoQ - v
 			}
 		}
+	}
+	for i, v := range a {
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		a[i] = v
 	}
 }
 
 // Inverse transforms a back to the coefficient domain in place
-// (Gentleman–Sande, decimation in frequency) and divides by N.
+// (Gentleman–Sande, decimation in frequency) and divides by N. Butterfly
+// values stay below 2q (lazy); the final nInv scaling pass fully reduces.
 func (t *Table) Inverse(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: Inverse length mismatch")
 	}
 	n := t.N
+	twoQ := 2 * t.R.Q
 	step := 1
 	for m := n >> 1; m >= 1; m >>= 1 {
 		for i := 0; i < m; i++ {
@@ -125,8 +185,12 @@ func (t *Table) Inverse(a []uint64) {
 			for j := j1; j < j1+step; j++ {
 				u := a[j]
 				v := a[j+step]
-				a[j] = t.R.Add(u, v)
-				a[j+step] = t.R.MulShoup(t.R.Sub(u, v), w, ws)
+				s := u + v // < 4q
+				if s >= twoQ {
+					s -= twoQ
+				}
+				a[j] = s
+				a[j+step] = t.R.MulShoupLazy(u+twoQ-v, w, ws)
 			}
 		}
 		step <<= 1
@@ -148,13 +212,22 @@ func (t *Table) PointwiseMul(dst, a, b []uint64) {
 
 // Convolve computes the negacyclic convolution dst = a ⊛ b (i.e. the
 // product of the polynomials in Z_q[X]/(Xⁿ+1)) without mutating a or b.
+// Scratch comes from the table's pool, so steady-state calls are
+// allocation-free.
 func (t *Table) Convolve(dst, a, b []uint64) {
-	ta := append([]uint64(nil), a...)
-	tb := append([]uint64(nil), b...)
-	t.Forward(ta)
-	t.Forward(tb)
-	t.PointwiseMul(dst, ta, tb)
+	if len(a) != t.N || len(b) != t.N {
+		panic("ntt: Convolve length mismatch")
+	}
+	ta := t.getScratch()
+	tb := t.getScratch()
+	copy(*ta, a)
+	copy(*tb, b)
+	t.Forward(*ta)
+	t.Forward(*tb)
+	t.PointwiseMul(dst, *ta, *tb)
 	t.Inverse(dst)
+	t.putScratch(ta)
+	t.putScratch(tb)
 }
 
 // OpCount returns the number of (mulmod, addmod) operation pairs a forward

@@ -179,3 +179,75 @@ func BenchmarkForward4096(b *testing.B) {
 		tab.Forward(a)
 	}
 }
+
+func TestGetTableCachesPerPair(t *testing.T) {
+	q, err := nt.NTTPrime(50, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := GetTable(q, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GetTable(q, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("GetTable returned distinct tables for the same (q, n)")
+	}
+	t3, err := GetTable(q, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Error("GetTable shared a table across different degrees")
+	}
+	if _, err := GetTable(q+2, 128); err == nil {
+		t.Error("GetTable accepted a non-NTT-friendly modulus")
+	}
+}
+
+func TestConvolveAllocationFree(t *testing.T) {
+	tab := testTable(t, 50, 256)
+	rng := rand.New(rand.NewSource(61))
+	a := make([]uint64, 256)
+	b := make([]uint64, 256)
+	dst := make([]uint64, 256)
+	for i := range a {
+		a[i] = rng.Uint64() % tab.R.Q
+		b[i] = rng.Uint64() % tab.R.Q
+	}
+	tab.Convolve(dst, a, b) // prime the scratch pool
+	if allocs := testing.AllocsPerRun(20, func() {
+		tab.Convolve(dst, a, b)
+	}); allocs > 0 {
+		t.Errorf("Convolve allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+// TestLazyReductionBoundary drives the butterflies with the extreme
+// inputs (all coefficients q-1) that maximize the lazy accumulators, and
+// checks outputs stay canonical.
+func TestLazyReductionBoundary(t *testing.T) {
+	for _, n := range []int{8, 256, 1024} {
+		tab := testTable(t, 60, n)
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = tab.R.Q - 1
+		}
+		fwd := append([]uint64(nil), a...)
+		tab.Forward(fwd)
+		for i, v := range fwd {
+			if v >= tab.R.Q {
+				t.Fatalf("n=%d: Forward output %d = %d not reduced", n, i, v)
+			}
+		}
+		tab.Inverse(fwd)
+		for i, v := range fwd {
+			if v != a[i] {
+				t.Fatalf("n=%d: round trip differs at %d", n, i)
+			}
+		}
+	}
+}

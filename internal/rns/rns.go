@@ -24,6 +24,7 @@ type Basis struct {
 	// CRT recombination constants: Qi = Q/qi, QiInv = Qi^{-1} mod qi.
 	qi    []*big.Int
 	qiInv []uint64
+	half  *big.Int // floor(Q/2), for centered recombination
 }
 
 // NewBasis builds a basis from the given primes.
@@ -58,6 +59,7 @@ func NewBasis(primes []uint64) (*Basis, error) {
 		b.qiInv = append(b.qiInv, inv.Uint64())
 		_ = i
 	}
+	b.half = new(big.Int).Rsh(b.Q, 1)
 	return b, nil
 }
 
@@ -108,11 +110,29 @@ func (b *Basis) RecombineCentered(residues []uint64) (*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
-	half := new(big.Int).Rsh(b.Q, 1)
-	if x.Cmp(half) >= 0 {
+	if x.Cmp(b.half) >= 0 {
 		x.Sub(x, b.Q)
 	}
 	return x, nil
+}
+
+// RecombineCenteredInto is RecombineCentered for hot loops: it writes the
+// centered representative into x and uses t as scratch, so per-coefficient
+// recombination in the double-CRT backend allocates no fresh big.Ints
+// beyond what x grows to. residues must have exactly K() entries (not
+// validated — setup-time callers use RecombineCentered).
+func (b *Basis) RecombineCenteredInto(x, t *big.Int, residues []uint64) {
+	x.SetUint64(0)
+	for i := range residues {
+		ri := nt.MulMod(residues[i]%b.Primes[i], b.qiInv[i], b.Primes[i])
+		t.SetUint64(ri)
+		t.Mul(t, b.qi[i])
+		x.Add(x, t)
+	}
+	x.Mod(x, b.Q)
+	if x.Cmp(b.half) >= 0 {
+		x.Sub(x, b.Q)
+	}
 }
 
 // DecomposePoly decomposes every coefficient of a big-integer polynomial

@@ -33,7 +33,7 @@ type Context struct {
 func NewContext(n int, basis *rns.Basis) (*Context, error) {
 	ctx := &Context{N: n, Basis: basis}
 	for _, p := range basis.Primes {
-		tab, err := ntt.NewTable(p, n)
+		tab, err := ntt.GetTable(p, n)
 		if err != nil {
 			return nil, fmt.Errorf("sealbfv: prime %d: %w", p, err)
 		}
