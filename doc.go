@@ -19,6 +19,23 @@
 // a bounded process-wide worker pool; twiddle tables and contexts are
 // cached per (q, n).
 //
+// Between operations, evaluation stays inside the RNS domain. The BFV
+// tensor rescaling ⌊t·x/q⌉ runs RNS-native (internal/dcrt.ScaleRounder):
+// a fast base conversion out of the extended basis — γᵢ Shoup passes, a
+// 128-bit fixed-point lift counter, and word-sized Barrett arithmetic
+// modulo q (one or two 64-bit words for every paper modulus) — yields
+// t·x mod q, and the rounded quotient follows by exact per-limb division
+// (t·xᵢ − r)·q⁻¹ mod pᵢ. The basis is sized two bits beyond the
+// exactness requirement so the quarter-shifted conversion's fixed-point
+// estimate is provably exact (not approximate: results stay bit-identical
+// to the schoolbook oracle; see internal/dcrt/baseconv.go). Key-switching
+// digits decompose by limb shifts, and ciphertexts are NTT-resident —
+// centered double-CRT forms are cached per component, so chained
+// Mul/Rotate and squarings never repeat the decompose + forward-NTT round
+// trip; coefficient form is materialized only at decryption and
+// serialization boundaries. No big.Int arithmetic remains on the
+// unmetered multiply/relinearize path.
+//
 // The O(n²) schoolbook path remains authoritative in two places: any
 // bfv.Evaluator with a limb32.Meter attached runs it, because its
 // instruction stream is what the PIM cost model counts (the paper's

@@ -11,19 +11,29 @@ import (
 	"repro/internal/sampling"
 )
 
-// DCRT perf tracking: measures the repo's own host-side EvalMul on both
-// backends (double-CRT vs the retired schoolbook hot path) and emits
-// BENCH_dcrt.json, so the performance trajectory of the evaluation layer
-// is recorded from the PR that introduced it onward.
+// DCRT perf tracking: measures the repo's own host-side EvalMul across
+// backends and chain depths and emits BENCH_dcrt.json, so the
+// performance trajectory of the evaluation layer is recorded from the PR
+// that introduced it onward.
+//
+// v2 of the schema adds a depth axis and splits the double-CRT backend
+// into its two rescale paths: "dcrt-rns" (RNS-native scale-and-round,
+// NTT-resident ciphertexts — the default) and "dcrt-bigint" (the PR-1
+// per-coefficient big.Int recombination round trip, kept behind
+// Evaluator.SetBigIntRescale as the tracked baseline).
 
-// DCRTPoint is one measured backend × ring-degree combination.
+// DCRTPoint is one measured backend × ring-degree × depth combination.
+// NsPerOp is the time of one full depth-long chain of relinearized
+// multiplications (depth 1 ≡ one EvalMul).
 type DCRTPoint struct {
-	N        int     `json:"n"`
-	QBits    int     `json:"q_bits"`
-	Backend  string  `json:"backend"` // "schoolbook" | "dcrt"
-	Iters    int     `json:"iters"`
-	NsPerOp  int64   `json:"ns_per_op"`
-	SpeedupX float64 `json:"speedup_vs_schoolbook,omitempty"` // dcrt rows
+	N           int     `json:"n"`
+	QBits       int     `json:"q_bits"`
+	Backend     string  `json:"backend"` // "schoolbook" | "dcrt-bigint" | "dcrt-rns"
+	Depth       int     `json:"depth"`
+	Iters       int     `json:"iters"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	SpeedupX    float64 `json:"speedup_vs_schoolbook,omitempty"` // dcrt rows, depth 1
+	SpeedupBigX float64 `json:"speedup_vs_bigint,omitempty"`     // dcrt-rns rows
 }
 
 // DCRTReport is the BENCH_dcrt.json schema.
@@ -35,10 +45,11 @@ type DCRTReport struct {
 	Points      []DCRTPoint `json:"points"`
 }
 
-// measureEvalMul times one relinearized homomorphic multiplication.
-// Setup (keygen, encryption, cache warming) is excluded. The schoolbook
-// point runs a single iteration — it is seconds per op by design.
-func measureEvalMul(n int, schoolbook bool) (DCRTPoint, error) {
+// measureEvalMul times one depth-long chain of relinearized homomorphic
+// multiplications. Setup (keygen, encryption, cache warming) is
+// excluded. The schoolbook backend runs a single iteration — it is
+// seconds per op by design.
+func measureEvalMul(n, depth int, backend string) (DCRTPoint, error) {
 	params := bfv.ParamsSec54AtDegree(n)
 	src := sampling.NewSourceFromUint64(uint64(n))
 	kg := bfv.NewKeyGenerator(params, src)
@@ -54,23 +65,40 @@ func measureEvalMul(n int, schoolbook bool) (DCRTPoint, error) {
 	if err != nil {
 		return DCRTPoint{}, err
 	}
-	ev := bfv.NewEvaluator(params, rlk)
-	backend := "dcrt"
-	if schoolbook {
+	var ev *bfv.Evaluator
+	switch backend {
+	case "schoolbook":
 		ev = bfv.NewSchoolbookEvaluator(params, rlk)
-		backend = "schoolbook"
+	case "dcrt-bigint":
+		ev = bfv.NewEvaluator(params, rlk)
+		ev.SetBigIntRescale(true)
+	case "dcrt-rns":
+		ev = bfv.NewEvaluator(params, rlk)
+	default:
+		return DCRTPoint{}, fmt.Errorf("bench: unknown backend %q", backend)
 	}
-	if _, err := ev.Mul(ct0, ct1); err != nil { // warm caches
+	chain := func() error {
+		ct := ct0
+		for d := 0; d < depth; d++ {
+			next, err := ev.Mul(ct, ct1)
+			if err != nil {
+				return err
+			}
+			ct = next
+		}
+		return nil
+	}
+	if err := chain(); err != nil { // warm caches
 		return DCRTPoint{}, err
 	}
 	iters := 0
 	start := time.Now()
 	for {
-		if _, err := ev.Mul(ct0, ct1); err != nil {
+		if err := chain(); err != nil {
 			return DCRTPoint{}, err
 		}
 		iters++
-		if schoolbook || (time.Since(start) > 300*time.Millisecond && iters >= 3) || iters >= 50 {
+		if backend == "schoolbook" || (time.Since(start) > 300*time.Millisecond && iters >= 3) || iters >= 50 {
 			break
 		}
 	}
@@ -78,46 +106,80 @@ func measureEvalMul(n int, schoolbook bool) (DCRTPoint, error) {
 		N:       n,
 		QBits:   params.Q.Bits(),
 		Backend: backend,
+		Depth:   depth,
 		Iters:   iters,
 		NsPerOp: time.Since(start).Nanoseconds() / int64(iters),
 	}, nil
 }
 
-// MeasureDCRT measures EvalMul on both backends at the given ring
-// degrees and returns the tracking figure plus the JSON report.
+// MeasureDCRT measures EvalMul at depth 1 on all three backends for the
+// given ring degrees, plus chained depth-3 and depth-5 runs of the two
+// double-CRT rescale paths at the largest degree, and returns the
+// tracking figure plus the JSON report.
 func MeasureDCRT(degrees []int) (*Figure, *DCRTReport, error) {
 	fig := &Figure{
 		ID:     "dcrt",
-		Title:  "Host EvalMul: double-CRT (RNS+NTT) vs schoolbook, 54-bit q",
-		XLabel: "Ring degree",
+		Title:  "Host EvalMul: RNS-native vs big.Int rescale vs schoolbook, 54-bit q",
+		XLabel: "Ring degree / chain depth",
 		Unit:   "ms",
 		PaperNote: "§4.1: SEAL's RNS+NTT evaluation is the optimization the paper's " +
-			"PIM kernels defer; this repo's host path now has it",
+			"PIM kernels defer; this repo's host path now has it, rescale included",
 	}
 	rep := &DCRTReport{
-		Schema:      "repro/dcrt-evalmul/v1",
+		Schema:      "repro/dcrt-evalmul/v2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Op:          "EvalMul (tensor + relinearize)",
+		Op:          "EvalMul chain (tensor + relinearize per level); ns_per_op is per chain",
 	}
 	for _, n := range degrees {
-		sb, err := measureEvalMul(n, true)
+		sb, err := measureEvalMul(n, 1, "schoolbook")
 		if err != nil {
 			return nil, nil, err
 		}
-		dc, err := measureEvalMul(n, false)
+		bi, err := measureEvalMul(n, 1, "dcrt-bigint")
 		if err != nil {
 			return nil, nil, err
 		}
-		dc.SpeedupX = float64(sb.NsPerOp) / float64(dc.NsPerOp)
-		rep.Points = append(rep.Points, sb, dc)
+		rn, err := measureEvalMul(n, 1, "dcrt-rns")
+		if err != nil {
+			return nil, nil, err
+		}
+		bi.SpeedupX = float64(sb.NsPerOp) / float64(bi.NsPerOp)
+		rn.SpeedupX = float64(sb.NsPerOp) / float64(rn.NsPerOp)
+		rn.SpeedupBigX = float64(bi.NsPerOp) / float64(rn.NsPerOp)
+		rep.Points = append(rep.Points, sb, bi, rn)
 		fig.Rows = append(fig.Rows, Row{
-			Label: fmt.Sprintf("n=%d", n),
+			Label: fmt.Sprintf("n=%d depth=1", n),
 			Seconds: map[string]float64{
-				"Schoolbook": float64(sb.NsPerOp) / 1e9,
-				"DCRT":       float64(dc.NsPerOp) / 1e9,
+				"Schoolbook":  float64(sb.NsPerOp) / 1e9,
+				"DCRT-bigint": float64(bi.NsPerOp) / 1e9,
+				"DCRT-RNS":    float64(rn.NsPerOp) / 1e9,
 			},
-			Annotation: fmt.Sprintf("%.0fx", dc.SpeedupX),
+			Annotation: fmt.Sprintf("%.0fx vs schoolbook, %.1fx vs bigint", rn.SpeedupX, rn.SpeedupBigX),
+		})
+	}
+	if len(degrees) == 0 {
+		return fig, rep, nil
+	}
+	nMax := degrees[len(degrees)-1]
+	for _, depth := range []int{3, 5} {
+		bi, err := measureEvalMul(nMax, depth, "dcrt-bigint")
+		if err != nil {
+			return nil, nil, err
+		}
+		rn, err := measureEvalMul(nMax, depth, "dcrt-rns")
+		if err != nil {
+			return nil, nil, err
+		}
+		rn.SpeedupBigX = float64(bi.NsPerOp) / float64(rn.NsPerOp)
+		rep.Points = append(rep.Points, bi, rn)
+		fig.Rows = append(fig.Rows, Row{
+			Label: fmt.Sprintf("n=%d depth=%d", nMax, depth),
+			Seconds: map[string]float64{
+				"DCRT-bigint": float64(bi.NsPerOp) / 1e9,
+				"DCRT-RNS":    float64(rn.NsPerOp) / 1e9,
+			},
+			Annotation: fmt.Sprintf("%.1fx vs bigint", rn.SpeedupBigX),
 		})
 	}
 	return fig, rep, nil

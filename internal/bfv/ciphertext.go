@@ -2,7 +2,9 @@ package bfv
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/dcrt"
 	"repro/internal/poly"
 )
 
@@ -19,8 +21,50 @@ func NewPlaintext(params *Parameters) *Plaintext {
 // Ciphertext is a BFV ciphertext: a list of polynomials in R_q. Fresh
 // ciphertexts have degree 1 (two polynomials); an unrelinearized product
 // has degree 2 (three polynomials).
+//
+// Ciphertexts evaluated on the double-CRT backend are NTT-resident: the
+// centered double-CRT form of each component is built lazily on first
+// use and cached, so chained Mul/Rotate (and squarings, which consume
+// the same component twice) never repeat the decompose + forward-NTT
+// round trip. The cache assumes Polys are immutable once the ciphertext
+// has been evaluated — every evaluator operation returns a fresh
+// ciphertext, and Clone (the mutate-after-copy escape hatch) drops the
+// cache.
 type Ciphertext struct {
 	Polys []*poly.Poly
+
+	ntt nttCache
+}
+
+// nttCache lazily holds the NTT-resident centered double-CRT forms of a
+// ciphertext's components for one dcrt context. Each form remembers the
+// polynomial it was built from, so swapping a component in ct.Polys
+// invalidates its entry structurally; only in-place mutation of a
+// component's limbs remains covered by the immutability convention.
+type nttCache struct {
+	mu    sync.Mutex
+	ctx   *dcrt.Context
+	forms []*dcrt.Poly
+	srcs  []*poly.Poly
+}
+
+// rnsNTT returns the cached centered double-CRT form of component i,
+// building it on first use. Safe for concurrent use; a concurrent
+// builder of another component of the same ciphertext serializes behind
+// the per-ciphertext lock.
+func (ct *Ciphertext) rnsNTT(ctx *dcrt.Context, i int) *dcrt.Poly {
+	ct.ntt.mu.Lock()
+	defer ct.ntt.mu.Unlock()
+	if ct.ntt.ctx != ctx || len(ct.ntt.forms) != len(ct.Polys) {
+		ct.ntt.ctx = ctx
+		ct.ntt.forms = make([]*dcrt.Poly, len(ct.Polys))
+		ct.ntt.srcs = make([]*poly.Poly, len(ct.Polys))
+	}
+	if ct.ntt.forms[i] == nil || ct.ntt.srcs[i] != ct.Polys[i] {
+		ct.ntt.forms[i] = ctx.ToRNSCentered(ct.Polys[i])
+		ct.ntt.srcs[i] = ct.Polys[i]
+	}
+	return ct.ntt.forms[i]
 }
 
 // Degree returns len(Polys) - 1.

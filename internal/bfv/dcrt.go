@@ -27,19 +27,27 @@ import (
 // then), so failure panics rather than threading errors through
 // infallible APIs.
 func dcrtFor(par *Parameters) *dcrt.Context {
-	logN := bits.TrailingZeros(uint(par.N))
-	qb := par.Q.Bits()
-	tensor := 2*qb + logN + 1
-	keySwitch := qb + int(par.RelinBaseBits) + bits.Len(uint(par.RelinDigits())) + logN + 1
-	bound := tensor
-	if keySwitch > bound {
-		bound = keySwitch
+	par.dcrtOnce.Do(func() {
+		logN := bits.TrailingZeros(uint(par.N))
+		qb := par.Q.Bits()
+		tensor := 2*qb + logN + 1
+		keySwitch := qb + int(par.RelinBaseBits) + bits.Len(uint(par.RelinDigits())) + logN + 1
+		bound := tensor
+		if keySwitch > bound {
+			bound = keySwitch
+		}
+		ctx, err := dcrt.GetContext(par.Q, par.N, bound+1)
+		if err != nil {
+			panic(fmt.Sprintf("bfv: double-CRT context for %v: %v", par, err))
+		}
+		par.dcrtCtx = ctx
+	})
+	if par.dcrtCtx == nil {
+		// A recovered first-build panic leaves the Once spent; keep the
+		// descriptive failure instead of a nil dereference downstream.
+		panic(fmt.Sprintf("bfv: double-CRT context for %v unavailable", par))
 	}
-	ctx, err := dcrt.GetContext(par.Q, par.N, bound+1)
-	if err != nil {
-		panic(fmt.Sprintf("bfv: double-CRT context for %v: %v", par, err))
-	}
-	return ctx
+	return par.dcrtCtx
 }
 
 // mulRq multiplies two R_q polynomials on the double-CRT backend.
@@ -71,8 +79,39 @@ func (kf *keyForms) get(ctx *dcrt.Context, k0, k1 []*poly.Poly) (f0, f1 []*dcrt.
 
 // keySwitchAcc folds Σᵢ digitᵢ·keyᵢ for both key components entirely in
 // the NTT domain: one forward transform per digit, one inverse transform
-// per component — the double-CRT key-switching inner loop.
-func keySwitchAcc(ctx *dcrt.Context, digits []*poly.Poly, k0, k1 []*dcrt.Poly) (s0, s1 *poly.Poly) {
+// per component — the double-CRT key-switching inner loop. Digits arrive
+// already in double-CRT form (from Context.DigitsToRNS, which decomposes
+// with limb shifts), are consumed and returned to the context's scratch
+// pool, and the accumulators leave through the word-sized fast base
+// conversion — no big.Int and no steady-state allocation on the path.
+func keySwitchAcc(ctx *dcrt.Context, digits []*dcrt.Poly, k0, k1 []*dcrt.Poly) (s0, s1 *poly.Poly) {
+	acc0 := ctx.GetScratch()
+	acc1 := ctx.GetScratch()
+	defer ctx.PutScratch(acc0)
+	defer ctx.PutScratch(acc1)
+	acc0.Zero()
+	acc1.Zero()
+	for i, dR := range digits {
+		if i < len(k0) {
+			ctx.MulAddNTT(acc0, k0[i], dR)
+			ctx.MulAddNTT(acc1, k1[i], dR)
+		}
+		ctx.PutScratch(dR)
+	}
+	return ctx.FromRNS(acc0), ctx.FromRNS(acc1)
+}
+
+// relinDigits returns ct polynomial p decomposed into double-CRT digit
+// form, capped at the number of key digits actually present.
+func relinDigits(ctx *dcrt.Context, par *Parameters, p *poly.Poly, keyLen int) []*dcrt.Poly {
+	return ctx.DigitsToRNS(p, par.RelinBaseBits, min(par.RelinDigits(), keyLen))
+}
+
+// keySwitchAccLegacy is the PR-1 key-switching path: big.Int digit
+// decomposition, per-digit ToRNS, and big.Int CRT recombination on the
+// way out. Kept verbatim behind Evaluator.SetBigIntRescale so the
+// perf-tracking benchmarks can measure the RNS-native path against it.
+func keySwitchAccLegacy(ctx *dcrt.Context, digits []*poly.Poly, k0, k1 []*dcrt.Poly) (s0, s1 *poly.Poly) {
 	acc0 := ctx.NewPoly()
 	acc1 := ctx.NewPoly()
 	for i, d := range digits {
@@ -83,5 +122,5 @@ func keySwitchAcc(ctx *dcrt.Context, digits []*poly.Poly, k0, k1 []*dcrt.Poly) (
 		ctx.MulAddNTT(acc0, k0[i], dR)
 		ctx.MulAddNTT(acc1, k1[i], dR)
 	}
-	return ctx.FromRNS(acc0), ctx.FromRNS(acc1)
+	return ctx.FromRNSRecombine(acc0), ctx.FromRNSRecombine(acc1)
 }

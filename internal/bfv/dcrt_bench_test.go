@@ -58,6 +58,54 @@ func BenchmarkEvalMulDCRT(b *testing.B) {
 	}
 }
 
+// benchmarkEvalMulDepth times a depth-long chain of relinearized
+// multiplications per iteration — the workload shape the NTT-resident
+// ciphertext cache and the RNS-native rescale exist for — on either the
+// RNS-native path or the PR-1 big.Int round-trip path.
+func benchmarkEvalMulDepth(b *testing.B, n, depth int, bigRescale bool) {
+	params := ParamsSec54AtDegree(n)
+	src := sampling.NewSourceFromUint64(uint64(n + depth))
+	kg := NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinKey(sk)
+	_ = sk
+	enc := NewEncryptor(params, pk, src)
+	ct0, err := enc.EncryptValue(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct1, err := enc.EncryptValue(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := NewEvaluator(params, rlk)
+	ev.SetBigIntRescale(bigRescale)
+	chain := func() {
+		ct := ct0
+		for d := 0; d < depth; d++ {
+			next, err := ev.Mul(ct, ct1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ct = next
+		}
+	}
+	chain() // warm the caches (twiddle tables, key and operand forms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain()
+	}
+}
+
+func benchmarkDepthPair(b *testing.B, depth int) {
+	b.Run("path=rns", func(b *testing.B) { benchmarkEvalMulDepth(b, 4096, depth, false) })
+	b.Run("path=bigint", func(b *testing.B) { benchmarkEvalMulDepth(b, 4096, depth, true) })
+}
+
+func BenchmarkEvalMulDepth1(b *testing.B) { benchmarkDepthPair(b, 1) }
+func BenchmarkEvalMulDepth3(b *testing.B) { benchmarkDepthPair(b, 3) }
+func BenchmarkEvalMulDepth5(b *testing.B) { benchmarkDepthPair(b, 5) }
+
 // BenchmarkEncrypt tracks the non-Mul side of the double-CRT win: fresh
 // encryption was two schoolbook products per ciphertext.
 func BenchmarkEncrypt(b *testing.B) {

@@ -18,6 +18,7 @@ import (
 type diffRig struct {
 	params *Parameters
 	sk     *SecretKey
+	rlk    *RelinKey
 	enc    *Encryptor
 	dec    *Decryptor
 	fast   *Evaluator // double-CRT backend
@@ -38,6 +39,7 @@ func newDiffRig(t *testing.T, params *Parameters, seed uint64) *diffRig {
 	return &diffRig{
 		params: params,
 		sk:     sk,
+		rlk:    rlk,
 		enc:    NewEncryptor(params, pk, src),
 		dec:    NewDecryptor(params, sk),
 		fast:   NewEvaluator(params, rlk),
@@ -107,6 +109,97 @@ func runDifferential(t *testing.T, params *Parameters, seed uint64) {
 		t.Fatal(err)
 	}
 	r.mustEqual(t, "ApplyGalois", rotFast, rotOracle)
+}
+
+// runDifferentialDepth chains depth rounds of Mul → Rotate → Add on both
+// backends and asserts bit-identical ciphertexts (hence decryptions)
+// after every operation — the NTT-resident chain against the schoolbook
+// oracle. Noise overflows long before the chain ends at the smaller
+// levels; bit-identity is unaffected, which is exactly the property
+// differential testing relies on. The final round is also checked
+// against the PR-1 big.Int rescale path (SetBigIntRescale), pinning all
+// three implementations of the multiplication pipeline to the same bits.
+func runDifferentialDepth(t *testing.T, params *Parameters, seed uint64, depth int) {
+	r := newDiffRig(t, params, seed)
+	ctB, err := r.enc.EncryptValue(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := r.enc.EncryptValue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := fast
+	for d := 0; d < depth; d++ {
+		fm, err := r.fast.Mul(fast, ctB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		om, err := r.oracle.Mul(oracle, ctB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.mustEqual(t, "depth Mul", fm, om)
+
+		fr, err := r.fast.ApplyGalois(fm, r.gk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, err := r.oracle.ApplyGalois(om, r.gk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.mustEqual(t, "depth Rotate", fr, or)
+
+		fast = r.fast.Add(fr, ctB)
+		oracle = r.oracle.Add(or, ctB)
+		r.mustEqual(t, "depth Add", fast, oracle)
+	}
+	legacy := NewEvaluator(params, r.rlk)
+	legacy.SetBigIntRescale(true)
+	lm, err := legacy.Mul(fast, ctB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := r.fast.Mul(fast, ctB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mustEqual(t, "legacy big.Int rescale Mul", fm, lm)
+}
+
+// TestDCRTDifferentialDepthSec27 chains depth 3 with rotations at the
+// 27-bit level's full ring degree.
+func TestDCRTDifferentialDepthSec27(t *testing.T) {
+	runDifferentialDepth(t, ParamsSec27(), 272, 3)
+}
+
+// TestDCRTDifferentialDepthSec54 chains depth 3 at the 54-bit level's
+// full ring degree; several seconds of schoolbook oracle, so -short
+// skips it.
+func TestDCRTDifferentialDepthSec54(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schoolbook oracle at N=2048 × depth 3 is slow")
+	}
+	runDifferentialDepth(t, ParamsSec54(), 542, 3)
+}
+
+// TestDCRTDifferentialDepthSec109 chains depth 3 on the 109-bit modulus
+// (W=4, two-word fast-conversion path) at the reduced ring degree the
+// schoolbook oracle can afford; TestDCRTDifferentialDepthSec109FullDegree
+// covers N=4096 behind the same env gate as the depth-1 test.
+func TestDCRTDifferentialDepthSec109(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schoolbook oracle at W=4 × depth 3 is slow")
+	}
+	runDifferentialDepth(t, mustParams(1024, prime109, 16, 28), 1093, 3)
+}
+
+func TestDCRTDifferentialDepthSec109FullDegree(t *testing.T) {
+	if os.Getenv("DCRT_FULL_DIFF") == "" {
+		t.Skip("set DCRT_FULL_DIFF=1 to run the multi-minute full-degree schoolbook oracle")
+	}
+	runDifferentialDepth(t, ParamsSec109(), 1094, 3)
 }
 
 // TestDCRTDifferentialSec27 covers the 27-bit level at its full ring

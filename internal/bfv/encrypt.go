@@ -148,12 +148,20 @@ func (d *Decryptor) NoiseBudget(ct *Ciphertext) int {
 // divRound returns round(num/den) for den > 0, rounding half away from
 // zero, using floor division on the shifted numerator.
 func divRound(num, den *big.Int) *big.Int {
-	half := new(big.Int).Rsh(den, 1)
 	n := new(big.Int)
+	divRoundInto(n, num, new(big.Int).Rsh(den, 1), den)
+	return n
+}
+
+// divRoundInto is divRound for hot loops: it writes round(num/den) into
+// dst (which must not alias num) given half = ⌊den/2⌋. This is the one
+// place the scheme's rounding convention lives — the RNS-native
+// ScaleRounder is differentially pinned to it.
+func divRoundInto(dst, num, half, den *big.Int) {
 	if num.Sign() >= 0 {
-		n.Add(num, half)
+		dst.Add(num, half)
 	} else {
-		n.Sub(num, half)
+		dst.Sub(num, half)
 	}
-	return n.Quo(n, den)
+	dst.Quo(dst, den)
 }

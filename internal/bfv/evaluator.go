@@ -3,6 +3,7 @@ package bfv
 import (
 	"errors"
 	"math/big"
+	"sync"
 
 	"repro/internal/limb32"
 	"repro/internal/poly"
@@ -25,7 +26,45 @@ type Evaluator struct {
 	params     *Parameters
 	rlk        *RelinKey
 	schoolbook bool
+	bigRescale bool
 	Meter      limb32.Meter
+
+	scratch sync.Pool // *evScratch, big.Int workspace for the legacy paths
+}
+
+// evScratch is the reusable big.Int workspace of the schoolbook and
+// legacy-rescale paths, pooled so concurrent evaluations on one
+// Evaluator stop thrashing the GC with per-coefficient allocations.
+type evScratch struct {
+	num, m, tBig *big.Int
+}
+
+func (ev *Evaluator) getScratch() *evScratch {
+	if s, ok := ev.scratch.Get().(*evScratch); ok {
+		return s
+	}
+	return &evScratch{
+		num:  new(big.Int),
+		m:    new(big.Int),
+		tBig: new(big.Int).SetUint64(ev.params.T),
+	}
+}
+
+func (ev *Evaluator) putScratch(s *evScratch) { ev.scratch.Put(s) }
+
+// SetBigIntRescale pins the double-CRT backend to the PR-1 evaluation
+// path: tensor rescaling through per-coefficient big.Int CRT
+// recombination and division, and key switching through big.Int digit
+// decomposition. It exists for the perf-tracking benchmarks (the
+// "round-trip path" rows of BENCH_dcrt.json) and changes no results —
+// both paths are bit-identical.
+func (ev *Evaluator) SetBigIntRescale(on bool) { ev.bigRescale = on }
+
+// useRNSNative reports whether multiplicative operations run the fully
+// RNS-native path: word-sized scale-and-round, limb-shift digit
+// decomposition, and fast base conversion out of the extended basis.
+func (ev *Evaluator) useRNSNative() bool {
+	return ev.useDCRT() && !ev.bigRescale && dcrtFor(ev.params).RNSNative()
 }
 
 // NewEvaluator returns an evaluator on the double-CRT backend; rlk may be
@@ -126,13 +165,22 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 
 // mulZ multiplies two centered-lift coefficient vectors negacyclically
 // over the integers (no modular reduction): the BFV tensor product must be
-// computed over Z before t/q rescaling.
+// computed over Z before t/q rescaling. The result values share one
+// backing slice — a single allocation instead of n.
 func mulZ(a, b []*big.Int) []*big.Int {
 	n := len(a)
+	vals := make([]big.Int, n)
 	out := make([]*big.Int, n)
 	for i := range out {
-		out[i] = new(big.Int)
+		out[i] = &vals[i]
 	}
+	mulZAcc(out, a, b)
+	return out
+}
+
+// mulZAcc accumulates the negacyclic integer product of a and b into out.
+func mulZAcc(out []*big.Int, a, b []*big.Int) {
+	n := len(a)
 	t := new(big.Int)
 	for i := 0; i < n; i++ {
 		if a[i].Sign() == 0 {
@@ -150,20 +198,24 @@ func mulZ(a, b []*big.Int) []*big.Int {
 			}
 		}
 	}
-	return out
 }
 
 // scaleRound maps each coefficient c to round(t·c/q) mod q and packs the
-// result into a polynomial.
+// result into a polynomial, reusing pooled big.Int scratch so the
+// schoolbook (PIM cost model) and legacy-rescale paths allocate only the
+// result polynomial.
 func (ev *Evaluator) scaleRound(coeffs []*big.Int) *poly.Poly {
 	par := ev.params
-	tBig := new(big.Int).SetUint64(par.T)
-	out := make([]*big.Int, len(coeffs))
+	s := ev.getScratch()
+	defer ev.putScratch(s)
+	out := poly.NewPoly(len(coeffs), par.Q.W)
 	for i, c := range coeffs {
-		num := new(big.Int).Mul(c, tBig)
-		out[i] = divRound(num, par.Q.QBig)
+		s.num.Mul(c, s.tBig)
+		divRoundInto(s.m, s.num, par.Q.Half, par.Q.QBig)
+		s.m.Mod(s.m, par.Q.QBig)
+		out.Coeff(i).SetBig(s.m)
 	}
-	return poly.FromBigCoeffs(out, par.Q)
+	return out
 }
 
 // MulNoRelin returns the degree-2 tensor product of two degree-1
@@ -176,25 +228,36 @@ func (ev *Evaluator) MulNoRelin(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	}
 	par := ev.params
 	if ev.useDCRT() {
-		// Tensor product in the extended basis: centered operands enter
-		// the NTT domain (4 forward transform sets), the three tensor
-		// components are pointwise products, and the exact integer
-		// coefficients come back through CRT recombination — replacing
-		// the O(n²) big.Int schoolbook mulZ.
+		// Tensor product in the extended basis: the centered NTT forms of
+		// the operands come from the per-ciphertext cache (chained and
+		// squared operands pay no repeat transforms), the three tensor
+		// components are pointwise products, and rescaling runs RNS-native
+		// — word-sized base conversion and exact division, no big.Int.
 		ctx := dcrtFor(par)
-		ra0 := ctx.ToRNSCentered(ct0.Polys[0])
-		ra1 := ctx.ToRNSCentered(ct0.Polys[1])
-		rb0 := ctx.ToRNSCentered(ct1.Polys[0])
-		rb1 := ctx.ToRNSCentered(ct1.Polys[1])
+		ra0 := ct0.rnsNTT(ctx, 0)
+		ra1 := ct0.rnsNTT(ctx, 1)
+		rb0 := ct1.rnsNTT(ctx, 0)
+		rb1 := ct1.rnsNTT(ctx, 1)
 
-		rd0 := ctx.NewPoly()
+		rd0 := ctx.GetScratch()
+		defer ctx.PutScratch(rd0)
 		ctx.MulNTT(rd0, ra0, rb0)
-		rd1 := ctx.NewPoly()
+		rd1 := ctx.GetScratch()
+		defer ctx.PutScratch(rd1)
 		ctx.MulNTT(rd1, ra0, rb1)
 		ctx.MulAddNTT(rd1, ra1, rb0)
-		rd2 := ctx.NewPoly()
+		rd2 := ctx.GetScratch()
+		defer ctx.PutScratch(rd2)
 		ctx.MulNTT(rd2, ra1, rb1)
 
+		if ev.useRNSNative() {
+			sr := ctx.ScaleRounder(par.T)
+			return &Ciphertext{Polys: []*poly.Poly{
+				sr.ScaleRound(rd0), sr.ScaleRound(rd1), sr.ScaleRound(rd2),
+			}}, nil
+		}
+		// PR-1 round-trip path: exact integer coefficients through big.Int
+		// CRT recombination, then the big.Int t/q rounding.
 		return &Ciphertext{Polys: []*poly.Poly{
 			ev.scaleRound(ctx.FromRNSBig(rd0)),
 			ev.scaleRound(ctx.FromRNSBig(rd1)),
@@ -240,17 +303,24 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 	par := ev.params
 	c0 := ct.Polys[0].Clone()
 	c1 := ct.Polys[1].Clone()
-	digits := decomposePoly(ct.Polys[2], par)
 
 	if ev.useDCRT() {
 		ctx := dcrtFor(par)
 		k0, k1 := ev.rlk.forms.get(ctx, ev.rlk.K0, ev.rlk.K1)
-		s0, s1 := keySwitchAcc(ctx, digits, k0, k1)
+		var s0, s1 *poly.Poly
+		if ev.useRNSNative() {
+			// Digit decomposition by limb shifts, accumulation in the NTT
+			// domain, fast base conversion out — the big.Int-free path.
+			s0, s1 = keySwitchAcc(ctx, relinDigits(ctx, par, ct.Polys[2], len(k0)), k0, k1)
+		} else {
+			s0, s1 = keySwitchAccLegacy(ctx, decomposePoly(ct.Polys[2], par), k0, k1)
+		}
 		poly.Add(c0, c0, s0, par.Q, nil)
 		poly.Add(c1, c1, s1, par.Q, nil)
 		return &Ciphertext{Polys: []*poly.Poly{c0, c1}}, nil
 	}
 
+	digits := decomposePoly(ct.Polys[2], par)
 	tmp := poly.NewPoly(par.N, par.Q.W)
 	for i, d := range digits {
 		if i >= len(ev.rlk.K0) {

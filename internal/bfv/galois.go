@@ -100,14 +100,19 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, er
 	c1g := applyGaloisPoly(ct.Polys[1], gk.G, par.Q, ev.Meter)
 
 	// Key switch τ(c1) from s(X^g) to s.
-	digitsP := decomposePoly(c1g, par)
 	if ev.useDCRT() {
 		ctx := dcrtFor(par)
 		k0, k1 := gk.forms.get(ctx, gk.K0, gk.K1)
-		s0, outC1 := keySwitchAcc(ctx, digitsP, k0, k1)
+		var s0, outC1 *poly.Poly
+		if ev.useRNSNative() {
+			s0, outC1 = keySwitchAcc(ctx, relinDigits(ctx, par, c1g, len(k0)), k0, k1)
+		} else {
+			s0, outC1 = keySwitchAccLegacy(ctx, decomposePoly(c1g, par), k0, k1)
+		}
 		poly.Add(c0, c0, s0, par.Q, nil)
 		return &Ciphertext{Polys: []*poly.Poly{c0, outC1}}, nil
 	}
+	digitsP := decomposePoly(c1g, par)
 	outC1 := poly.NewPoly(par.N, par.Q.W)
 	tmp := poly.NewPoly(par.N, par.Q.W)
 	for i, d := range digitsP {

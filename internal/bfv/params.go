@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
+	"repro/internal/dcrt"
 	"repro/internal/poly"
 )
 
@@ -30,6 +32,11 @@ type Parameters struct {
 	RelinBaseBits uint
 
 	relinDigits int // ⌈bits(Q)/RelinBaseBits⌉
+
+	// Memoized double-CRT context (see dcrtFor): looked up once instead
+	// of hashing the modulus string on every evaluator operation.
+	dcrtOnce sync.Once
+	dcrtCtx  *dcrt.Context
 }
 
 // NewParameters validates and assembles a parameter set.

@@ -49,7 +49,12 @@ type Context struct {
 	two32      []uint64   // 2^32 mod p_i, for limb-wise residue folding
 	two32Shoup []uint64
 
+	// conv holds the fast base-conversion tables (see baseconv.go); nil
+	// when the modulus shape forces the big.Int recombination fallback.
+	conv *convState
+
 	scratch sync.Pool // *Poly buffers for transforms and accumulators
+	u64s    sync.Pool // *[]uint64 length-N slabs for the conversion kernels
 }
 
 // ctxKey identifies a context in the process-wide cache.
@@ -82,8 +87,9 @@ func GetContext(mod *poly.Modulus, n, boundBits int) (*Context, error) {
 const basisPrimeBits = 60
 
 // NewContext builds a context whose basis product Q' exceeds
-// 2^(boundBits+1), so any integer v with |v| ≤ 2^boundBits is recovered
-// exactly by centered recombination.
+// 2^(boundBits+3), so any integer v with |v| ≤ 2^boundBits is recovered
+// exactly by centered recombination and the fast base conversion's
+// quarter-shift fraction never leaves its exactness window (buildBasis).
 func NewContext(mod *poly.Modulus, n, boundBits int) (*Context, error) {
 	if n <= 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("dcrt: n=%d must be a power of two > 1", n)
@@ -118,13 +124,22 @@ func NewContext(mod *poly.Modulus, n, boundBits int) (*Context, error) {
 		c.two32Shoup = append(c.two32Shoup, r.ShoupConst(t32))
 	}
 	c.scratch.New = func() any { return c.newPoly() }
+	c.u64s.New = func() any {
+		s := make([]uint64, c.N)
+		return &s
+	}
+	c.conv = newConvState(c)
 	return c, nil
 }
 
 // buildBasis collects NTT-friendly primes for degree n until their
-// product exceeds 2^(boundBits+1).
+// product exceeds 2^(boundBits+3). The two extra bits over the exactness
+// requirement (|coeff| < Q'/2) give the fast base conversion its
+// quarter-shift headroom: with |coeff| ≤ Q'/8 the shifted fraction
+// (coeff + ⌊Q'/4⌋)/Q' stays in [1/8−ε, 3/8] and the fixed-point lift
+// counter is exact (see baseconv.go).
 func buildBasis(n, boundBits int) (*rns.Basis, error) {
-	k := (boundBits+1)/(basisPrimeBits-1) + 1
+	k := (boundBits+3)/(basisPrimeBits-1) + 1
 	for {
 		primes, err := nt.NTTPrimes(basisPrimeBits, n, k)
 		if err != nil {
@@ -134,7 +149,7 @@ func buildBasis(n, boundBits int) (*rns.Basis, error) {
 		if err != nil {
 			return nil, err
 		}
-		if b.Q.BitLen() > boundBits+1 {
+		if b.Q.BitLen() > boundBits+3 {
 			return b, nil
 		}
 		k++
@@ -165,8 +180,22 @@ func (c *Context) newPoly() *Poly {
 // NewPoly returns the zero element (which is its own NTT image).
 func (c *Context) NewPoly() *Poly { return c.newPoly() }
 
+// Zero clears every limb channel — reset for pooled accumulators.
+func (p *Poly) Zero() {
+	for _, ch := range p.Coeffs {
+		for i := range ch {
+			ch[i] = 0
+		}
+	}
+}
+
 // getScratch returns a pooled Poly; contents are arbitrary.
 func (c *Context) getScratch() *Poly { return c.scratch.Get().(*Poly) }
+
+// GetScratch returns a pooled Poly with arbitrary contents — for callers
+// that fully overwrite it (e.g. as a MulNTT destination) and return it
+// via PutScratch, keeping steady-state evaluation allocation-free.
+func (c *Context) GetScratch() *Poly { return c.getScratch() }
 
 // PutScratch returns a Poly obtained from this context to its pool.
 func (c *Context) PutScratch(p *Poly) { c.scratch.Put(p) }
@@ -228,21 +257,45 @@ func (c *Context) ToRNSCentered(p *poly.Poly) *Poly { return c.toRNS(p, true) }
 
 // FromRNSBig leaves the NTT domain and CRT-recombines to the exact
 // centered integer coefficients (valid while |coeff| < Q'/2, which the
-// context's BoundBits sizing guarantees). p is not mutated.
+// context's BoundBits sizing guarantees). p is not mutated. The result
+// headers share one backing slice, so the callback path allocates once
+// for headers plus only each coefficient's limb storage.
 func (c *Context) FromRNSBig(p *Poly) []*big.Int {
 	tmp := c.intt(p)
 	defer c.PutScratch(tmp)
 	out := make([]*big.Int, c.N)
+	vals := make([]big.Int, c.N)
 	c.recombine(tmp, func(j int, v *big.Int) {
-		out[j] = new(big.Int).Set(v)
+		out[j] = vals[j].Set(v)
 	})
 	return out
 }
 
-// FromRNS leaves the NTT domain, recombines, and reduces mod q, packing
-// the result into a coefficient-domain R_q polynomial. Because the basis
-// never wraps, this equals the schoolbook result bit-for-bit.
+// FromRNS leaves the NTT domain and reduces mod q, packing the result
+// into a coefficient-domain R_q polynomial. Because the basis never
+// wraps, this equals the schoolbook result bit-for-bit. On RNS-native
+// contexts it runs the word-sized fast base conversion; otherwise it
+// falls back to big.Int CRT recombination.
 func (c *Context) FromRNS(p *Poly) *poly.Poly {
+	if c.conv == nil {
+		return c.FromRNSRecombine(p)
+	}
+	tmp := c.intt(p)
+	defer c.PutScratch(tmp)
+	uLo, uHi := c.getU64(), c.getU64()
+	defer c.putU64(uLo)
+	defer c.putU64(uHi)
+	c.convModQ(tmp, *uLo, *uHi)
+	out := poly.NewPoly(c.N, c.Mod.W)
+	c.packModQ(out, *uLo, *uHi)
+	return out
+}
+
+// FromRNSRecombine is FromRNS through per-coefficient big.Int CRT
+// recombination — the PR-1 evaluation path, kept as the fallback for
+// modulus shapes the word-sized conversion rejects and as the baseline
+// the perf-tracking benchmarks compare against.
+func (c *Context) FromRNSRecombine(p *Poly) *poly.Poly {
 	tmp := c.intt(p)
 	defer c.PutScratch(tmp)
 	out := poly.NewPoly(c.N, c.Mod.W)

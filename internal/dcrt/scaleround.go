@@ -1,0 +1,112 @@
+package dcrt
+
+import (
+	"fmt"
+
+	"repro/internal/poly"
+)
+
+// ScaleRounder performs the BFV tensor rescaling x ↦ ⌊t·x/q⌉ mod q
+// entirely in the RNS domain — the step that previously left through a
+// per-coefficient big.Int CRT recombination and division.
+//
+// With r = t·X cmod q the centered remainder (|r| ≤ (q−1)/2, tie-free
+// because q is odd), the rounded quotient is the exact integer
+// Y = (t·X − r)/q, so limb channel i gets
+//
+//	y_i = (t·x_i − r) · q⁻¹ mod p_i
+//
+// once r is known — and r needs only X mod q, one fast base conversion.
+// A second conversion reduces Y itself mod q (Y is exact in the basis:
+// |Y| ≤ t·n·q/4 ≪ 2^BoundBits), giving the canonical result the
+// schoolbook oracle produces, bit for bit.
+type ScaleRounder struct {
+	c *Context
+	t uint64
+
+	tP, tPShoup []uint64 // t mod p_i with Shoup companions
+}
+
+// ScaleRounder returns the shared rescaler for plaintext modulus t
+// (0 < t < q). It requires an RNS-native context: callers check
+// RNSNative() and keep the big.Int path otherwise.
+func (c *Context) ScaleRounder(t uint64) *ScaleRounder {
+	if c.conv == nil {
+		panic("dcrt: ScaleRounder requires an RNS-native context (check RNSNative)")
+	}
+	if v, ok := c.conv.rounders.Load(t); ok {
+		return v.(*ScaleRounder)
+	}
+	if t == 0 || (c.Mod.QBig.IsUint64() && t >= c.Mod.QBig.Uint64()) {
+		panic(fmt.Sprintf("dcrt: scale factor t=%d out of range for q", t))
+	}
+	sr := &ScaleRounder{c: c, t: t}
+	for i, p := range c.Basis.Primes {
+		tp := t % p
+		sr.tP = append(sr.tP, tp)
+		sr.tPShoup = append(sr.tPShoup, c.Tabs[i].R.ShoupConst(tp))
+	}
+	v, _ := c.conv.rounders.LoadOrStore(t, sr)
+	return v.(*ScaleRounder)
+}
+
+// ScaleRound maps the exact integer coefficients X of x (NTT domain,
+// |X| ≤ 2^BoundBits) to ⌊t·X/q⌉ mod q, packed as a coefficient-domain
+// R_q polynomial. It replaces scaleRound(FromRNSBig(x)) with no big.Int
+// on the path: two fast base conversions, one word-sized modular
+// multiply per coefficient, and one Shoup pass per limb channel.
+func (sr *ScaleRounder) ScaleRound(x *Poly) *poly.Poly {
+	c := sr.c
+	cv := c.conv
+	tmp := c.intt(x)
+	defer c.PutScratch(tmp)
+
+	uLo := c.getU64()
+	uHi := c.getU64()
+	neg := c.getU64()
+	defer c.putU64(uLo)
+	defer c.putU64(uHi)
+	defer c.putU64(neg)
+	lo, hi, sign := *uLo, *uHi, *neg
+
+	// u = X mod q, then the centered remainder r = t·u cmod q, stored as
+	// magnitude (lo, hi) plus sign.
+	c.convModQ(tmp, lo, hi)
+	parallelChunks(c.N, func(from, to int) {
+		for j := from; j < to; j++ {
+			rlo, rhi := cv.qr.mulSmall(lo[j], hi[j], sr.t)
+			if cv.qr.gtHalf(rlo, rhi) {
+				rlo, rhi = cv.qr.negate(rlo, rhi)
+				sign[j] = 1
+			} else {
+				sign[j] = 0
+			}
+			lo[j], hi[j] = rlo, rhi
+		}
+	})
+
+	// Per-limb exact division: y_i = (t·x_i − r)·q⁻¹ mod p_i.
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		xi := tmp.Coeffs[i]
+		tP, tPs := sr.tP[i], sr.tPShoup[i]
+		qInv, qInvS := cv.qInvP[i], cv.qInvPShoup[i]
+		for j := range xi {
+			tx := r.MulShoup(xi[j], tP, tPs)
+			rm := r.ReduceWide(hi[j], lo[j])
+			var d uint64
+			if sign[j] != 0 {
+				d = r.Add(tx, rm)
+			} else {
+				d = r.Sub(tx, rm)
+			}
+			xi[j] = r.MulShoup(d, qInv, qInvS)
+		}
+	})
+
+	// tmp now holds Y's residues; reduce mod q and pack.
+	c.convModQ(tmp, lo, hi)
+	out := poly.NewPoly(c.N, c.Mod.W)
+	c.packModQ(out, lo, hi)
+	return out
+}

@@ -63,6 +63,28 @@ func FromBig(v *big.Int, width int) Nat {
 	return n
 }
 
+// SetBig packs v — non-negative, fitting n's width — into n in place,
+// the allocation-free counterpart of FromBig for hot loops.
+func (n Nat) SetBig(v *big.Int) {
+	if v.Sign() < 0 {
+		panic("limb32: SetBig of negative value")
+	}
+	if v.BitLen() > 32*len(n) {
+		panic(fmt.Sprintf("limb32: value of %d bits does not fit in %d limbs", v.BitLen(), len(n)))
+	}
+	for i := range n {
+		n[i] = 0
+	}
+	for i, w := range v.Bits() { // big.Word is 64-bit on all supported platforms
+		if 2*i < len(n) {
+			n[2*i] = uint32(w)
+		}
+		if 2*i+1 < len(n) {
+			n[2*i+1] = uint32(uint64(w) >> 32)
+		}
+	}
+}
+
 // Big returns n as a math/big integer.
 func (n Nat) Big() *big.Int {
 	v := new(big.Int)

@@ -89,6 +89,11 @@ func (r *Ring) reduce128(hi, lo uint64) uint64 {
 	return rem
 }
 
+// ReduceWide returns (hi·2⁶⁴ + lo) mod q for an arbitrary 128-bit value —
+// the folding primitive the RNS base-conversion kernels use to bring a
+// two-word remainder into a limb channel without a hardware division.
+func (r *Ring) ReduceWide(hi, lo uint64) uint64 { return r.reduce128(hi, lo) }
+
 // Pow returns a^e mod q.
 func (r *Ring) Pow(a, e uint64) uint64 {
 	res := uint64(1)

@@ -25,6 +25,14 @@ type Basis struct {
 	qi    []*big.Int
 	qiInv []uint64
 	half  *big.Int // floor(Q/2), for centered recombination
+
+	// Fast-base-conversion constants (BEHZ/HPS-style, see package dcrt):
+	// Shoup companions of QiInv for the γᵢ = [xᵢ·QiInv]_{qᵢ} pass, and
+	// νᵢ = ⌊2⁹⁶/qᵢ⌋ so ⌊γᵢ·νᵢ/2³²⌋ approximates γᵢ·2⁶⁴/qᵢ from below
+	// with error < 2²⁸ + 1 — the fixed-point term the exact lift counter
+	// is summed from without any division.
+	qiInvShoup []uint64
+	nu96       []uint64
 }
 
 // NewBasis builds a basis from the given primes.
@@ -57,7 +65,16 @@ func NewBasis(primes []uint64) (*Basis, error) {
 		}
 		b.qi = append(b.qi, Qi)
 		b.qiInv = append(b.qiInv, inv.Uint64())
-		_ = i
+		b.qiInvShoup = append(b.qiInvShoup, b.Rings[i].ShoupConst(inv.Uint64()))
+		// ν only fits a word for primes above 2³²; narrower bases (legal
+		// for the SEAL-style layer) simply don't get the fast-conversion
+		// constants — Nu96 returns 0 and callers fall back to big.Int.
+		if p > 1<<32 {
+			nu := new(big.Int).Lsh(big.NewInt(1), 96)
+			b.nu96 = append(b.nu96, nu.Div(nu, pi).Uint64())
+		} else {
+			b.nu96 = append(b.nu96, 0)
+		}
 	}
 	b.half = new(big.Int).Rsh(b.Q, 1)
 	return b, nil
@@ -65,6 +82,17 @@ func NewBasis(primes []uint64) (*Basis, error) {
 
 // K returns the number of channels.
 func (b *Basis) K() int { return len(b.Primes) }
+
+// QHat returns Q/qᵢ — the CRT weight of channel i — as a fresh big.Int.
+func (b *Basis) QHat(i int) *big.Int { return new(big.Int).Set(b.qi[i]) }
+
+// QHatInv returns (Q/qᵢ)⁻¹ mod qᵢ and its Shoup companion, the constants
+// of the γ pass of a fast base conversion out of this basis.
+func (b *Basis) QHatInv(i int) (inv, shoup uint64) { return b.qiInv[i], b.qiInvShoup[i] }
+
+// Nu96 returns ⌊2⁹⁶/qᵢ⌋, or 0 when qᵢ ≤ 2³² (too narrow for the
+// fixed-point lift-counter trick).
+func (b *Basis) Nu96(i int) uint64 { return b.nu96[i] }
 
 // Decompose returns the residues of x (taken mod Q, so negative values are
 // lifted) in each channel.
