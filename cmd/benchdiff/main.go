@@ -1,0 +1,115 @@
+// Command benchdiff compares `go test -bench` output against a
+// checked-in baseline and fails on regressions — the benchstat-style
+// gate of the CI benchmark-regression job.
+//
+// Both inputs are raw `go test -bench` output (any -count). For each
+// benchmark name the minimum ns/op across repetitions is used — the
+// estimate least polluted by scheduling noise — and a benchmark regresses
+// when its minimum exceeds the baseline minimum by more than the
+// threshold factor. Benchmarks present on only one side are reported but
+// never fail the gate, so adding or retiring benchmarks doesn't break CI.
+//
+//	go test ./internal/bfv -run '^$' -bench . -benchtime=1x -count=3 > new.txt
+//	benchdiff -baseline .github/bench-baseline.txt -new new.txt -threshold 1.25
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g. "BenchmarkRotateHoisted-8   10   13464356 ns/op ..."
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// parseBench returns the minimum ns/op per benchmark name.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := out[m[1]]; !ok || ns < cur {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "checked-in `go test -bench` output to compare against")
+	fresh := flag.String("new", "", "freshly measured `go test -bench` output")
+	threshold := flag.Float64("threshold", 1.25, "fail when new/baseline exceeds this factor")
+	flag.Parse()
+	if *baseline == "" || *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -new are required")
+		os.Exit(2)
+	}
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 || len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines parsed (baseline:", len(base), "new:", len(cur), ")")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		n, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-40s baseline %.3fms, not measured (skipped)\n", name, b/1e6)
+			continue
+		}
+		ratio := n / b
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %.3fms -> %.3fms (%.2fx) %s\n", name, b/1e6, n/1e6, ratio, status)
+	}
+	fresh2 := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fresh2 = append(fresh2, name)
+		}
+	}
+	sort.Strings(fresh2)
+	for _, name := range fresh2 {
+		fmt.Printf("%-40s new benchmark %.3fms (no baseline)\n", name, cur[name]/1e6)
+	}
+	if failed {
+		fmt.Printf("benchdiff: regression beyond %.0f%% threshold\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within threshold")
+}

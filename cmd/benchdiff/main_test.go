@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchTakesMinAcrossCounts(t *testing.T) {
+	p := writeTemp(t, "bench.txt", `
+goos: linux
+BenchmarkEvalMulDepth1/path=rns-8   	       1	   4991741 ns/op
+BenchmarkEvalMulDepth1/path=rns-8   	       1	   4700123 ns/op
+BenchmarkEvalMulDepth1/path=rns-8   	       1	   5100000 ns/op
+BenchmarkRotateHoisted     	       2	  13464356 ns/op	 1024 B/op
+PASS
+`)
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	if got["BenchmarkEvalMulDepth1/path=rns"] != 4700123 {
+		t.Errorf("min ns/op = %v, want 4700123", got["BenchmarkEvalMulDepth1/path=rns"])
+	}
+	if got["BenchmarkRotateHoisted"] != 13464356 {
+		t.Errorf("rotate = %v", got["BenchmarkRotateHoisted"])
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	p := writeTemp(t, "noise.txt", `
+ok  	repro/internal/bfv	1.358s
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+Benchmark without numbers
+`)
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(got))
+	}
+}

@@ -8,7 +8,8 @@
 //	hepim-bench -fig 1a           # one figure: 1a 1b 2a 2b 2c width tasklets transfers ablation
 //	hepim-bench -fig 1b -csv      # machine-readable output
 //	hepim-bench -fig dcrt         # measure host EvalMul, both backends (slow: runs the schoolbook)
-//	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # also emit the tracking JSON
+//	hepim-bench -fig batch        # measure batched rotations (hoisted vs serial) + decryption
+//	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # emit the tracking JSON (dcrt + batch axes)
 package main
 
 import (
@@ -20,19 +21,48 @@ import (
 )
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|dcrt|all")
+	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|dcrt|batch|all")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	jsonFlag := flag.String("dcrt-json", "", "write the measured DCRT-vs-schoolbook EvalMul report to this path (e.g. BENCH_dcrt.json)")
+	jsonFlag := flag.String("dcrt-json", "", "write the measured evaluation-layer report (EvalMul + batched-rotation axes) to this path (e.g. BENCH_dcrt.json)")
 	flag.Parse()
 
-	// The dcrt figure measures this process's real evaluator rather than
-	// replaying the paper's models, so it bypasses the suite. It is not
-	// part of -fig all: the schoolbook side alone costs ~10s.
-	if *figFlag == "dcrt" || *jsonFlag != "" {
-		fig, rep, err := bench.MeasureDCRT([]int{1024, 4096})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hepim-bench:", err)
-			os.Exit(1)
+	// The dcrt and batch figures measure this process's real evaluator
+	// rather than replaying the paper's models, so they bypass the suite.
+	// Neither is part of -fig all: the dcrt schoolbook side alone costs
+	// ~10s. The tracking JSON always carries both axes.
+	if *figFlag == "dcrt" || *figFlag == "batch" || *jsonFlag != "" {
+		emit := func(fig *bench.Figure) {
+			if *csvFlag {
+				fmt.Print(bench.CSV(fig))
+			} else {
+				fmt.Print(bench.Render(fig))
+			}
+		}
+		var figs []*bench.Figure
+		var rep *bench.DCRTReport
+		if *figFlag == "dcrt" || *jsonFlag != "" {
+			fig, r, err := bench.MeasureDCRT([]int{1024, 4096})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+				os.Exit(1)
+			}
+			rep = r
+			if *figFlag == "dcrt" {
+				figs = append(figs, fig)
+			}
+		}
+		if *figFlag == "batch" || *jsonFlag != "" {
+			fig, points, err := bench.MeasureBatch(4096, 8)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+				os.Exit(1)
+			}
+			if rep != nil {
+				rep.Points = append(rep.Points, points...)
+			}
+			if *figFlag == "batch" {
+				figs = append(figs, fig)
+			}
 		}
 		if *jsonFlag != "" {
 			if err := bench.WriteDCRTJSON(*jsonFlag, rep); err != nil {
@@ -40,11 +70,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if *figFlag == "dcrt" {
-			if *csvFlag {
-				fmt.Print(bench.CSV(fig))
-			} else {
-				fmt.Print(bench.Render(fig))
+		if *figFlag == "dcrt" || *figFlag == "batch" {
+			for _, f := range figs {
+				emit(f)
 			}
 			return
 		}

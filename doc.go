@@ -36,6 +36,34 @@
 // serialization boundaries. No big.Int arithmetic remains on the
 // unmetered multiply/relinearize path.
 //
+// # Batched evaluation and hoisted rotations
+//
+// The paper's PIM workloads are inherently batched — many ciphertexts
+// flowing through the same kernels — and bfv.BatchEvaluator is that
+// front end: MulMany/AddMany/RotateMany/RotateAndSum run pipelines over
+// ciphertext slices, scheduling per-ciphertext tasks on the same bounded
+// pool the per-limb work uses (the pool is nestable: submitters help
+// drain the queue instead of blocking, so batch- and limb-level
+// parallelism compose without oversubscription or deadlock).
+//
+// Rotations use the decompose-then-permute convention on every backend:
+// c1 is digit-decomposed first, and the Galois automorphism τ_g — a pure
+// NTT-slot permutation in double-CRT form (internal/dcrt.GaloisNTTIndices)
+// — is applied to the digits inside the key-switching accumulation. The
+// digit set is therefore independent of g, which enables hoisting
+// (bfv.Evaluator.Hoist): one decomposition serves every Galois element,
+// so k rotations of a ciphertext pay 1 decomposition instead of k, and
+// rotate-and-sum aggregations additionally fuse all k key-switching
+// reductions into one extended-basis accumulator. Hoisted outputs are
+// bit-identical to per-rotation ApplyGalois, which is bit-identical to
+// the schoolbook oracle and the PIM server.
+//
+// Decryption is RNS-native on the same machinery: the phase c0 + c1·s
+// (+ c2·s²) accumulates on cached NTT forms and the exact t/q rounding
+// folds to mod t per limb (internal/dcrt.ScaleRounder.RoundModT), leaving
+// no big.Int on the unmetered decrypt path either; the big.Int path
+// survives as the pinned rounding oracle (bfv.Decryptor.DecryptBigInt).
+//
 // The O(n²) schoolbook path remains authoritative in two places: any
 // bfv.Evaluator with a limb32.Meter attached runs it, because its
 // instruction stream is what the PIM cost model counts (the paper's
@@ -47,5 +75,6 @@
 // implementation lives under internal/ (see DESIGN.md for the map) and
 // the runnable entry points under cmd/ and examples/. Evaluation-layer
 // performance is tracked by `hepim-bench -fig dcrt -dcrt-json
-// BENCH_dcrt.json`.
+// BENCH_dcrt.json` (v3: EvalMul, batched-rotation, and decryption axes)
+// and gated in CI by cmd/benchdiff against .github/bench-baseline.txt.
 package repro

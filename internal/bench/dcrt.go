@@ -16,24 +16,39 @@ import (
 // performance trajectory of the evaluation layer is recorded from the PR
 // that introduced it onward.
 //
-// v2 of the schema adds a depth axis and splits the double-CRT backend
+// v2 of the schema added a depth axis and split the double-CRT backend
 // into its two rescale paths: "dcrt-rns" (RNS-native scale-and-round,
 // NTT-resident ciphertexts — the default) and "dcrt-bigint" (the PR-1
 // per-coefficient big.Int recombination round trip, kept behind
 // Evaluator.SetBigIntRescale as the tracked baseline).
+//
+// v3 adds the batched-rotation axis (the `-fig batch` workload): op
+// "rotate" rows measure k Galois rotations of one ciphertext — backend
+// "galois-serial" pays one digit decomposition per rotation, backend
+// "galois-hoisted" shares a single hoisted decomposition — and op
+// "rotate-sum" rows measure the batched rotate-and-sum workload
+// (ct + Σ_g τ_g(ct)), where the hoisted path additionally fuses all k
+// key-switching reductions into one extended-basis accumulator. v3 also
+// adds op "decrypt" rows tracking the RNS-native Decrypt against the
+// retained big.Int oracle.
 
 // DCRTPoint is one measured backend × ring-degree × depth combination.
 // NsPerOp is the time of one full depth-long chain of relinearized
-// multiplications (depth 1 ≡ one EvalMul).
+// multiplications (depth 1 ≡ one EvalMul) for evalmul rows, of all k
+// rotations for rotate/rotate-sum rows, and of one decryption for
+// decrypt rows.
 type DCRTPoint struct {
 	N           int     `json:"n"`
 	QBits       int     `json:"q_bits"`
-	Backend     string  `json:"backend"` // "schoolbook" | "dcrt-bigint" | "dcrt-rns"
-	Depth       int     `json:"depth"`
+	Backend     string  `json:"backend"`      // evalmul: "schoolbook"|"dcrt-bigint"|"dcrt-rns"; rotate: "galois-serial"|"galois-hoisted"; decrypt: "decrypt-bigint"|"decrypt-rns"
+	Op          string  `json:"op,omitempty"` // "" (evalmul) | "rotate" | "rotate-sum" | "decrypt"
+	Depth       int     `json:"depth,omitempty"`
+	Rotations   int     `json:"rotations,omitempty"` // rotate rows: Galois-element count k
 	Iters       int     `json:"iters"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	SpeedupX    float64 `json:"speedup_vs_schoolbook,omitempty"` // dcrt rows, depth 1
 	SpeedupBigX float64 `json:"speedup_vs_bigint,omitempty"`     // dcrt-rns rows
+	SpeedupSerX float64 `json:"speedup_vs_serial,omitempty"`     // hoisted/rns rows vs their serial/bigint pair
 }
 
 // DCRTReport is the BENCH_dcrt.json schema.
@@ -88,19 +103,11 @@ func measureEvalMul(n, depth int, backend string) (DCRTPoint, error) {
 		}
 		return nil
 	}
-	if err := chain(); err != nil { // warm caches
+	// The schoolbook backend runs a single timed iteration — seconds per
+	// op by design.
+	iters, ns, err := timeOp(chain, backend == "schoolbook")
+	if err != nil {
 		return DCRTPoint{}, err
-	}
-	iters := 0
-	start := time.Now()
-	for {
-		if err := chain(); err != nil {
-			return DCRTPoint{}, err
-		}
-		iters++
-		if backend == "schoolbook" || (time.Since(start) > 300*time.Millisecond && iters >= 3) || iters >= 50 {
-			break
-		}
 	}
 	return DCRTPoint{
 		N:       n,
@@ -108,7 +115,7 @@ func measureEvalMul(n, depth int, backend string) (DCRTPoint, error) {
 		Backend: backend,
 		Depth:   depth,
 		Iters:   iters,
-		NsPerOp: time.Since(start).Nanoseconds() / int64(iters),
+		NsPerOp: ns,
 	}, nil
 }
 
@@ -126,7 +133,7 @@ func MeasureDCRT(degrees []int) (*Figure, *DCRTReport, error) {
 			"PIM kernels defer; this repo's host path now has it, rescale included",
 	}
 	rep := &DCRTReport{
-		Schema:      "repro/dcrt-evalmul/v2",
+		Schema:      "repro/dcrt-evalmul/v3",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Op:          "EvalMul chain (tensor + relinearize per level); ns_per_op is per chain",
@@ -193,4 +200,176 @@ func WriteDCRTJSON(path string, rep *DCRTReport) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// batchRig is the measured fixture of the batch axis: one encrypted
+// ciphertext and k Galois keys at the 54-bit modulus.
+type batchRig struct {
+	ev  *bfv.Evaluator
+	be  *bfv.BatchEvaluator
+	ct  *bfv.Ciphertext
+	gks []*bfv.GaloisKey
+}
+
+func newBatchRig(n, k int) (*batchRig, error) {
+	params := bfv.ParamsSec54AtDegree(n)
+	src := sampling.NewSourceFromUint64(uint64(1000*n + k))
+	kg := bfv.NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	enc := bfv.NewEncryptor(params, pk, src)
+	ct, err := enc.EncryptValue(11)
+	if err != nil {
+		return nil, err
+	}
+	gks := make([]*bfv.GaloisKey, k)
+	g := uint64(1)
+	for i := range gks {
+		g = g * 3 % uint64(2*n)
+		gk, err := kg.GenGaloisKey(sk, g)
+		if err != nil {
+			return nil, err
+		}
+		gks[i] = gk
+	}
+	ev := bfv.NewEvaluator(params, nil)
+	return &batchRig{ev: ev, be: bfv.NewBatchEvaluatorFrom(ev), ct: ct, gks: gks}, nil
+}
+
+// timeOp times fn (one full workload instance per call) with warmup,
+// returning iterations and ns per op — the one timing policy every
+// BENCH_dcrt.json axis measures under. single pins the timed run to one
+// iteration, for backends that are seconds per op by design.
+func timeOp(fn func() error, single bool) (int, int64, error) {
+	if err := fn(); err != nil { // warm caches (key forms, twiddles, digit pools)
+		return 0, 0, err
+	}
+	iters := 0
+	start := time.Now()
+	for {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		iters++
+		if single || (time.Since(start) > 300*time.Millisecond && iters >= 3) || iters >= 50 {
+			break
+		}
+	}
+	return iters, time.Since(start).Nanoseconds() / int64(iters), nil
+}
+
+// MeasureBatch measures the batched-rotation axis at ring degree n with
+// k Galois elements: per-output rotation (serial vs hoisted) and the
+// rotate-and-sum workload (serial fold vs hoisted fused reduction), plus
+// the decryption pair. It returns the tracking figure and the v3 points.
+func MeasureBatch(n, k int) (*Figure, []DCRTPoint, error) {
+	rig, err := newBatchRig(n, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	params := bfv.ParamsSec54AtDegree(n)
+	fig := &Figure{
+		ID:     "batch",
+		Title:  fmt.Sprintf("Batched rotations: hoisted vs per-rotation digit decomposition, k=%d, 54-bit q", k),
+		XLabel: "Workload",
+		Unit:   "ms",
+		PaperNote: "§2/§6: rotation is the operation the paper lists beyond add/mul; " +
+			"hoisting shares one digit decomposition across all k Galois elements",
+	}
+	var points []DCRTPoint
+
+	pair := func(op, serialName, fastName string, rotations int, serial, fast func() error) error {
+		si, sns, err := timeOp(serial, false)
+		if err != nil {
+			return err
+		}
+		fi, fns, err := timeOp(fast, false)
+		if err != nil {
+			return err
+		}
+		sp := DCRTPoint{N: n, QBits: params.Q.Bits(), Backend: serialName, Op: op,
+			Rotations: rotations, Iters: si, NsPerOp: sns}
+		fp := DCRTPoint{N: n, QBits: params.Q.Bits(), Backend: fastName, Op: op,
+			Rotations: rotations, Iters: fi, NsPerOp: fns,
+			SpeedupSerX: float64(sns) / float64(fns)}
+		points = append(points, sp, fp)
+		label := fmt.Sprintf("n=%d %s", n, op)
+		if rotations > 0 {
+			label = fmt.Sprintf("%s k=%d", label, rotations)
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Label: label,
+			Seconds: map[string]float64{
+				"Serial":  float64(sns) / 1e9,
+				"Hoisted": float64(fns) / 1e9,
+			},
+			Annotation: fmt.Sprintf("%.1fx hoisted", fp.SpeedupSerX),
+		})
+		return nil
+	}
+
+	err = pair("rotate", "galois-serial", "galois-hoisted", k,
+		func() error {
+			for _, gk := range rig.gks {
+				if _, err := rig.ev.ApplyGalois(rig.ct, gk); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			_, err := rig.be.RotateMany(rig.ct, rig.gks)
+			return err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	err = pair("rotate-sum", "galois-serial", "galois-hoisted", k,
+		func() error {
+			acc := rig.ct.Clone()
+			for _, gk := range rig.gks {
+				r, err := rig.ev.ApplyGalois(rig.ct, gk)
+				if err != nil {
+					return err
+				}
+				acc = rig.ev.Add(acc, r)
+			}
+			return nil
+		},
+		func() error {
+			_, err := rig.be.RotateAndSum([]*bfv.Ciphertext{rig.ct}, rig.gks)
+			return err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Decryption pair: RNS-native Decrypt vs the retained big.Int oracle,
+	// on the same degree-1 ciphertext.
+	src := sampling.NewSourceFromUint64(uint64(n))
+	kg := bfv.NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	enc := bfv.NewEncryptor(params, pk, src)
+	dec := bfv.NewDecryptor(params, sk)
+	ct, err := enc.EncryptValue(7)
+	if err != nil {
+		return nil, nil, err
+	}
+	err = pair("decrypt", "decrypt-bigint", "decrypt-rns", 0,
+		func() error {
+			if dec.DecryptBigInt(ct).Coeffs[0] != 7 {
+				return fmt.Errorf("bench: big.Int decrypt failed")
+			}
+			return nil
+		},
+		func() error {
+			if dec.Decrypt(ct).Coeffs[0] != 7 {
+				return fmt.Errorf("bench: RNS decrypt failed")
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fig, points, nil
 }

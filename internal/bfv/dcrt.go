@@ -56,25 +56,42 @@ func mulRq(par *Parameters, a, b *poly.Poly) *poly.Poly {
 }
 
 // keyForms caches the double-CRT NTT forms of a key-switching key's
-// polynomials, so every Relinearize/ApplyGalois pays only the digit-side
-// transforms. Keys are immutable after generation/deserialization, and
-// the cache is keyed to the context that built it (a key is only ever
-// used with one parameter set).
+// polynomials — together with their per-slot Shoup companions, so the
+// accumulation inner loops run Shoup multiplications against the
+// immutable key side — and every Relinearize/ApplyGalois pays only the
+// digit-side transforms. Keys are immutable after generation/
+// deserialization, and the cache is keyed to the context that built it
+// (a key is only ever used with one parameter set).
 type keyForms struct {
-	once   sync.Once
-	k0, k1 []*dcrt.Poly
+	once     sync.Once
+	k0, k1   []*dcrt.Poly
+	k0s, k1s []*dcrt.Poly // Shoup companions of k0, k1
 }
 
 func (kf *keyForms) get(ctx *dcrt.Context, k0, k1 []*poly.Poly) (f0, f1 []*dcrt.Poly) {
+	kf.build(ctx, k0, k1)
+	return kf.k0, kf.k1
+}
+
+// getShoup returns the forms plus their Shoup companions.
+func (kf *keyForms) getShoup(ctx *dcrt.Context, k0, k1 []*poly.Poly) (f0, f1, s0, s1 []*dcrt.Poly) {
+	kf.build(ctx, k0, k1)
+	return kf.k0, kf.k1, kf.k0s, kf.k1s
+}
+
+func (kf *keyForms) build(ctx *dcrt.Context, k0, k1 []*poly.Poly) {
 	kf.once.Do(func() {
 		kf.k0 = make([]*dcrt.Poly, len(k0))
 		kf.k1 = make([]*dcrt.Poly, len(k1))
+		kf.k0s = make([]*dcrt.Poly, len(k0))
+		kf.k1s = make([]*dcrt.Poly, len(k1))
 		for i := range k0 {
 			kf.k0[i] = ctx.ToRNS(k0[i])
 			kf.k1[i] = ctx.ToRNS(k1[i])
+			kf.k0s[i] = ctx.ShoupConsts(kf.k0[i])
+			kf.k1s[i] = ctx.ShoupConsts(kf.k1[i])
 		}
 	})
-	return kf.k0, kf.k1
 }
 
 // keySwitchAcc folds Σᵢ digitᵢ·keyᵢ for both key components entirely in
@@ -84,7 +101,7 @@ func (kf *keyForms) get(ctx *dcrt.Context, k0, k1 []*poly.Poly) (f0, f1 []*dcrt.
 // with limb shifts), are consumed and returned to the context's scratch
 // pool, and the accumulators leave through the word-sized fast base
 // conversion — no big.Int and no steady-state allocation on the path.
-func keySwitchAcc(ctx *dcrt.Context, digits []*dcrt.Poly, k0, k1 []*dcrt.Poly) (s0, s1 *poly.Poly) {
+func keySwitchAcc(ctx *dcrt.Context, digits []*dcrt.Poly, k0, k1, k0s, k1s []*dcrt.Poly) (s0, s1 *poly.Poly) {
 	acc0 := ctx.GetScratch()
 	acc1 := ctx.GetScratch()
 	defer ctx.PutScratch(acc0)
@@ -93,8 +110,8 @@ func keySwitchAcc(ctx *dcrt.Context, digits []*dcrt.Poly, k0, k1 []*dcrt.Poly) (
 	acc1.Zero()
 	for i, dR := range digits {
 		if i < len(k0) {
-			ctx.MulAddNTT(acc0, k0[i], dR)
-			ctx.MulAddNTT(acc1, k1[i], dR)
+			ctx.MulAddShoupNTT(acc0, k0[i], k0s[i], dR)
+			ctx.MulAddShoupNTT(acc1, k1[i], k1s[i], dR)
 		}
 		ctx.PutScratch(dR)
 	}
@@ -107,10 +124,30 @@ func relinDigits(ctx *dcrt.Context, par *Parameters, p *poly.Poly, keyLen int) [
 	return ctx.DigitsToRNS(p, par.RelinBaseBits, min(par.RelinDigits(), keyLen))
 }
 
+// galoisKeySwitchAcc accumulates Σᵢ τ_g(digitᵢ)·keyᵢ for both key
+// components into acc0/acc1 (NTT domain, extended basis) — the Galois
+// key-switching inner loop under the decompose-then-permute convention.
+// The automorphism is the slot gather idx (dcrt.GaloisNTTIndices), fused
+// into the accumulation so permuted digits are never materialized, and
+// digits are NOT consumed: a hoisted rotation reuses one decomposition
+// across many Galois elements, so ownership stays with the caller.
+func galoisKeySwitchAcc(ctx *dcrt.Context, acc0, acc1 *dcrt.Poly, digits []*dcrt.Poly, idx []uint32, k0, k1, k0s, k1s []*dcrt.Poly) {
+	for i, dR := range digits {
+		if i >= len(k0) {
+			break
+		}
+		ctx.GaloisAccNTT(acc0, acc1, k0[i], k0s[i], k1[i], k1s[i], dR, idx)
+	}
+}
+
 // keySwitchAccLegacy is the PR-1 key-switching path: big.Int digit
 // decomposition, per-digit ToRNS, and big.Int CRT recombination on the
-// way out. Kept verbatim behind Evaluator.SetBigIntRescale so the
-// perf-tracking benchmarks can measure the RNS-native path against it.
+// way out. Kept behind Evaluator.SetBigIntRescale so the perf-tracking
+// benchmarks can measure the RNS-native path against it. Digits enter
+// through the centered decomposition: for plain relinearization digits
+// (small canonical values) centering is the identity, and for permuted
+// Galois digits it maps the mod-q-negated coefficients q−v to the small
+// integers −v, keeping the exact accumulator inside the basis bound.
 func keySwitchAccLegacy(ctx *dcrt.Context, digits []*poly.Poly, k0, k1 []*dcrt.Poly) (s0, s1 *poly.Poly) {
 	acc0 := ctx.NewPoly()
 	acc1 := ctx.NewPoly()
@@ -118,7 +155,7 @@ func keySwitchAccLegacy(ctx *dcrt.Context, digits []*poly.Poly, k0, k1 []*dcrt.P
 		if i >= len(k0) {
 			break
 		}
-		dR := ctx.ToRNS(d)
+		dR := ctx.ToRNSCentered(d)
 		ctx.MulAddNTT(acc0, k0[i], dR)
 		ctx.MulAddNTT(acc1, k1[i], dR)
 	}

@@ -125,3 +125,131 @@ func BenchmarkEncrypt(b *testing.B) {
 		})
 	}
 }
+
+// rotationRig builds the n=4096/54-bit fixture the hoisting acceptance
+// criterion is measured on: one ciphertext, k Galois keys.
+func rotationRig(b *testing.B, n, k int) (*Evaluator, *Ciphertext, []*GaloisKey) {
+	b.Helper()
+	params := ParamsSec54AtDegree(n)
+	src := sampling.NewSourceFromUint64(uint64(n + k))
+	kg := NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	enc := NewEncryptor(params, pk, src)
+	ct, err := enc.EncryptValue(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gks := make([]*GaloisKey, k)
+	g := uint64(1)
+	for i := range gks {
+		g = g * 3 % uint64(2*n)
+		gk, err := kg.GenGaloisKey(sk, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gks[i] = gk
+	}
+	return NewEvaluator(params, nil), ct, gks
+}
+
+// BenchmarkRotateSerial is the unhoisted baseline: k independent
+// ApplyGalois calls (k digit decompositions) per iteration.
+func BenchmarkRotateSerial(b *testing.B) {
+	ev, ct, gks := rotationRig(b, 4096, 8)
+	for _, gk := range gks { // warm key forms and operand caches
+		if _, err := ev.ApplyGalois(ct, gk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, gk := range gks {
+			if _, err := ev.ApplyGalois(ct, gk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRotateHoisted is the same k rotations through one hoisted
+// digit decomposition (BatchEvaluator.RotateMany).
+func BenchmarkRotateHoisted(b *testing.B) {
+	ev, ct, gks := rotationRig(b, 4096, 8)
+	be := NewBatchEvaluatorFrom(ev)
+	if _, err := be.RotateMany(ct, gks); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := be.RotateMany(ct, gks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRotateSumSerial / BenchmarkRotateSumHoisted measure the
+// batched rotate-and-sum workload (ct + Σ_g τ_g(ct)): the serial side
+// folds per-rotation ApplyGalois with Add; the hoisted side shares one
+// decomposition and one fused extended-basis reduction.
+func BenchmarkRotateSumSerial(b *testing.B) {
+	ev, ct, gks := rotationRig(b, 4096, 8)
+	rotateSum := func() {
+		acc := ct.Clone()
+		for _, gk := range gks {
+			r, err := ev.ApplyGalois(ct, gk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = ev.Add(acc, r)
+		}
+	}
+	rotateSum()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rotateSum()
+	}
+}
+
+func BenchmarkRotateSumHoisted(b *testing.B) {
+	ev, ct, gks := rotationRig(b, 4096, 8)
+	be := NewBatchEvaluatorFrom(ev)
+	cts := []*Ciphertext{ct}
+	if _, err := be.RotateAndSum(cts, gks); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := be.RotateAndSum(cts, gks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecrypt tracks the RNS-native decryption against the big.Int
+// path it replaced.
+func BenchmarkDecrypt(b *testing.B) {
+	params := ParamsSec54AtDegree(4096)
+	src := sampling.NewSourceFromUint64(99)
+	kg := NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	enc := NewEncryptor(params, pk, src)
+	dec := NewDecryptor(params, sk)
+	ct, err := enc.EncryptValue(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("path=rns", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pt, ok := dec.decryptRNS(ct); !ok || pt.Coeffs[0] != 7 {
+				b.Fatal("rns decrypt failed")
+			}
+		}
+	})
+	b.Run("path=bigint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pt := dec.decryptBig(ct); pt.Coeffs[0] != 7 {
+				b.Fatal("bigint decrypt failed")
+			}
+		}
+	})
+}

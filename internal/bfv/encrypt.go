@@ -3,7 +3,10 @@ package bfv
 import (
 	"errors"
 	"math/big"
+	"math/bits"
+	"sync"
 
+	"repro/internal/dcrt"
 	"repro/internal/poly"
 	"repro/internal/sampling"
 )
@@ -78,15 +81,38 @@ func (e *Encryptor) EncryptValue(v uint64) (*Ciphertext, error) {
 	return e.Encrypt(pt)
 }
 
-// Decryptor decrypts ciphertexts with the secret key.
+// Decryptor decrypts ciphertexts with the secret key. On RNS-native
+// parameter sets the unmetered Decrypt path runs entirely in word
+// arithmetic: the phase c0 + c1·s (+ c2·s²) accumulates on the cached
+// double-CRT NTT forms and the exact t/q rounding folds straight to
+// mod t per limb (dcrt.ScaleRounder.RoundModT) — no big.Int. The
+// big.Int path remains as the oracle and the fallback for moduli or
+// degrees outside the word-sized window.
 type Decryptor struct {
 	params *Parameters
 	sk     *SecretKey
+
+	sOnce  sync.Once
+	sForm  *dcrt.Poly // centered double-CRT form of s
+	s2Form *dcrt.Poly // NTT-domain s·s (the integer convolution s⊛s)
 }
 
 // NewDecryptor returns a Decryptor.
 func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
 	return &Decryptor{params: params, sk: sk}
+}
+
+// secretForms builds (once) the secret key's double-CRT forms. s enters
+// centered (ternary ±1); s² is the pointwise square — the integer
+// convolution s⊛s, congruent to s² mod q, with coefficients ≤ n, so the
+// phase accumulator stays exactly representable.
+func (d *Decryptor) secretForms(ctx *dcrt.Context) (s, s2 *dcrt.Poly) {
+	d.sOnce.Do(func() {
+		d.sForm = ctx.ToRNSCentered(d.sk.S)
+		d.s2Form = ctx.NewPoly()
+		ctx.MulNTT(d.s2Form, d.sForm, d.sForm)
+	})
+	return d.sForm, d.s2Form
 }
 
 // phase computes c0 + c1·s + c2·s² + … in R_q (the "phase" of the
@@ -106,8 +132,64 @@ func (d *Decryptor) phase(ct *Ciphertext) *poly.Poly {
 }
 
 // Decrypt recovers the plaintext: m = ⌊t·phase/q⌉ mod t, coefficient-wise
-// on centered representatives.
+// on centered representatives. Degree-1 and degree-2 ciphertexts on
+// RNS-native parameter sets decrypt without big.Int (see decryptRNS);
+// other shapes fall back to the big.Int path, bit-identically.
 func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	if pt, ok := d.decryptRNS(ct); ok {
+		return pt
+	}
+	return d.decryptBig(ct)
+}
+
+// decryptRNS is the RNS-native Decrypt: the phase accumulates as an
+// exact integer on the cached centered NTT forms (|phase| ≤ q·n^deg, far
+// inside the basis bound), and RoundModT folds ⌊t·phase/q⌉ mod t per
+// coefficient in word arithmetic. The phase integer differs from the
+// big.Int path's mod-q representative by a multiple of q, which shifts
+// the rounded quotient by a multiple of t — invisible mod t, so the
+// result is bit-identical to the oracle. Returns ok=false when the
+// modulus shape or ciphertext degree is outside the word-sized window.
+func (d *Decryptor) decryptRNS(ct *Ciphertext) (*Plaintext, bool) {
+	par := d.params
+	deg := ct.Degree()
+	if deg < 1 || deg > 2 {
+		return nil, false
+	}
+	ctx := dcrtFor(par)
+	if !ctx.RNSNative() {
+		return nil, false
+	}
+	sr := ctx.ScaleRounder(par.T)
+	magBits := par.Q.Bits() + deg*bits.Len(uint(par.N)) + 1
+	if !sr.CanRoundModT(magBits) {
+		return nil, false
+	}
+	s, s2 := d.secretForms(ctx)
+	acc := ctx.GetScratch()
+	defer ctx.PutScratch(acc)
+	acc.Zero()
+	ctx.AddNTT(acc, acc, ct.rnsNTT(ctx, 0))
+	ctx.MulAddNTT(acc, ct.rnsNTT(ctx, 1), s)
+	if deg == 2 {
+		ctx.MulAddNTT(acc, ct.rnsNTT(ctx, 2), s2)
+	}
+	pt := NewPlaintext(par)
+	sr.RoundModT(acc, pt.Coeffs)
+	return pt, true
+}
+
+// DecryptBigInt is the retained big.Int decryption path — the rounding
+// oracle the RNS-native Decrypt is differentially pinned to, exported
+// (like Evaluator.SetBigIntRescale) so the perf-tracking benchmarks can
+// measure the word-sized path against it. Results are bit-identical.
+func (d *Decryptor) DecryptBigInt(ct *Ciphertext) *Plaintext {
+	return d.decryptBig(ct)
+}
+
+// decryptBig is the big.Int Decrypt — the rounding oracle decryptRNS is
+// differentially pinned to, and the fallback outside its window.
+func (d *Decryptor) decryptBig(ct *Ciphertext) *Plaintext {
 	par := d.params
 	v := d.phase(ct)
 	pt := NewPlaintext(par)

@@ -306,12 +306,12 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 
 	if ev.useDCRT() {
 		ctx := dcrtFor(par)
-		k0, k1 := ev.rlk.forms.get(ctx, ev.rlk.K0, ev.rlk.K1)
+		k0, k1, k0s, k1s := ev.rlk.forms.getShoup(ctx, ev.rlk.K0, ev.rlk.K1)
 		var s0, s1 *poly.Poly
 		if ev.useRNSNative() {
 			// Digit decomposition by limb shifts, accumulation in the NTT
 			// domain, fast base conversion out — the big.Int-free path.
-			s0, s1 = keySwitchAcc(ctx, relinDigits(ctx, par, ct.Polys[2], len(k0)), k0, k1)
+			s0, s1 = keySwitchAcc(ctx, relinDigits(ctx, par, ct.Polys[2], len(k0)), k0, k1, k0s, k1s)
 		} else {
 			s0, s1 = keySwitchAccLegacy(ctx, decomposePoly(ct.Polys[2], par), k0, k1)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/dcrt"
 	"repro/internal/limb32"
 	"repro/internal/poly"
 )
@@ -88,6 +89,16 @@ func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g uint64) (*GaloisKey, error
 
 // ApplyGalois maps a degree-1 ciphertext of m(X) to a degree-1 ciphertext
 // of m(X^g), using the matching Galois key for key switching.
+//
+// Every backend uses the decompose-then-permute convention: c1 is digit-
+// decomposed first and the automorphism τ_g is applied to the digits
+// (valid because τ_g is a ring automorphism: Σ wⁱ·τ(dᵢ) = τ(c1)). The
+// digits of c1 are therefore independent of g — the hoisting property
+// that lets one decomposition serve many Galois elements (see hoist.go)
+// — and on the double-CRT backend τ_g acts on a decomposed digit as a
+// pure NTT-slot gather. Per-rotation ApplyGalois and hoisted rotation
+// share the digit set, so their outputs are bit-identical, and the
+// schoolbook oracle and PIM server use the same convention.
 func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, error) {
 	if ct.Degree() != 1 {
 		return nil, errors.New("bfv: ApplyGalois requires a degree-1 ciphertext")
@@ -97,22 +108,24 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, er
 	}
 	par := ev.params
 	c0 := applyGaloisPoly(ct.Polys[0], gk.G, par.Q, ev.Meter)
-	c1g := applyGaloisPoly(ct.Polys[1], gk.G, par.Q, ev.Meter)
 
-	// Key switch τ(c1) from s(X^g) to s.
 	if ev.useDCRT() {
 		ctx := dcrtFor(par)
 		k0, k1 := gk.forms.get(ctx, gk.K0, gk.K1)
 		var s0, outC1 *poly.Poly
 		if ev.useRNSNative() {
-			s0, outC1 = keySwitchAcc(ctx, relinDigits(ctx, par, c1g, len(k0)), k0, k1)
+			digits := relinDigits(ctx, par, ct.Polys[1], len(k0))
+			s0, outC1 = galoisKeySwitch(ctx, digits, gk)
+			for _, d := range digits {
+				ctx.PutScratch(d)
+			}
 		} else {
-			s0, outC1 = keySwitchAccLegacy(ctx, decomposePoly(c1g, par), k0, k1)
+			s0, outC1 = keySwitchAccLegacy(ctx, permuteDigits(decomposePoly(ct.Polys[1], par), gk.G, par, nil), k0, k1)
 		}
 		poly.Add(c0, c0, s0, par.Q, nil)
 		return &Ciphertext{Polys: []*poly.Poly{c0, outC1}}, nil
 	}
-	digitsP := decomposePoly(c1g, par)
+	digitsP := permuteDigits(decomposePoly(ct.Polys[1], par), gk.G, par, ev.Meter)
 	outC1 := poly.NewPoly(par.N, par.Q.W)
 	tmp := poly.NewPoly(par.N, par.Q.W)
 	for i, d := range digitsP {
@@ -125,6 +138,47 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, er
 		poly.Add(outC1, outC1, tmp, par.Q, ev.Meter)
 	}
 	return &Ciphertext{Polys: []*poly.Poly{c0, outC1}}, nil
+}
+
+// galoisKeySwitch runs the RNS-native Galois key switch for one element
+// over an existing digit decomposition of c1 (not consumed): the slot
+// gather realizes τ_g on each digit, the products accumulate in the NTT
+// domain against the key's cached Shoup forms, and both components leave
+// through the fast base conversion.
+func galoisKeySwitch(ctx *dcrt.Context, digits []*dcrt.Poly, gk *GaloisKey) (s0, s1 *poly.Poly) {
+	k0, k1, k0s, k1s := gk.forms.getShoup(ctx, gk.K0, gk.K1)
+	idx := dcrt.GaloisNTTIndices(ctx.N, gk.G)
+	acc0 := ctx.GetScratch()
+	acc1 := ctx.GetScratch()
+	defer ctx.PutScratch(acc0)
+	defer ctx.PutScratch(acc1)
+	acc0.Zero()
+	acc1.Zero()
+	galoisKeySwitchAcc(ctx, acc0, acc1, digits, idx, k0, k1, k0s, k1s)
+	return ctx.FromRNS(acc0), ctx.FromRNS(acc1)
+}
+
+// permuteDigits applies τ_g to each digit polynomial — the coefficient-
+// domain form of the decompose-then-permute convention, used by the
+// schoolbook (metered) and legacy big.Int paths. Negated coefficients
+// become q−v; the double-CRT paths' centered lift maps them back to the
+// small integers −v, so all backends agree mod q. The metered path
+// charges one permutation per digit: that is the data movement this
+// convention really costs a hoisting-capable kernel.
+func permuteDigits(digits []*poly.Poly, g uint64, par *Parameters, m limb32.Meter) []*poly.Poly {
+	out := make([]*poly.Poly, len(digits))
+	for i, d := range digits {
+		out[i] = applyGaloisPoly(d, g, par.Q, m)
+	}
+	return out
+}
+
+// PermuteGaloisPoly applies the coefficient permutation τ_g (with the
+// negacyclic sign rule) to a single R_q polynomial — exported for
+// accelerator backends that permute key-switching digits themselves
+// under the decompose-then-permute convention.
+func PermuteGaloisPoly(p *poly.Poly, g uint64, params *Parameters) *poly.Poly {
+	return applyGaloisPoly(p, g, params.Q, nil)
 }
 
 // PermuteGalois applies the coefficient permutation τ_g to every

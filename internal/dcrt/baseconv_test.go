@@ -224,3 +224,64 @@ func TestDigitsToRNSOracle(t *testing.T) {
 		}
 	}
 }
+
+// boundedTestValues is testValues clamped to |v| < 2^magBits — the
+// validity window RoundModT's limb-0 quotient read is gated on.
+func boundedTestValues(c *Context, n, magBits int, rng *rand.Rand) []*big.Int {
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(magBits))
+	vals := testValues(c, n, rng)
+	for _, v := range vals {
+		if v.CmpAbs(bound) >= 0 {
+			v.Mod(v, bound)
+		}
+	}
+	return vals
+}
+
+// TestRoundModTOracle drives the RNS-native decryption tail — the
+// ⌊t·X/q⌉ mod t fold — against the big.Int round-half-away-from-zero +
+// Euclidean-Mod oracle used by the schoolbook Decrypt.
+func TestRoundModTOracle(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(17))
+	for _, tMod := range []uint64{2, 16, 65537} {
+		for _, c := range convContexts(t, n) {
+			sr := c.ScaleRounder(tMod)
+			// The decryption phase magnitude is ~q·n²; give the oracle the
+			// widest window the limb-0 read supports.
+			magBits := 0
+			for m := 1; m < c.BoundBits; m++ {
+				if sr.CanRoundModT(m) {
+					magBits = m
+				}
+			}
+			if magBits < c.Mod.Bits()+10 {
+				t.Fatalf("q=%d bits t=%d: RoundModT window %d too narrow for decryption",
+					c.Mod.Bits(), tMod, magBits)
+			}
+			vals := boundedTestValues(c, n, magBits, rng)
+			x := residuePoly(c, vals)
+			for i := range x.Coeffs {
+				c.Tabs[i].Forward(x.Coeffs[i])
+			}
+			out := make([]uint64, n)
+			sr.RoundModT(x, out)
+			tBig := new(big.Int).SetUint64(tMod)
+			half := new(big.Int).Rsh(c.Mod.QBig, 1)
+			for j, v := range vals {
+				num := new(big.Int).Mul(v, tBig)
+				if num.Sign() >= 0 {
+					num.Add(num, half)
+				} else {
+					num.Sub(num, half)
+				}
+				num.Quo(num, c.Mod.QBig)
+				num.Mod(num, tBig)
+				if out[j] != num.Uint64() {
+					t.Fatalf("q=%d bits t=%d coeff %d (x=%v): RoundModT=%d want %v",
+						c.Mod.Bits(), tMod, j, v, out[j], num)
+				}
+			}
+		}
+	}
+}

@@ -371,6 +371,35 @@ func (c *Context) MulAddNTT(dst, a, b *Poly) {
 	})
 }
 
+// ShoupConsts returns the per-slot Shoup companions ⌊a[j]·2⁶⁴/p_i⌋ of a
+// — precomputed once for immutable operands (key-switching keys) so the
+// accumulation inner loops run Shoup multiplications instead of Barrett
+// reductions. The companion is only valid for the element it was built
+// from.
+func (c *Context) ShoupConsts(a *Poly) *Poly {
+	out := c.newPoly()
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		da, dd := a.Coeffs[i], out.Coeffs[i]
+		for j := range dd {
+			dd[j] = r.ShoupConst(da[j])
+		}
+	})
+	return out
+}
+
+// MulAddShoupNTT sets dst += a·b pointwise, with aShoup = ShoupConsts(a)
+// — the fast form of MulAddNTT for immutable a. Results are identical.
+func (c *Context) MulAddShoupNTT(dst, a, aShoup, b *Poly) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		da, ds, db, dd := a.Coeffs[i], aShoup.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = r.Add(dd[j], r.MulShoup(db[j], da[j], ds[j]))
+		}
+	})
+}
+
 // MulRq returns a·b in R_q via the double-CRT path: both operands enter
 // the extended basis, multiply pointwise, and the exact integer product
 // is recombined and reduced mod q. Bit-identical to poly.MulNegacyclic.

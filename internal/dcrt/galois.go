@@ -1,0 +1,121 @@
+// Galois automorphisms in the NTT domain.
+//
+// The negacyclic forward transform stores, at index j, the evaluation of
+// the polynomial at ψ^(2·bitrev(j)+1) (Longa–Naehrig layout, see
+// internal/ntt). The automorphism τ_g: X → X^g therefore acts on a
+// double-CRT element as a pure permutation of NTT slots — evaluation at
+// ψ^e becomes evaluation at ψ^(e·g mod 2n), with the negacyclic sign
+// rule absorbed by the evaluation points — and the permutation depends
+// only on (n, g), not on the limb prime. This is the primitive behind
+// hoisted rotations: the expensive digit decomposition (limb shifts plus
+// one forward-transform set per digit) is computed once per ciphertext,
+// and each additional Galois element costs only slot gathers and
+// pointwise products.
+package dcrt
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// galoisKey identifies a permutation table in the process-wide cache.
+type galoisKey struct {
+	n int
+	g uint64
+}
+
+var galoisTables sync.Map // galoisKey -> []uint32
+
+// GaloisNTTIndices returns the slot-permutation table for τ_g on NTT
+// vectors of length n: applying dst[j] = src[idx[j]] to the forward
+// transform of p yields the forward transform of τ_g(p), for every
+// modulus. g must be odd (even g is not an automorphism of the 2n-th
+// cyclotomic). Tables are immutable and shared process-wide.
+func GaloisNTTIndices(n int, g uint64) []uint32 {
+	if g%2 == 0 {
+		panic(fmt.Sprintf("dcrt: Galois element %d must be odd", g))
+	}
+	if n <= 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("dcrt: NTT length %d must be a power of two > 1", n))
+	}
+	key := galoisKey{n, g % uint64(2*n)}
+	if v, ok := galoisTables.Load(key); ok {
+		return v.([]uint32)
+	}
+	logN := bits.TrailingZeros(uint(n))
+	idx := make([]uint32, n)
+	twoN := uint64(2 * n)
+	for j := 0; j < n; j++ {
+		// Slot j holds the evaluation at exponent e = 2·bitrev(j)+1;
+		// τ_g(p) evaluated there is p evaluated at e·g, stored at the slot
+		// whose exponent is e·g mod 2n.
+		e := (2*revBits(uint64(j), logN) + 1) * (g % twoN) % twoN
+		idx[j] = uint32(revBits((e-1)/2, logN))
+	}
+	v, _ := galoisTables.LoadOrStore(key, idx)
+	return v.([]uint32)
+}
+
+// revBits reverses the low `width` bits of x.
+func revBits(x uint64, width int) uint64 {
+	return bits.Reverse64(x) >> (64 - width)
+}
+
+// PermuteNTT sets dst = τ_g(src) for double-CRT elements via the slot
+// gather idx (from GaloisNTTIndices). dst must not alias src.
+func (c *Context) PermuteNTT(dst, src *Poly, idx []uint32) {
+	parallelFor(c.K(), func(i int) {
+		ds, ss := dst.Coeffs[i], src.Coeffs[i]
+		for j := range ds {
+			ds[j] = ss[idx[j]]
+		}
+	})
+}
+
+// MulAddGatherNTT sets dst += a·τ(b) pointwise, with τ applied to b as
+// the slot gather idx — the hoisted key-switching inner loop, fusing the
+// digit permutation into the accumulation so permuted digits are never
+// materialized. dst must not alias b.
+func (c *Context) MulAddGatherNTT(dst, a, b *Poly, idx []uint32) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = r.Add(dd[j], r.Mul(da[j], db[idx[j]]))
+		}
+	})
+}
+
+// MulAddGatherShoupNTT is MulAddGatherNTT with aShoup = ShoupConsts(a) —
+// the fast form for immutable a (cached key forms). Results identical.
+func (c *Context) MulAddGatherShoupNTT(dst, a, aShoup, b *Poly, idx []uint32) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		da, ds, db, dd := a.Coeffs[i], aShoup.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = r.Add(dd[j], r.MulShoup(db[idx[j]], da[j], ds[j]))
+		}
+	})
+}
+
+// GaloisAccNTT accumulates one key-switching digit into both component
+// accumulators in a single pass: acc0 += k0·τ(d), acc1 += k1·τ(d), with
+// τ as the slot gather idx and k0s/k1s the keys' Shoup companions. Each
+// gathered digit slot is read once and feeds both products — the
+// innermost loop of (hoisted) rotation, where the per-element cost
+// bounds how close hoisting gets to its ideal k× saving.
+func (c *Context) GaloisAccNTT(acc0, acc1, k0, k0s, k1, k1s, d *Poly, idx []uint32) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		a0, a1 := acc0.Coeffs[i], acc1.Coeffs[i]
+		f0, s0 := k0.Coeffs[i], k0s.Coeffs[i]
+		f1, s1 := k1.Coeffs[i], k1s.Coeffs[i]
+		dd := d.Coeffs[i]
+		for j := range a0 {
+			v := dd[idx[j]]
+			a0[j] = r.Add(a0[j], r.MulShoup(v, f0[j], s0[j]))
+			a1[j] = r.Add(a1[j], r.MulShoup(v, f1[j], s1[j]))
+		}
+	})
+}

@@ -3,6 +3,7 @@ package dcrt
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // A process-wide bounded worker pool executes the per-limb and per-chunk
@@ -11,34 +12,67 @@ import (
 // oversubscribe the machine: at most GOMAXPROCS limb tasks run at once,
 // the rest queue.
 
-type task struct {
-	f  func(int)
-	i  int
-	wg *sync.WaitGroup
+// job is one parallelFor call: workers and the submitter claim indices
+// [0, n) from next atomically, so every task runs exactly once and any
+// participant can drain the whole job by itself.
+type job struct {
+	f    func(int)
+	n    int64
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// run claims and executes indices until the job is exhausted.
+func (jb *job) run() {
+	for {
+		i := jb.next.Add(1) - 1
+		if i >= jb.n {
+			return
+		}
+		jb.f(int(i))
+		jb.wg.Done()
+	}
 }
 
 var (
 	poolOnce sync.Once
-	taskCh   chan task
+	jobCh    chan *job
 )
 
 func startPool() {
 	workers := runtime.GOMAXPROCS(0)
-	taskCh = make(chan task, 2*workers)
+	jobCh = make(chan *job, 4*workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			for t := range taskCh {
-				t.f(t.i)
-				t.wg.Done()
+			for jb := range jobCh {
+				jb.run()
 			}
 		}()
 	}
 }
 
+// Parallel runs f(0..n-1) on the shared worker pool and waits for all of
+// them — the scheduling primitive the batched evaluation layer uses to
+// spread per-ciphertext work across the same bounded pool the per-limb
+// work runs on. A submitter only ever executes its own job's indices
+// (see parallelFor), so batch- and limb-level parallelism compose
+// without deadlock or oversubscription, even when tasks submit nested
+// work while holding locks.
+func Parallel(n int, f func(int)) { parallelFor(n, f) }
+
 // parallelFor runs f(0..n-1) on the shared worker pool and waits for all
-// of them. When the pool's queue is full (including the nested case of a
-// worker submitting work), the task runs inline on the submitter, so
-// progress is always guaranteed.
+// of them. The job is advertised to idle workers, and then the submitter
+// claims indices from its OWN job until none remain — so a submitter can
+// always drain its job single-handedly (progress is guaranteed at any
+// nesting depth, including GOMAXPROCS=1), and it never executes another
+// caller's task. That last property is what makes the pool safe to use
+// under caller-held locks: a batch task that holds a ciphertext-cache or
+// hoist mutex while submitting per-limb work can never be handed a
+// sibling task that would block on that same mutex (the self-deadlock a
+// steal-anything helping loop allows). The final Wait blocks only on
+// indices a worker has already claimed and is actively running, and
+// every lock-holder keeps making progress through its own claims, so
+// those workers always finish.
 func parallelFor(n int, f func(int)) {
 	if n <= 0 {
 		return
@@ -48,18 +82,26 @@ func parallelFor(n int, f func(int)) {
 		return
 	}
 	poolOnce.Do(startPool)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		t := task{f: f, i: i, wg: &wg}
+	jb := &job{f: f, n: int64(n)}
+	jb.wg.Add(n)
+	// Advertise to at most n-1 workers (duplicates are harmless: indices
+	// are claimed atomically, and a worker receiving an exhausted job
+	// discards it immediately). Non-blocking: when the queue is full the
+	// workers are saturated and the submitter just runs the job itself.
+	adverts := n - 1
+	if w := runtime.GOMAXPROCS(0); adverts > w {
+		adverts = w
+	}
+advertise:
+	for a := 0; a < adverts; a++ {
 		select {
-		case taskCh <- t:
+		case jobCh <- jb:
 		default:
-			f(i)
-			wg.Done()
+			break advertise
 		}
 	}
-	wg.Wait()
+	jb.run()
+	jb.wg.Wait()
 }
 
 // parallelChunks splits [0, n) into roughly worker-count contiguous chunks

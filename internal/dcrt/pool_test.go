@@ -1,0 +1,57 @@
+package dcrt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParallelNestedUnderLock is the pool's deadlock regression test:
+// outer tasks hold a shared mutex while submitting nested parallel work
+// — the shape Ciphertext.rnsNTT and Hoisted.snapshot create under the
+// batch layer. A scheduler that lets a waiting submitter execute a
+// sibling task would self-deadlock here (the sibling blocks on the
+// mutex the submitter's goroutine holds); the index-claiming design must
+// complete.
+func TestParallelNestedUnderLock(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var mu sync.Mutex
+		var ran atomic.Int64
+		for rep := 0; rep < 20; rep++ {
+			Parallel(32, func(int) {
+				mu.Lock()
+				defer mu.Unlock()
+				Parallel(8, func(int) {
+					ran.Add(1)
+				})
+			})
+		}
+		if got := ran.Load(); got != 20*32*8 {
+			t.Errorf("nested tasks ran %d times, want %d", got, 20*32*8)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pool deadlocked: nested Parallel under a caller-held lock never completed")
+	}
+}
+
+// TestParallelDeepNesting exercises three levels of nesting with work at
+// every level, checking exactly-once execution.
+func TestParallelDeepNesting(t *testing.T) {
+	var ran atomic.Int64
+	Parallel(4, func(int) {
+		Parallel(4, func(int) {
+			Parallel(4, func(int) {
+				ran.Add(1)
+			})
+		})
+	})
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("deep-nested tasks ran %d times, want 64", got)
+	}
+}

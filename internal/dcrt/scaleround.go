@@ -2,6 +2,7 @@ package dcrt
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/poly"
 )
@@ -48,6 +49,87 @@ func (c *Context) ScaleRounder(t uint64) *ScaleRounder {
 	}
 	v, _ := c.conv.rounders.LoadOrStore(t, sr)
 	return v.(*ScaleRounder)
+}
+
+// CanRoundModT reports whether RoundModT is exact for inputs whose
+// integer coefficients X satisfy |X| < 2^magBits: the conversion X mod q
+// must stay inside the basis exactness window, and the rounded quotient
+// Y = ⌊t·X/q⌉ must be recoverable from its residue in limb channel 0
+// alone (|Y| < p₀/2). Callers outside those bounds keep the big.Int
+// path.
+func (sr *ScaleRounder) CanRoundModT(magBits int) bool {
+	c := sr.c
+	if magBits >= c.BoundBits {
+		return false
+	}
+	// |Y| ≤ t·|X|/q + 1/2, so bits(Y) ≤ bits(t) + magBits − bits(q) + 2.
+	yBits := bits.Len64(sr.t) + magBits - c.Mod.Bits() + 2
+	return yBits < bits.Len64(c.Basis.Primes[0])-1
+}
+
+// RoundModT maps the exact integer coefficients X of x (NTT domain) to
+// ⌊t·X/q⌉ mod t, writing the canonical values into out (length N) — the
+// RNS-native decryption tail. It shares ScaleRound's exact t/q rounding:
+// one fast base conversion gives u = X mod q, the centered remainder
+// r = t·u cmod q makes t·X − r divisible by q, and the quotient
+// Y = (t·X − r)/q — the exact round of t·X/q, tie-free because q is odd
+// — is then read from limb channel 0 by the same per-limb exact
+// division, valid while |Y| < p₀/2 (callers gate on CanRoundModT). The
+// final centered-mod-t fold matches the big.Int oracle's Euclidean Mod,
+// bit for bit, with no big.Int on the path.
+func (sr *ScaleRounder) RoundModT(x *Poly, out []uint64) {
+	c := sr.c
+	cv := c.conv
+	tmp := c.intt(x)
+	defer c.PutScratch(tmp)
+
+	uLo := c.getU64()
+	uHi := c.getU64()
+	neg := c.getU64()
+	defer c.putU64(uLo)
+	defer c.putU64(uHi)
+	defer c.putU64(neg)
+	lo, hi, sign := *uLo, *uHi, *neg
+
+	c.convModQ(tmp, lo, hi)
+	r0 := c.Tabs[0].R
+	p0 := c.Basis.Primes[0]
+	half0 := p0 >> 1
+	t := sr.t
+	tP, tPs := sr.tP[0], sr.tPShoup[0]
+	qInv, qInvS := cv.qInvP[0], cv.qInvPShoup[0]
+	x0 := tmp.Coeffs[0]
+	parallelChunks(c.N, func(from, to int) {
+		for j := from; j < to; j++ {
+			rlo, rhi := cv.qr.mulSmall(lo[j], hi[j], t)
+			if cv.qr.gtHalf(rlo, rhi) {
+				rlo, rhi = cv.qr.negate(rlo, rhi)
+				sign[j] = 1
+			} else {
+				sign[j] = 0
+			}
+			tx := r0.MulShoup(x0[j], tP, tPs)
+			rm := r0.ReduceWide(rhi, rlo)
+			var d uint64
+			if sign[j] != 0 {
+				d = r0.Add(tx, rm)
+			} else {
+				d = r0.Sub(tx, rm)
+			}
+			y := r0.MulShoup(d, qInv, qInvS)
+			// y is Y mod p₀ with |Y| < p₀/2: fold the centered value into
+			// [0, t) the way big.Int's Euclidean Mod does.
+			if y > half0 {
+				if m := (p0 - y) % t; m != 0 {
+					out[j] = t - m
+				} else {
+					out[j] = 0
+				}
+			} else {
+				out[j] = y % t
+			}
+		}
+	})
 }
 
 // ScaleRound maps the exact integer coefficients X of x (NTT domain,

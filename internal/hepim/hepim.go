@@ -292,9 +292,12 @@ func (s *Server) Square(ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
 
 // ApplyGalois applies the automorphism X→X^g to a degree-1 ciphertext
 // with the key-switching digit products executed on the PIM system (one
-// kernel launch), bit-exact against bfv.Evaluator.ApplyGalois. The
-// coefficient permutation itself is data movement, not arithmetic; the
-// host performs it as the paper's host performs scalar work.
+// kernel launch), bit-exact against bfv.Evaluator.ApplyGalois. Like the
+// host evaluator, it uses the decompose-then-permute convention (c1's
+// digits are computed first, then permuted — the ordering that lets a
+// host hoist one decomposition across many Galois elements). The
+// permutations themselves are data movement, not arithmetic; the host
+// performs them as the paper's host performs scalar work.
 func (s *Server) ApplyGalois(ct *bfv.Ciphertext, gk *bfv.GaloisKey) (*bfv.Ciphertext, error) {
 	if ct.Degree() != 1 {
 		return nil, errors.New("hepim: ApplyGalois requires a degree-1 ciphertext")
@@ -305,13 +308,14 @@ func (s *Server) ApplyGalois(ct *bfv.Ciphertext, gk *bfv.GaloisKey) (*bfv.Cipher
 	par := s.Params
 	n, w := par.N, par.Q.W
 
-	// Host: permute both components (pure data movement).
-	perm := bfv.PermuteGalois(ct, gk.G, par)
-	c0 := perm.Polys[0]
-	c1g := perm.Polys[1]
+	// Host: permute c0 and the digits of c1 (pure data movement).
+	c0 := bfv.PermuteGaloisPoly(ct.Polys[0], gk.G, par)
 
-	// PIM: digit × key products, one launch.
-	digits := bfv.DecomposeForRelin(c1g, par)
+	// PIM: permuted digit × key products, one launch.
+	digits := bfv.DecomposeForRelin(ct.Polys[1], par)
+	for i, d := range digits {
+		digits[i] = bfv.PermuteGaloisPoly(d, gk.G, par)
+	}
 	ra := make([]uint32, 0, 2*len(digits)*n*w)
 	rb := make([]uint32, 0, 2*len(digits)*n*w)
 	pairs := 0
