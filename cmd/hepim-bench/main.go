@@ -7,7 +7,8 @@
 //	hepim-bench -fig all          # every paper figure (default)
 //	hepim-bench -fig 1a           # one figure: 1a 1b 2a 2b 2c width tasklets transfers ablation
 //	hepim-bench -fig 1b -csv      # machine-readable output
-//	hepim-bench -fig dcrt         # measure host EvalMul, both backends (slow: runs the schoolbook)
+//	hepim-bench -fig dcrt         # measure host EvalMul across hebfv backends (slow: runs the schoolbook)
+//	hepim-bench -fig dcrt -backend dcrt-native         # restrict to one registry backend
 //	hepim-bench -fig batch        # measure batched rotations (hoisted vs serial) + decryption
 //	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # emit the tracking JSON (dcrt + batch axes)
 package main
@@ -16,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/hebfv"
 	"repro/internal/bench"
 )
 
@@ -24,7 +27,29 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|dcrt|batch|all")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonFlag := flag.String("dcrt-json", "", "write the measured evaluation-layer report (EvalMul + batched-rotation axes) to this path (e.g. BENCH_dcrt.json)")
+	backendFlag := flag.String("backend", "",
+		fmt.Sprintf("restrict -fig dcrt/batch to one hebfv backend %v; empty = the tracked set", hebfv.Backends()))
 	flag.Parse()
+
+	if *backendFlag != "" {
+		known := false
+		for _, name := range hebfv.Backends() {
+			if name == *backendFlag {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "hepim-bench: unknown backend %q (have %s)\n",
+				*backendFlag, strings.Join(hebfv.Backends(), ", "))
+			os.Exit(1)
+		}
+		if *backendFlag == "pim" {
+			fmt.Fprintln(os.Stderr, "hepim-bench: the pim backend runs every kernel on the functional simulator —",
+				"far too slow for the n=1024/4096 measurement figures; exercise it via the examples (e.g. examples/privatemean)")
+			os.Exit(1)
+		}
+	}
 
 	// The dcrt and batch figures measure this process's real evaluator
 	// rather than replaying the paper's models, so they bypass the suite.
@@ -40,8 +65,12 @@ func main() {
 		}
 		var figs []*bench.Figure
 		var rep *bench.DCRTReport
+		var evalBackends []string
+		if *backendFlag != "" {
+			evalBackends = []string{*backendFlag}
+		}
 		if *figFlag == "dcrt" || *jsonFlag != "" {
-			fig, r, err := bench.MeasureDCRT([]int{1024, 4096})
+			fig, r, err := bench.MeasureDCRT([]int{1024, 4096}, evalBackends)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
 				os.Exit(1)
@@ -52,7 +81,7 @@ func main() {
 			}
 		}
 		if *figFlag == "batch" || *jsonFlag != "" {
-			fig, points, err := bench.MeasureBatch(4096, 8)
+			fig, points, err := bench.MeasureBatch(4096, 8, *backendFlag)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
 				os.Exit(1)

@@ -7,6 +7,24 @@
 // and a benchmark harness that regenerates every figure of the paper's
 // evaluation.
 //
+// # Public API: package hebfv
+//
+// The public surface of the library is the hebfv package — a
+// scheme-level facade with context-managed keys, slot-level rotations,
+// versioned serialization, and pluggable evaluation backends selected
+// by name ("dcrt-native", "dcrt-legacy", "schoolbook", "pim"). Every
+// scheme-level consumer — all examples that touch BFV, cmd/hepim-bench's
+// evaluation figures, and the served front end the roadmap plans —
+// builds against hebfv only. (cmd/hepim and cmd/pimsim remain thin
+// demos of the internal wire formats and the raw PIM simulator;
+// examples/platformcompare drives only the analytic platform models.)
+//
+// Everything under internal/ is private by policy as well as by Go
+// visibility: the packages below are implementation layers whose APIs
+// may change freely between commits, and new consumers must go through
+// the facade (adding whatever the facade lacks) rather than reaching
+// around it.
+//
 // # Evaluation backends
 //
 // Host-side BFV evaluation runs on a double-CRT (RNS + NTT) backend
@@ -58,6 +76,15 @@
 // bit-identical to per-rotation ApplyGalois, which is bit-identical to
 // the schoolbook oracle and the PIM server.
 //
+// Rotation outputs can additionally stay NTT-resident
+// (bfv.RotatedNTT / BatchEvaluator.RotateManyNTT): the two per-output
+// base conversions — the cost that capped hoisted RotateMany at ~1.4×
+// over serial rotation — are deferred until a consumer forces
+// coefficients, and sums of deferred outputs fuse entirely in the NTT
+// domain. The hebfv facade threads this through transparently: a
+// deferred rotation materializes on first arithmetic/decrypt/serialize
+// touch, bit-identically.
+//
 // Decryption is RNS-native on the same machinery: the phase c0 + c1·s
 // (+ c2·s²) accumulates on cached NTT forms and the exact t/q rounding
 // folds to mod t per limb (internal/dcrt.ScaleRounder.RoundModT), leaving
@@ -72,9 +99,12 @@
 // against (bfv.NewSchoolbookEvaluator).
 //
 // The root package holds the per-figure benchmarks (bench_test.go); the
-// implementation lives under internal/ (see DESIGN.md for the map) and
-// the runnable entry points under cmd/ and examples/. Evaluation-layer
-// performance is tracked by `hepim-bench -fig dcrt -dcrt-json
-// BENCH_dcrt.json` (v3: EvalMul, batched-rotation, and decryption axes)
-// and gated in CI by cmd/benchdiff against .github/bench-baseline.txt.
+// public API lives in hebfv/, the implementation under internal/ (see
+// DESIGN.md for the map) and the runnable entry points under cmd/ and
+// examples/. Evaluation-layer performance is
+// tracked by `hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json` (v4:
+// EvalMul, batched-rotation, and decryption axes, measured through the
+// hebfv backend registry and restrictable with -backend) and gated in
+// CI by cmd/benchdiff against .github/bench-baseline.txt — a blocking
+// job since the facade PR.
 package repro

@@ -1,12 +1,14 @@
-// Batched query with hoisted rotations: a server holds several encrypted
-// records and answers a "windowed aggregate" query — for each record,
-// the sum of the record with k rotated copies of itself — the batched
-// rotate-and-sum pipeline the paper's PIM workloads are shaped like.
+// Batched query with hoisted rotations, through the slot-level facade:
+// a server holds several encrypted records and answers a "windowed
+// aggregate" query — for each record, the sum of the record with k
+// row-rotated copies of itself — the batched rotate-and-sum pipeline
+// the paper's PIM workloads are shaped like.
 //
-// The BatchEvaluator hoists each record's key-switching digit
-// decomposition (computed once, reused by all k Galois elements) and
-// fuses the k key-switch reductions into one extended-basis accumulator,
-// so the batch runs several times faster than per-rotation evaluation —
+// Callers speak in rotation steps; the facade maps steps to Galois
+// elements, manages the Galois keys, hoists each record's key-switching
+// digit decomposition (computed once, reused by all k steps) and fuses
+// the k key-switch reductions into one extended-basis accumulator — so
+// the batch runs several times faster than per-rotation evaluation
 // while producing bit-identical ciphertexts, which this demo verifies.
 //
 //	go run ./examples/batchquery
@@ -17,67 +19,61 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/bfv"
-	"repro/internal/sampling"
+	"repro/hebfv"
 )
 
 func main() {
-	params := bfv.ParamsSec54AtDegree(4096)
-	fmt.Println("parameters:", params)
-
-	src, err := sampling.NewSystemSource()
+	ctx, err := hebfv.New(hebfv.WithSecurityLevel(54))
 	if err != nil {
 		log.Fatal(err)
 	}
-	kg := bfv.NewKeyGenerator(params, src)
-	sk, pk := kg.GenKeyPair()
-	enc := bfv.NewEncryptor(params, pk, src)
-	dec := bfv.NewDecryptor(params, sk)
+	fmt.Println("context:", ctx)
 
-	// Galois keys for the window: the automorphisms X → X^(3^i).
+	// The query window: rotations by steps 1..k.
 	const rotations = 8
-	gks := make([]*bfv.GaloisKey, rotations)
-	g := uint64(1)
-	for i := range gks {
-		g = g * 3 % uint64(2*params.N)
-		if gks[i], err = kg.GenGaloisKey(sk, g); err != nil {
-			log.Fatal(err)
-		}
+	steps := make([]int, rotations)
+	for i := range steps {
+		steps[i] = i + 1
 	}
 
-	// The server's batch: 4 encrypted records.
+	// The server's batch: 4 encrypted records, values packed in slots.
 	const batch = 4
-	records := make([]*bfv.Ciphertext, batch)
-	plain := make([]*bfv.Plaintext, batch)
+	records := make([]*hebfv.Ciphertext, batch)
+	plain := make([][]uint64, batch)
+	t := ctx.PlaintextModulus()
 	for r := range records {
-		pt := bfv.NewPlaintext(params)
-		for i := range pt.Coeffs {
-			pt.Coeffs[i] = uint64((i*(r+3) + r) % int(params.T))
+		vals := make([]uint64, ctx.Slots())
+		for i := range vals {
+			vals[i] = uint64((i*(r+3) + r)) % t
 		}
-		plain[r] = pt
-		if records[r], err = enc.Encrypt(pt); err != nil {
+		plain[r] = vals
+		if records[r], err = ctx.EncryptSlots(vals); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// Per-rotation evaluation: every rotation pays its own digit
 	// decomposition.
-	ev := bfv.NewEvaluator(params, nil)
-	for _, gk := range gks { // exclude one-time key-form setup for every key
-		if _, err := ev.ApplyGalois(records[0], gk); err != nil {
+	if _, err := ctx.RotateRows(records[0], steps[0]); err != nil {
+		log.Fatal(err) // warm the Galois keys and cached key forms
+	}
+	for _, k := range steps[1:] {
+		if _, err := ctx.RotateRows(records[0], k); err != nil {
 			log.Fatal(err)
 		}
 	}
 	start := time.Now()
-	serial := make([]*bfv.Ciphertext, batch)
+	serial := make([]*hebfv.Ciphertext, batch)
 	for r, ct := range records {
-		acc := ct.Clone()
-		for _, gk := range gks {
-			rot, err := ev.ApplyGalois(ct, gk)
+		acc := ct
+		for _, k := range steps {
+			rot, err := ctx.RotateRows(ct, k)
 			if err != nil {
 				log.Fatal(err)
 			}
-			acc = ev.Add(acc, rot)
+			if acc, err = ctx.Add(acc, rot); err != nil {
+				log.Fatal(err)
+			}
 		}
 		serial[r] = acc
 	}
@@ -85,40 +81,41 @@ func main() {
 
 	// Batched evaluation: one hoisted decomposition per record, one fused
 	// reduction for all k rotations.
-	be := bfv.NewBatchEvaluatorFrom(ev)
 	start = time.Now()
-	batched, err := be.RotateAndSum(records, gks)
+	batched, err := ctx.RotateRowsAndSum(records, steps)
 	if err != nil {
 		log.Fatal(err)
 	}
 	batchTime := time.Since(start)
 
-	fmt.Printf("rotate-and-sum, %d records x %d rotations (n=%d):\n", batch, rotations, params.N)
+	fmt.Printf("rotate-and-sum, %d records x %d rotations (n=%d):\n", batch, rotations, ctx.N())
 	fmt.Printf("  per-rotation: %8.1f ms\n", serialTime.Seconds()*1e3)
 	fmt.Printf("  hoisted:      %8.1f ms  (%.1fx)\n",
 		batchTime.Seconds()*1e3, serialTime.Seconds()/batchTime.Seconds())
 
 	// The two pipelines must agree bit for bit, and decrypt to the
-	// plaintext rotate-and-sum reference.
+	// slot-level rotate-and-sum reference.
+	row := ctx.RowSlots()
 	for r := range records {
 		if !batched[r].Equal(serial[r]) {
 			log.Fatalf("record %d: hoisted result differs from per-rotation evaluation", r)
 		}
-		want := plain[r]
-		for _, gk := range gks {
-			rotated := bfv.GaloisPlaintext(params, plain[r], gk.G)
-			sum := bfv.NewPlaintext(params)
-			for i := range sum.Coeffs {
-				sum.Coeffs[i] = (want.Coeffs[i] + rotated.Coeffs[i]) % params.T
+		want := append([]uint64(nil), plain[r]...)
+		for _, k := range steps {
+			for i := range want {
+				rr, col := i/row, i%row
+				want[i] = (want[i] + plain[r][rr*row+(col+k)%row]) % t
 			}
-			want = sum
 		}
-		got := dec.Decrypt(batched[r])
-		for i := range want.Coeffs {
-			if got.Coeffs[i] != want.Coeffs[i] {
+		got, err := ctx.DecryptSlots(batched[r])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
 				log.Fatalf("record %d: decrypted aggregate wrong at slot %d", r, i)
 			}
 		}
 	}
-	fmt.Println("OK: hoisted == per-rotation (bitwise), decryption matches the plaintext reference")
+	fmt.Println("OK: hoisted == per-rotation (bitwise), decryption matches the slot-level reference")
 }

@@ -1,7 +1,8 @@
-// Encrypted linear-regression scoring: the paper's Figure 2(c) scenario.
-// A model owner encrypts regression weights; users encrypt 3-feature
-// samples; the PIM server computes ŷ = w·x homomorphically — it learns
-// neither the model nor the data.
+// Encrypted linear-regression scoring: the paper's Figure 2(c)
+// scenario, through the facade. A model owner encrypts regression
+// weights; users encrypt 3-feature samples; the hebfv "pim" backend
+// computes ŷ = w·x homomorphically — it learns neither the model nor
+// the data.
 //
 //	go run ./examples/linreg
 package main
@@ -9,45 +10,33 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/big"
 
-	"repro/internal/bfv"
-	"repro/internal/hepim"
-	"repro/internal/hestats"
-	"repro/internal/pim"
-	"repro/internal/sampling"
+	"repro/hebfv"
 )
 
 func main() {
-	// Reduced ring (N=64) so the functional simulation of every
-	// multiplication finishes in seconds; same 60-bit modulus class as
-	// bfv.ParamsToy, with t=257 for headroom.
-	q, _ := new(big.Int).SetString("1152921504606846883", 10)
-	params, err := bfv.NewParameters(64, q, 257, 20)
+	// Toy ring (N=64) so the functional simulation of every
+	// multiplication finishes in seconds; t=257 gives the dot products
+	// headroom.
+	ctx, err := hebfv.New(
+		hebfv.WithInsecureToyParameters(),
+		hebfv.WithPlaintextModulus(257),
+		hebfv.WithBackend("pim"),
+		hebfv.WithPIMDPUs(16),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("parameters:", params)
-
-	src, err := sampling.NewSystemSource()
-	if err != nil {
-		log.Fatal(err)
-	}
-	kg := bfv.NewKeyGenerator(params, src)
-	sk, pk := kg.GenKeyPair()
-	rlk := kg.GenRelinKey(sk)
-	enc := bfv.NewEncryptor(params, pk, src)
-	dec := bfv.NewDecryptor(params, sk)
+	fmt.Println("context:", ctx)
 
 	// Model owner: y = 2·x1 + 3·x2 + 1·x3, weights encrypted.
 	weights := []uint64{2, 3, 1}
-	encW := make([]*bfv.Ciphertext, len(weights))
+	encW := make([]*hebfv.Ciphertext, len(weights))
 	for j, w := range weights {
-		if encW[j], err = enc.EncryptValue(w); err != nil {
+		if encW[j], err = ctx.EncryptValue(w); err != nil {
 			log.Fatal(err)
 		}
 	}
-	model := &hestats.LinRegModel{Weights: encW}
 
 	// Users: four 3-feature samples, encrypted feature-wise.
 	features := [][]uint64{
@@ -56,37 +45,43 @@ func main() {
 		{2, 5, 0},
 		{0, 3, 7},
 	}
-	samples := make([][]*bfv.Ciphertext, len(features))
+	samples := make([][]*hebfv.Ciphertext, len(features))
 	for i, f := range features {
-		samples[i] = make([]*bfv.Ciphertext, len(f))
+		samples[i] = make([]*hebfv.Ciphertext, len(f))
 		for j, x := range f {
-			if samples[i][j], err = enc.EncryptValue(x); err != nil {
+			if samples[i][j], err = ctx.EncryptValue(x); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
 
-	// The PIM server scores all samples: 3 homomorphic multiplications +
-	// a sum per sample, every polynomial product on the DPU kernels.
-	cfg := pim.DefaultConfig()
-	cfg.NumDPUs = 16
-	srv, err := hepim.NewServer(cfg, params, rlk)
-	if err != nil {
-		log.Fatal(err)
+	// The PIM backend scores all samples: 3 homomorphic multiplications
+	// + a sum per sample, every polynomial product on the DPU kernels.
+	preds := make([]*hebfv.Ciphertext, len(samples))
+	for i, sample := range samples {
+		prods := make([]*hebfv.Ciphertext, len(weights))
+		for j := range weights {
+			if prods[j], err = ctx.Mul(encW[j], sample[j]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if preds[i], err = ctx.Sum(prods); err != nil {
+			log.Fatal(err)
+		}
 	}
-	preds, err := model.Predict(srv, samples)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("PIM server scored %d samples (%d kernel launches, %.3f ms modeled kernel time)\n",
-		len(preds), len(srv.Reports), srv.ModeledSeconds()*1e3)
+	launches, seconds, _ := ctx.PIMReport()
+	fmt.Printf("PIM backend scored %d samples (%d kernel launches, %.3f ms modeled kernel time)\n",
+		len(preds), launches, seconds*1e3)
 
 	for i, p := range preds {
 		var want uint64
 		for j := range weights {
 			want += weights[j] * features[i][j]
 		}
-		got := dec.DecryptValue(p)
+		got, err := ctx.DecryptValue(p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		status := "OK"
 		if got != want {
 			status = "MISMATCH"

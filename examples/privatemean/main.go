@@ -1,7 +1,8 @@
-// Private mean: the paper's Figure 2(a) scenario end to end. Many users
-// encrypt a private reading (e.g. a salary or a sensor value); the
-// PIM-equipped server aggregates the ciphertexts without ever decrypting;
-// the analyst decrypts only the final sum and divides.
+// Private mean: the paper's Figure 2(a) scenario end to end, through
+// the public facade. Many users encrypt a private reading (e.g. a
+// salary or a sensor value); the PIM-equipped server — selected as the
+// hebfv "pim" backend — aggregates the ciphertexts without ever
+// decrypting; the analyst decrypts only the final sum and divides.
 //
 //	go run ./examples/privatemean
 package main
@@ -9,68 +10,55 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/big"
 
-	"repro/internal/bfv"
-	"repro/internal/hepim"
-	"repro/internal/hestats"
-	"repro/internal/pim"
-	"repro/internal/sampling"
+	"repro/hebfv"
 )
 
 func main() {
-	// The paper's 54-bit level with plaintext modulus t = 65537, so the
-	// aggregate of all readings stays below t (no plaintext wraparound).
-	q, _ := new(big.Int).SetString("18014398509481951", 10)
-	params, err := bfv.NewParameters(2048, q, 65537, 18)
+	// The paper's 54-bit level; the default plaintext modulus t = 65537
+	// keeps the aggregate of all readings below t (no wraparound).
+	ctx, err := hebfv.New(
+		hebfv.WithSecurityLevel(54),
+		hebfv.WithBackend("pim"),
+		hebfv.WithPIMDPUs(64),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("parameters:", params)
-
-	src, err := sampling.NewSystemSource()
-	if err != nil {
-		log.Fatal(err)
-	}
-	kg := bfv.NewKeyGenerator(params, src)
-	sk, pk := kg.GenKeyPair()
-	enc := bfv.NewEncryptor(params, pk, src)
-	dec := bfv.NewDecryptor(params, sk)
+	fmt.Println("context:", ctx)
 
 	// 64 users each encrypt one private reading in [0, 1000).
 	users := 64
 	readings := make([]uint64, users)
-	cts := make([]*bfv.Ciphertext, users)
+	cts := make([]*hebfv.Ciphertext, users)
 	var trueSum uint64
 	for i := range cts {
 		readings[i] = uint64((i*137 + 41) % 1000)
 		trueSum += readings[i]
-		ct, err := enc.EncryptValue(readings[i])
-		if err != nil {
+		if cts[i], err = ctx.EncryptValue(readings[i]); err != nil {
 			log.Fatal(err)
 		}
-		cts[i] = ct
 	}
 	fmt.Printf("%d users encrypted their readings (%d KiB of ciphertext total)\n",
-		users, users*params.CiphertextBytes()/1024)
+		users, users*ctx.CiphertextBytes()/1024)
 
-	// The server: a simulated UPMEM PIM system. The reduction runs as DPU
-	// kernels; the server never holds a key.
-	cfg := pim.DefaultConfig()
-	cfg.NumDPUs = 64
-	srv, err := hepim.NewServer(cfg, params, nil)
+	// The server: a simulated UPMEM PIM system behind the backend
+	// registry. The reduction runs as DPU kernels; the evaluation side
+	// never needs a secret key.
+	encSum, err := ctx.Sum(cts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	encMean, err := hestats.Mean(srv, cts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("PIM server aggregated %d ciphertexts in %.3f ms of modeled kernel time (%d kernel launches)\n",
-		users, srv.ModeledSeconds()*1e3, len(srv.Reports))
+	launches, seconds, _ := ctx.PIMReport()
+	fmt.Printf("PIM backend aggregated %d ciphertexts in %.3f ms of modeled kernel time (%d kernel launches)\n",
+		users, seconds*1e3, launches)
 
 	// The analyst decrypts the single result ciphertext.
-	got := encMean.Decrypt(dec)
+	sum, err := ctx.DecryptValue(encSum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := float64(sum) / float64(users)
 	want := float64(trueSum) / float64(users)
 	fmt.Printf("decrypted mean: %.4f (plaintext recomputation: %.4f)\n", got, want)
 	if got != want {

@@ -1,5 +1,7 @@
-// Quickstart: generate keys, encrypt two integers, add and multiply them
-// homomorphically, and decrypt — the complete BFV flow in ~40 lines.
+// Quickstart: build a context, encrypt two integers, add and multiply
+// them homomorphically, and decrypt — the complete BFV flow through the
+// public hebfv facade in ~40 lines. The context manages every key;
+// nothing but hebfv is imported.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,55 +10,54 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/bfv"
-	"repro/internal/sampling"
+	"repro/hebfv"
 )
 
 func main() {
 	// Toy parameters: fast, no security margin. Swap in
-	// bfv.ParamsSec109() for the paper's 109-bit level.
-	params := bfv.ParamsToy()
-	fmt.Println("parameters:", params)
-
-	src, err := sampling.NewSystemSource()
+	// hebfv.WithSecurityLevel(109) for the paper's 109-bit level.
+	// t=16 leaves noise headroom for a two-deep multiplication chain.
+	ctx, err := hebfv.New(
+		hebfv.WithInsecureToyParameters(),
+		hebfv.WithPlaintextModulus(16),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kg := bfv.NewKeyGenerator(params, src)
-	sk, pk := kg.GenKeyPair()
-	rlk := kg.GenRelinKey(sk)
+	fmt.Println("context:", ctx)
 
-	enc := bfv.NewEncryptor(params, pk, src)
-	dec := bfv.NewDecryptor(params, sk)
-	eval := bfv.NewEvaluator(params, rlk)
-
-	a, err := enc.EncryptValue(3)
+	a, err := ctx.EncryptValue(3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := enc.EncryptValue(5)
+	b, err := ctx.EncryptValue(5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("encrypted 3 and 5 (each ciphertext: %d bytes for %d bytes of plain data)\n",
-		params.CiphertextBytes(), params.PlaintextBytes())
+	fmt.Printf("encrypted 3 and 5 (each ciphertext: %d bytes)\n", ctx.CiphertextBytes())
 
-	sum := eval.Add(a, b)
-	fmt.Printf("3 + 5 = %d  (noise budget %d bits)\n",
-		dec.DecryptValue(sum), dec.NoiseBudget(sum))
-
-	prod, err := eval.Mul(a, b)
+	sum, err := ctx.Add(a, b)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("3 * 5 = %d  (noise budget %d bits)\n",
-		dec.DecryptValue(prod), dec.NoiseBudget(prod))
+	v, _ := ctx.DecryptValue(sum)
+	budget, _ := ctx.NoiseBudget(sum)
+	fmt.Printf("3 + 5 = %d  (noise budget %d bits)\n", v, budget)
+
+	prod, err := ctx.Mul(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ = ctx.DecryptValue(prod)
+	budget, _ = ctx.NoiseBudget(prod)
+	fmt.Printf("3 * 5 = %d  (noise budget %d bits)\n", v, budget)
 
 	// Computations compose: (3+5)*3 = 24 mod t.
-	both, err := eval.Mul(sum, a)
+	both, err := ctx.Mul(sum, a)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("(3+5) * 3 = %d mod %d  (noise budget %d bits)\n",
-		dec.DecryptValue(both), params.T, dec.NoiseBudget(both))
+	v, _ = ctx.DecryptValue(both)
+	budget, _ = ctx.NoiseBudget(both)
+	fmt.Printf("(3+5) * 3 = %d mod %d  (noise budget %d bits)\n", v, ctx.PlaintextModulus(), budget)
 }

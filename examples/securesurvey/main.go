@@ -1,11 +1,12 @@
-// Secure survey with SIMD batching: CRT batching packs many values into
-// the slots of a single ciphertext, so one homomorphic addition
-// aggregates an entire response sheet — the packing optimization SEAL
-// exposes and the paper leaves as PIM future work.
+// Secure survey with SIMD batching, through the slot-level facade: CRT
+// batching packs many values into the slots of a single ciphertext, so
+// one homomorphic addition aggregates an entire response sheet — the
+// packing optimization SEAL exposes and the paper leaves as PIM future
+// work.
 //
-// Scenario: respondents rate 8 questions 0–5; each response sheet is one
-// ciphertext; the untrusted server adds the sheets; the analyst decrypts
-// per-question totals.
+// Scenario: respondents rate 8 questions 0–5; each response sheet is
+// one ciphertext; the untrusted server — the hebfv "pim" backend — adds
+// the sheets; the analyst decrypts per-question totals.
 //
 //	go run ./examples/securesurvey
 package main
@@ -13,35 +14,22 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/big"
 
-	"repro/internal/bfv"
-	"repro/internal/hepim"
-	"repro/internal/pim"
-	"repro/internal/sampling"
+	"repro/hebfv"
 )
 
 func main() {
-	// Batching needs a prime t ≡ 1 (mod 2N): t=65537 works for N=64.
-	q, _ := new(big.Int).SetString("1152921504606846883", 10)
-	params, err := bfv.NewParameters(64, q, 65537, 20)
+	// Toy ring (N=64) so the simulation runs instantly; the default
+	// plaintext modulus 65537 supports batching at every degree.
+	ctx, err := hebfv.New(
+		hebfv.WithInsecureToyParameters(),
+		hebfv.WithBackend("pim"),
+		hebfv.WithPIMDPUs(8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	be, err := bfv.NewBatchEncoder(params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("parameters:", params)
-
-	src, err := sampling.NewSystemSource()
-	if err != nil {
-		log.Fatal(err)
-	}
-	kg := bfv.NewKeyGenerator(params, src)
-	sk, pk := kg.GenKeyPair()
-	enc := bfv.NewEncryptor(params, pk, src)
-	dec := bfv.NewDecryptor(params, sk)
+	fmt.Println("context:", ctx)
 
 	// 20 respondents, 8 questions each, packed one sheet per ciphertext.
 	questions := 8
@@ -53,13 +41,9 @@ func main() {
 		}
 		responses = append(responses, sheet)
 	}
-	var cts []*bfv.Ciphertext
+	var cts []*hebfv.Ciphertext
 	for _, sheet := range responses {
-		pt, err := be.Encode(sheet)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ct, err := enc.Encrypt(pt)
+		ct, err := ctx.EncryptSlots(sheet)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,23 +52,20 @@ func main() {
 	fmt.Printf("%d respondents packed %d answers each into one ciphertext apiece\n",
 		len(cts), questions)
 
-	// Untrusted aggregation on the PIM server: ONE sum over ciphertexts
+	// Untrusted aggregation on the PIM backend: ONE sum over ciphertexts
 	// aggregates all questions simultaneously (SIMD).
-	cfg := pim.DefaultConfig()
-	cfg.NumDPUs = 8
-	srv, err := hepim.NewServer(cfg, params, nil)
+	total, err := ctx.Sum(cts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	total, err := srv.Sum(cts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("PIM server aggregated all sheets in %.3f ms of modeled kernel time\n",
-		srv.ModeledSeconds()*1e3)
+	_, seconds, _ := ctx.PIMReport()
+	fmt.Printf("PIM backend aggregated all sheets in %.3f ms of modeled kernel time\n", seconds*1e3)
 
 	// The analyst decrypts per-question totals.
-	slots := be.Decode(dec.Decrypt(total))
+	slots, err := ctx.DecryptSlots(total)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for qi := 0; qi < questions; qi++ {
 		var want uint64
 		for _, sheet := range responses {

@@ -1,0 +1,129 @@
+package hebfv
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/bfv"
+)
+
+// Ciphertext is an opaque handle to an encrypted vector, bound to the
+// Context that produced it. Handles are immutable: every operation
+// returns a fresh one.
+//
+// A rotation produced by the deferred path (Context.RotateRowsMany on a
+// backend supporting NTT-resident outputs) stays in cached NTT form —
+// its base conversions deferred — until a consumer forces coefficients:
+// further arithmetic, decryption, serialization or Equal. Sums of
+// deferred rotations fuse in the NTT domain when exactness bounds allow,
+// so rotate-then-aggregate pipelines skip the per-output conversions
+// entirely. All of this is transparent: results are bit-identical
+// either way.
+type Ciphertext struct {
+	ctx *Context
+
+	mu  sync.Mutex
+	ct  *bfv.Ciphertext // materialized form; nil while deferred
+	rot *bfv.RotatedNTT // deferred rotation output; nil once unused
+}
+
+// force materializes the handle's coefficient form, returning the
+// deferred accumulators to the scratch pool — steady-state batched
+// rotation stays allocation-free through the facade too. A concurrent
+// NTT-domain Add against the released handle safely reports false and
+// falls back to coefficient addition.
+func (ct *Ciphertext) force() *bfv.Ciphertext {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.ct == nil {
+		ct.ct = ct.rot.Materialize()
+		ct.rot.Release()
+		ct.rot = nil
+	}
+	return ct.ct
+}
+
+// deferred returns the rotation handle while the ciphertext has not
+// been materialized, else nil.
+func (ct *Ciphertext) deferred() *bfv.RotatedNTT {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.ct == nil {
+		return ct.rot
+	}
+	return nil
+}
+
+// Degree returns the ciphertext degree (1 for fresh encryptions, 2 for
+// unrelinearized products).
+func (ct *Ciphertext) Degree() int { return ct.force().Degree() }
+
+// Equal reports bitwise equality (forcing deferred forms first).
+func (ct *Ciphertext) Equal(o *Ciphertext) bool {
+	if ct == nil || o == nil {
+		return ct == o
+	}
+	return ct.force().Equal(o.force())
+}
+
+// wrap binds a raw ciphertext to the context.
+func (c *Context) wrap(ct *bfv.Ciphertext) *Ciphertext {
+	return &Ciphertext{ctx: c, ct: ct}
+}
+
+// wrapDeferred binds a deferred rotation output to the context.
+func (c *Context) wrapDeferred(rot *bfv.RotatedNTT) *Ciphertext {
+	return &Ciphertext{ctx: c, rot: rot}
+}
+
+// own validates that ct belongs to this context and returns its
+// materialized form.
+func (c *Context) own(ct *Ciphertext) (*bfv.Ciphertext, error) {
+	if ct == nil {
+		return nil, errors.New("hebfv: nil ciphertext")
+	}
+	if ct.ctx != c {
+		return nil, errors.New("hebfv: ciphertext belongs to a different context")
+	}
+	return ct.force(), nil
+}
+
+// ownAll validates and materializes a slice of handles.
+func (c *Context) ownAll(cts []*Ciphertext) ([]*bfv.Ciphertext, error) {
+	out := make([]*bfv.Ciphertext, len(cts))
+	for i, ct := range cts {
+		raw, err := c.own(ct)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = raw
+	}
+	return out, nil
+}
+
+// rawCiphertext abbreviates the internal ciphertext type in facade
+// plumbing signatures.
+type rawCiphertext = bfv.Ciphertext
+
+// newBFVPlaintext allocates an all-zero internal plaintext.
+func newBFVPlaintext(c *Context) *bfv.Plaintext {
+	return bfv.NewPlaintext(c.params)
+}
+
+// Plaintext is an opaque handle to an encoded (unencrypted) vector,
+// bound to its Context.
+type Plaintext struct {
+	ctx *Context
+	pt  *bfv.Plaintext
+}
+
+// ownPlain validates that pt belongs to this context.
+func (c *Context) ownPlain(pt *Plaintext) (*bfv.Plaintext, error) {
+	if pt == nil {
+		return nil, errors.New("hebfv: nil plaintext")
+	}
+	if pt.ctx != c {
+		return nil, errors.New("hebfv: plaintext belongs to a different context")
+	}
+	return pt.pt, nil
+}

@@ -1,0 +1,259 @@
+package hebfv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bfv"
+	"repro/internal/sampling"
+)
+
+// Context is the scheme-level entry point: one value that owns the
+// parameter set, the key material, the encoders, and the selected
+// evaluation backend. Every operation — encryption, slot-level
+// evaluation, decryption, serialization — goes through it, so consumers
+// never wire params, keys, encoder and evaluator together by hand and
+// never see raw Galois elements.
+//
+// A Context is safe for concurrent use. Keys are context-managed: the
+// secret, public and relinearization keys are generated at construction
+// (or restored via WithKeySet), and Galois keys are derived on demand
+// from the slot rotations requested — eagerly for WithRotations, lazily
+// otherwise. A context restored from a key set exported without the
+// secret key is evaluation-only: it encrypts and evaluates but cannot
+// decrypt or derive new Galois keys.
+type Context struct {
+	params  *bfv.Parameters
+	backend string
+	eng     Engine
+
+	kg  *bfv.KeyGenerator // nil on imported key sets (no generator state)
+	sk  *bfv.SecretKey    // nil on evaluation-only contexts
+	pk  *bfv.PublicKey
+	rlk *bfv.RelinKey
+	enc *bfv.Encryptor
+	dec *bfv.Decryptor // nil on evaluation-only contexts
+
+	encoder  *bfv.BatchEncoder // nil when t does not support batching
+	batchErr error             // why batching is unavailable
+	perm     []int             // logical slot -> NTT slot (see slots.go)
+
+	// srcMu serializes the consumers of the context's randomness source
+	// (encryption and lazy Galois-key derivation): sampling.Source is
+	// not goroutine-safe. Lock order: mu before srcMu.
+	srcMu sync.Mutex
+
+	mu  sync.Mutex
+	gks map[uint64]*bfv.GaloisKey // Galois element -> key
+}
+
+// New builds a Context from functional options: parameter preset
+// (WithSecurityLevel / WithInsecureToyParameters, plaintext modulus via
+// WithPlaintextModulus), backend selection (WithBackend), key material
+// (generated, or restored with WithKeySet), and eager rotation keys
+// (WithRotations).
+func New(opts ...Option) (*Context, error) {
+	var cfg config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.toy && cfg.secLevel != 0 {
+		return nil, errors.New("hebfv: WithInsecureToyParameters and WithSecurityLevel are mutually exclusive")
+	}
+	params, err := buildParams(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var src *sampling.Source
+	if cfg.seed != nil {
+		src = sampling.NewSourceFromUint64(*cfg.seed)
+	} else if src, err = sampling.NewSystemSource(); err != nil {
+		return nil, err
+	}
+
+	c := &Context{
+		params: params,
+		gks:    map[uint64]*bfv.GaloisKey{},
+	}
+	if cfg.keySet != nil {
+		if err := c.importKeys(cfg.keySet); err != nil {
+			return nil, err
+		}
+		if c.sk != nil {
+			// A restored secret key supports lazy Galois-key derivation;
+			// fresh randomness comes from the context's own source.
+			c.kg = bfv.NewKeyGenerator(params, src)
+		}
+	} else {
+		c.kg = bfv.NewKeyGenerator(params, src)
+		c.sk, c.pk = c.kg.GenKeyPair()
+		c.rlk = c.kg.GenRelinKey(c.sk)
+	}
+	c.enc = bfv.NewEncryptor(params, c.pk, src)
+	if c.sk != nil {
+		c.dec = bfv.NewDecryptor(params, c.sk)
+	}
+
+	if enc, err := bfv.NewBatchEncoder(params); err != nil {
+		c.batchErr = err
+	} else {
+		c.encoder = enc
+		c.perm = slotPerm(params.N)
+	}
+
+	c.backend = cfg.backend
+	if c.backend == "" {
+		c.backend = DefaultBackend
+	}
+	if c.eng, err = NewEngine(c.backend, Config{
+		Params:  params,
+		Relin:   c.rlk,
+		PIMDPUs: cfg.pimDPUs,
+	}); err != nil {
+		return nil, err
+	}
+
+	// Eager Galois keys: deduplicated, in sorted step order so two
+	// same-seed contexts derive identical key streams.
+	if len(cfg.rotations) > 0 || cfg.columns {
+		if c.encoder == nil {
+			return nil, fmt.Errorf("hebfv: rotations need a batching plaintext modulus: %v", c.batchErr)
+		}
+		steps := append([]int(nil), cfg.rotations...)
+		sort.Ints(steps)
+		seen := map[uint64]bool{}
+		for _, k := range steps {
+			g := c.rowStepElement(k)
+			if g == 1 || seen[g] {
+				continue
+			}
+			seen[g] = true
+			if _, err := c.galoisKey(g); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.columns {
+			if _, err := c.galoisKey(c.columnElement()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// buildParams resolves the option set to a bfv parameter set, reusing
+// the preset instance (and its memoized double-CRT context) when the
+// plaintext modulus is not overridden.
+func buildParams(cfg *config) (*bfv.Parameters, error) {
+	var base *bfv.Parameters
+	switch {
+	case cfg.toy:
+		base = bfv.ParamsToy()
+	case cfg.secLevel == 27:
+		base = bfv.ParamsSec27()
+	case cfg.secLevel == 54:
+		base = bfv.ParamsSec54()
+	default:
+		base = bfv.ParamsSec109()
+	}
+	t := cfg.t
+	if t == 0 {
+		t = 65537
+	}
+	if t == base.T {
+		return base, nil
+	}
+	return bfv.NewParameters(base.N, base.Q.QBig, t, base.RelinBaseBits)
+}
+
+// Backend returns the name of the evaluation backend this context runs.
+func (c *Context) Backend() string { return c.backend }
+
+// N returns the ring degree.
+func (c *Context) N() int { return c.params.N }
+
+// PlaintextModulus returns t.
+func (c *Context) PlaintextModulus() uint64 { return c.params.T }
+
+// Slots returns the number of plaintext slots (N, arranged as a 2 ×
+// RowSlots matrix), or 0 when the plaintext modulus does not support
+// batching.
+func (c *Context) Slots() int {
+	if c.encoder == nil {
+		return 0
+	}
+	return c.params.N
+}
+
+// RowSlots returns the length of one slot row (N/2), or 0 without
+// batching.
+func (c *Context) RowSlots() int { return c.Slots() / 2 }
+
+// CiphertextBytes returns the byte size of a fresh ciphertext.
+func (c *Context) CiphertextBytes() int { return c.params.CiphertextBytes() }
+
+// CanDecrypt reports whether this context holds the secret key.
+func (c *Context) CanDecrypt() bool { return c.dec != nil }
+
+// String summarizes the context.
+func (c *Context) String() string {
+	return fmt.Sprintf("hebfv.Context{%v, backend=%s}", c.params, c.backend)
+}
+
+// PIMReport returns the accumulated kernel-launch count and modeled
+// kernel seconds of a modeled-hardware backend; ok is false when the
+// selected backend does not model hardware (everything but "pim").
+func (c *Context) PIMReport() (launches int, modeledSeconds float64, ok bool) {
+	kr, isKR := c.eng.(KernelReporter)
+	if !isKR {
+		return 0, 0, false
+	}
+	return kr.KernelLaunches(), kr.ModeledSeconds(), true
+}
+
+// galoisKey returns the key for Galois element g, deriving and caching
+// it when the context holds the secret key.
+func (c *Context) galoisKey(g uint64) (*bfv.GaloisKey, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gk, ok := c.gks[g]; ok {
+		return gk, nil
+	}
+	if c.sk == nil || c.kg == nil {
+		return nil, fmt.Errorf("hebfv: no Galois key for element %d and no secret key to derive one (export it from the key-owning context)", g)
+	}
+	c.srcMu.Lock()
+	gk, err := c.kg.GenGaloisKey(c.sk, g)
+	c.srcMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	c.gks[g] = gk
+	return gk, nil
+}
+
+// galoisKeys resolves a key per element, preserving order.
+func (c *Context) galoisKeys(gs []uint64) ([]*bfv.GaloisKey, error) {
+	out := make([]*bfv.GaloisKey, len(gs))
+	for i, g := range gs {
+		gk, err := c.galoisKey(g)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = gk
+	}
+	return out, nil
+}
+
+// requireBatching returns the batch encoder or a descriptive error.
+func (c *Context) requireBatching() (*bfv.BatchEncoder, error) {
+	if c.encoder == nil {
+		return nil, fmt.Errorf("hebfv: the slot API needs a batching plaintext modulus (t prime, t ≡ 1 mod 2N): %v", c.batchErr)
+	}
+	return c.encoder, nil
+}

@@ -1,0 +1,63 @@
+// Package hebfv is the public facade of the BFV implementation: a
+// small, stable, scheme-level API over the internal layers (key
+// generation, encoding, encryption, double-CRT evaluation, the PIM
+// simulator). It is the surface every consumer builds on — the
+// benchmarks and examples in this repository today, and the served
+// (HTTP/gRPC) evaluation front end the roadmap names next. Everything
+// under internal/ is private and may change freely; only this package
+// is a compatibility surface.
+//
+// # Contexts and keys
+//
+// A Context bundles parameters, keys, encoders and the evaluation
+// engine behind functional options:
+//
+//	ctx, err := hebfv.New(
+//		hebfv.WithSecurityLevel(109),   // the paper's presets: 27, 54, 109
+//		hebfv.WithBackend("dcrt-native"),
+//		hebfv.WithRotations(1, 2, 4),   // eager Galois keys for these steps
+//	)
+//
+// Keys are context-managed: secret, public and relinearization keys
+// generate at construction, and slot rotations derive their Galois keys
+// on demand — callers never touch a Galois element. ExportKeys /
+// WithKeySet move key material between contexts with a versioned binary
+// header; exporting without the secret key yields an evaluation-only
+// context (it encrypts and evaluates, but cannot decrypt), which is the
+// server half of the paper's deployment model. Ciphertexts marshal with
+// the same versioned header (Ciphertext.MarshalBinary /
+// Context.UnmarshalCiphertext).
+//
+// # Slot-level operations
+//
+// With the default plaintext modulus (65537, batching-capable at every
+// supported degree) the N plaintext slots form a 2 × (N/2) matrix and
+// the API speaks in slots, not exponents: EncryptSlots packs a vector,
+// RotateRows(ct, k) rotates each row left by k, RotateColumns swaps the
+// rows, InnerSum replicates the total of all slots into every slot. The
+// slot → Galois-element mapping is computed inside the facade from the
+// transform's evaluation-point layout.
+//
+// Batched variants delegate to the hoisted pipelines underneath:
+// RotateRowsMany shares one key-switching digit decomposition across
+// all steps and — on the native backend — returns NTT-resident outputs
+// whose base conversions are deferred until a consumer forces
+// coefficients (sums of such outputs fuse entirely in the NTT domain);
+// RotateRowsAndSum fuses all key-switch reductions of a
+// rotate-and-aggregate into one extended-basis accumulator; MulMany and
+// AddMany schedule element-wise pipelines on the shared worker pool.
+//
+// # Backends
+//
+// Evaluation strategy is pluggable and selected by name (WithBackend):
+// "dcrt-native" (default, the RNS+NTT fast path), "dcrt-legacy" (the
+// retained big.Int rescale baseline), "schoolbook" (the O(n²) path that
+// is the paper's PIM cost model and the correctness oracle), and "pim"
+// (the simulated UPMEM server; Context.PIMReport exposes its modeled
+// kernel time). All backends are mutually bit-identical — the
+// differential tests in this package prove it across the facade,
+// RotateRows/InnerSum slot semantics included. The Backend/Engine
+// registry (RegisterBackend, NewEngine) is the mount point for new
+// in-repo engines; its signatures name internal types deliberately, so
+// it cannot be implemented outside the repository.
+package hebfv

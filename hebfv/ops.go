@@ -1,0 +1,301 @@
+package hebfv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encoding and encryption.
+
+// EncodeValue places one value (mod t) in the constant coefficient —
+// the integer encoding of the paper's statistical workloads. Available
+// with every plaintext modulus.
+func (c *Context) EncodeValue(v uint64) *Plaintext {
+	pt := newPlain(c)
+	pt.pt.Coeffs[0] = v % c.params.T
+	return pt
+}
+
+// EncodeSlots packs up to Slots() values (each mod t) into the
+// plaintext slots; homomorphic operations then act slot-wise (SIMD).
+// Slots form a 2 × RowSlots matrix: index i < RowSlots is row 0 column
+// i, the rest row 1 — the layout RotateRows and RotateColumns act on.
+func (c *Context) EncodeSlots(values []uint64) (*Plaintext, error) {
+	enc, err := c.requireBatching()
+	if err != nil {
+		return nil, err
+	}
+	n := c.params.N
+	if len(values) > n {
+		return nil, fmt.Errorf("hebfv: %d values exceed the %d slots", len(values), n)
+	}
+	raw := make([]uint64, n)
+	for i, v := range values {
+		raw[c.perm[i]] = v % c.params.T
+	}
+	pt, err := enc.Encode(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Plaintext{ctx: c, pt: pt}, nil
+}
+
+// DecodeSlots recovers the slot values of a plaintext.
+func (c *Context) DecodeSlots(pt *Plaintext) ([]uint64, error) {
+	enc, err := c.requireBatching()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.ownPlain(pt)
+	if err != nil {
+		return nil, err
+	}
+	flat := enc.Decode(raw)
+	out := make([]uint64, len(flat))
+	for i := range out {
+		out[i] = flat[c.perm[i]]
+	}
+	return out, nil
+}
+
+func newPlain(c *Context) *Plaintext {
+	return &Plaintext{ctx: c, pt: newBFVPlaintext(c)}
+}
+
+// Encrypt encrypts an encoded plaintext under the context's public key.
+// Encryptions are serialized on the context's randomness source.
+func (c *Context) Encrypt(pt *Plaintext) (*Ciphertext, error) {
+	raw, err := c.ownPlain(pt)
+	if err != nil {
+		return nil, err
+	}
+	c.srcMu.Lock()
+	ct, err := c.enc.Encrypt(raw)
+	c.srcMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(ct), nil
+}
+
+// EncryptValue is Encrypt ∘ EncodeValue.
+func (c *Context) EncryptValue(v uint64) (*Ciphertext, error) {
+	return c.Encrypt(c.EncodeValue(v))
+}
+
+// EncryptSlots is Encrypt ∘ EncodeSlots.
+func (c *Context) EncryptSlots(values []uint64) (*Ciphertext, error) {
+	pt, err := c.EncodeSlots(values)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encrypt(pt)
+}
+
+// Decryption — requires the secret key (CanDecrypt).
+
+// Decrypt recovers the encoded plaintext.
+func (c *Context) Decrypt(ct *Ciphertext) (*Plaintext, error) {
+	raw, err := c.own(ct)
+	if err != nil {
+		return nil, err
+	}
+	if c.dec == nil {
+		return nil, errors.New("hebfv: context holds no secret key (evaluation-only)")
+	}
+	return &Plaintext{ctx: c, pt: c.dec.Decrypt(raw)}, nil
+}
+
+// DecryptValue recovers the constant coefficient (EncryptValue's
+// inverse).
+func (c *Context) DecryptValue(ct *Ciphertext) (uint64, error) {
+	pt, err := c.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	return pt.pt.Coeffs[0], nil
+}
+
+// DecryptSlots recovers the slot values (EncryptSlots' inverse).
+func (c *Context) DecryptSlots(ct *Ciphertext) ([]uint64, error) {
+	pt, err := c.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	return c.DecodeSlots(pt)
+}
+
+// NoiseBudget returns the remaining noise budget of ct in bits; zero or
+// negative means decryption is no longer guaranteed.
+func (c *Context) NoiseBudget(ct *Ciphertext) (int, error) {
+	raw, err := c.own(ct)
+	if err != nil {
+		return 0, err
+	}
+	if c.dec == nil {
+		return 0, errors.New("hebfv: context holds no secret key (evaluation-only)")
+	}
+	return c.dec.NoiseBudget(raw), nil
+}
+
+// Homomorphic arithmetic — slot-wise (SIMD) under batching encodings.
+
+// Add returns a + b. Sums of deferred rotation outputs fuse in the NTT
+// domain when exactness bounds allow (see Ciphertext).
+func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if a != nil && b != nil && a.ctx == c && b.ctx == c {
+		if ra, rb := a.deferred(), b.deferred(); ra != nil && rb != nil {
+			if sum, ok := ra.Add(rb); ok {
+				return c.wrapDeferred(sum), nil
+			}
+		}
+	}
+	ra, err := c.own(a)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := c.own(b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eng.Add(ra, rb)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+// Sub returns a − b.
+func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	return c.binOp(a, b, c.eng.Sub)
+}
+
+// Mul returns the relinearized product a·b.
+func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	return c.binOp(a, b, c.eng.Mul)
+}
+
+// Square returns the relinearized square of a.
+func (c *Context) Square(a *Ciphertext) (*Ciphertext, error) {
+	return c.unOp(a, c.eng.Square)
+}
+
+// Neg returns −a.
+func (c *Context) Neg(a *Ciphertext) (*Ciphertext, error) {
+	return c.unOp(a, c.eng.Neg)
+}
+
+// AddPlain returns a + pt.
+func (c *Context) AddPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	ra, err := c.own(a)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := c.ownPlain(pt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eng.AddPlain(ra, rp)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+// MulPlain returns a·pt (slot-wise under batching encodings).
+func (c *Context) MulPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	ra, err := c.own(a)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := c.ownPlain(pt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eng.MulPlain(ra, rp)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+// Sum folds the ciphertexts into their total in slice order — the
+// aggregation kernel of the paper's mean/variance workloads.
+func (c *Context) Sum(cts []*Ciphertext) (*Ciphertext, error) {
+	raw, err := c.ownAll(cts)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, errors.New("hebfv: empty sum")
+	}
+	out, err := c.eng.Sum(raw)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+// AddMany returns the element-wise sums as[i] + bs[i], scheduled on the
+// backend's batch pipeline.
+func (c *Context) AddMany(as, bs []*Ciphertext) ([]*Ciphertext, error) {
+	return c.batchBinOp(as, bs, c.eng.AddMany)
+}
+
+// MulMany returns the element-wise relinearized products as[i]·bs[i],
+// scheduled on the backend's batch pipeline.
+func (c *Context) MulMany(as, bs []*Ciphertext) ([]*Ciphertext, error) {
+	return c.batchBinOp(as, bs, c.eng.MulMany)
+}
+
+// Helpers.
+
+type bfvBinOp = func(a, b *rawCiphertext) (*rawCiphertext, error)
+
+func (c *Context) binOp(a, b *Ciphertext, op bfvBinOp) (*Ciphertext, error) {
+	ra, err := c.own(a)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := c.own(b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := op(ra, rb)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+func (c *Context) unOp(a *Ciphertext, op func(*rawCiphertext) (*rawCiphertext, error)) (*Ciphertext, error) {
+	ra, err := c.own(a)
+	if err != nil {
+		return nil, err
+	}
+	out, err := op(ra)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+func (c *Context) batchBinOp(as, bs []*Ciphertext, op func(as, bs []*rawCiphertext) ([]*rawCiphertext, error)) ([]*Ciphertext, error) {
+	ra, err := c.ownAll(as)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := c.ownAll(bs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := op(ra, rb)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := make([]*Ciphertext, len(out))
+	for i, ct := range out {
+		wrapped[i] = c.wrap(ct)
+	}
+	return wrapped, nil
+}

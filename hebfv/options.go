@@ -1,0 +1,131 @@
+package hebfv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// config collects the functional options New resolves a Context from.
+type config struct {
+	secLevel  int    // 27, 54 or 109; 0 = default (109)
+	toy       bool   // insecure N=64 demo parameters
+	t         uint64 // plaintext modulus; 0 = default (65537, batching-capable)
+	backend   string // registry name; "" = DefaultBackend
+	rotations []int  // row steps whose Galois keys generate eagerly
+	columns   bool   // eagerly generate the column-swap key too
+	seed      *uint64
+	pimDPUs   int
+	keySet    []byte
+}
+
+// Option configures a Context under construction.
+type Option func(*config) error
+
+// WithSecurityLevel selects one of the paper's parameter presets by its
+// security level: 27 (N=1024), 54 (N=2048) or 109 bits (N=4096). The
+// default is 109, the level with comfortable noise margin for
+// multiplication.
+func WithSecurityLevel(bits int) Option {
+	return func(c *config) error {
+		switch bits {
+		case 27, 54, 109:
+			c.secLevel = bits
+			return nil
+		}
+		return fmt.Errorf("hebfv: unsupported security level %d (want 27, 54 or 109)", bits)
+	}
+}
+
+// WithInsecureToyParameters selects the deliberately small N=64 instance
+// (no security) so demos and tests run in microseconds. Mutually
+// exclusive with WithSecurityLevel.
+func WithInsecureToyParameters() Option {
+	return func(c *config) error {
+		c.toy = true
+		return nil
+	}
+}
+
+// WithPlaintextModulus overrides the plaintext modulus t. The default,
+// 65537, is a prime with t ≡ 1 (mod 2N) at every supported ring degree,
+// so the slot API (EncryptSlots, RotateRows, InnerSum, …) works out of
+// the box; other moduli may disable batching, leaving the integer API
+// available.
+func WithPlaintextModulus(t uint64) Option {
+	return func(c *config) error {
+		if t < 2 {
+			return errors.New("hebfv: plaintext modulus must be >= 2")
+		}
+		c.t = t
+		return nil
+	}
+}
+
+// WithBackend selects the evaluation backend by registry name (see
+// Backends). The default is DefaultBackend ("dcrt-native").
+func WithBackend(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			return errors.New("hebfv: empty backend name")
+		}
+		c.backend = name
+		return nil
+	}
+}
+
+// WithRotations eagerly generates the Galois keys for the given row
+// rotation steps at construction time (keys for other steps — and the
+// InnerSum ladder — are derived lazily on first use, which requires the
+// context to hold the secret key).
+func WithRotations(ks ...int) Option {
+	return func(c *config) error {
+		c.rotations = append(c.rotations, ks...)
+		return nil
+	}
+}
+
+// WithColumnRotation eagerly generates the column-swap Galois key
+// alongside WithRotations' row keys.
+func WithColumnRotation() Option {
+	return func(c *config) error {
+		c.columns = true
+		return nil
+	}
+}
+
+// WithSeed makes key generation and encryption deterministic — for
+// tests, reproducible benchmarks and examples. Without it the context
+// draws from the system entropy source.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = &seed
+		return nil
+	}
+}
+
+// WithPIMDPUs overrides the simulated DPU count for the "pim" backend.
+func WithPIMDPUs(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return errors.New("hebfv: DPU count must be positive")
+		}
+		c.pimDPUs = n
+		return nil
+	}
+}
+
+// WithKeySet restores the context's key material from an ExportKeys
+// blob instead of generating fresh keys — the server-side half of the
+// deployment model: a client exports its public material once, the
+// evaluation context is built from it, and (when the blob was exported
+// without the secret key) the context can evaluate but never decrypt.
+// The blob's parameters must match the context's.
+func WithKeySet(data []byte) Option {
+	return func(c *config) error {
+		if len(data) == 0 {
+			return errors.New("hebfv: empty key set")
+		}
+		c.keySet = data
+		return nil
+	}
+}

@@ -1,0 +1,231 @@
+package hebfv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bfv"
+)
+
+// Versioned serialization for facade types. Every blob starts with one
+// header:
+//
+//	magic "HEBF" | u8 version | u8 kind | u32 N | u32 W | u64 T |
+//	u32 relinBaseBits
+//
+// followed by a kind-specific payload that reuses the internal binary
+// formats (internal/bfv serialize.go / serialize_keys.go) verbatim — so
+// facade blobs are the internal formats plus a self-describing,
+// versioned parameter guard, and the round trip is testable against the
+// internal layer directly.
+//
+// Kinds:
+//
+//	ciphertext (1): one internal ciphertext record
+//	key set    (2): u8 flags (bit0: secret key present) | [secret key] |
+//	                public key | relin key | u32 count | count ×
+//	                (internal Galois-key record)
+
+const serialVersion = 1
+
+var serialMagic = [4]byte{'H', 'E', 'B', 'F'}
+
+const (
+	kindCiphertext = 1
+	kindKeySet     = 2
+)
+
+// serialHeader is the fixed-size parameter guard after the magic.
+type serialHeader struct {
+	Version  uint8
+	Kind     uint8
+	N        uint32
+	W        uint32
+	T        uint64
+	BaseBits uint32
+}
+
+func (c *Context) writeHeader(w io.Writer, kind uint8) error {
+	if _, err := w.Write(serialMagic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, serialHeader{
+		Version:  serialVersion,
+		Kind:     kind,
+		N:        uint32(c.params.N),
+		W:        uint32(c.params.Q.W),
+		T:        c.params.T,
+		BaseBits: uint32(c.params.RelinBaseBits),
+	})
+}
+
+func (c *Context) readHeader(r io.Reader, wantKind uint8) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return err
+	}
+	if magic != serialMagic {
+		return errors.New("hebfv: bad magic (not a hebfv blob)")
+	}
+	var h serialHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return err
+	}
+	if h.Version != serialVersion {
+		return fmt.Errorf("hebfv: unsupported format version %d (have %d)", h.Version, serialVersion)
+	}
+	if h.Kind != wantKind {
+		return fmt.Errorf("hebfv: blob kind %d, want %d", h.Kind, wantKind)
+	}
+	if int(h.N) != c.params.N || int(h.W) != c.params.Q.W ||
+		h.T != c.params.T || uint(h.BaseBits) != c.params.RelinBaseBits {
+		return fmt.Errorf("hebfv: blob parameters (N=%d W=%d t=%d base=%d) do not match the context's %v",
+			h.N, h.W, h.T, h.BaseBits, c.params)
+	}
+	return nil
+}
+
+// MarshalBinary serializes the ciphertext (forcing a deferred rotation
+// output first) with the versioned facade header.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	raw := ct.force()
+	var buf bytes.Buffer
+	if err := ct.ctx.writeHeader(&buf, kindCiphertext); err != nil {
+		return nil, err
+	}
+	if err := raw.Serialize(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalCiphertext deserializes a ciphertext blob into a handle
+// bound to this context, validating the parameter guard.
+func (c *Context) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+	r := bytes.NewReader(data)
+	if err := c.readHeader(r, kindCiphertext); err != nil {
+		return nil, err
+	}
+	ct, err := bfv.ReadCiphertext(r, c.params)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("hebfv: %d trailing bytes after ciphertext", r.Len())
+	}
+	return c.wrap(ct), nil
+}
+
+const keySetHasSecret = 1
+
+// ExportKeys serializes the context's key material — the public and
+// relinearization keys, every Galois key cached so far, and (when
+// includeSecret is set) the secret key — as one versioned blob a new
+// context restores with WithKeySet. Exporting without the secret yields
+// an evaluation-only key set: the server half of the deployment model.
+//
+// Galois keys are exported in element order; derive the keys a
+// restored evaluation-only context will need (WithRotations /
+// WithColumnRotation, or by running the workload once) before
+// exporting.
+func (c *Context) ExportKeys(includeSecret bool) ([]byte, error) {
+	if includeSecret && c.sk == nil {
+		return nil, errors.New("hebfv: context holds no secret key to export")
+	}
+	c.mu.Lock()
+	gs := make([]uint64, 0, len(c.gks))
+	for g := range c.gks {
+		gs = append(gs, g)
+	}
+	gks := make([]*bfv.GaloisKey, 0, len(gs))
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	for _, g := range gs {
+		gks = append(gks, c.gks[g])
+	}
+	c.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := c.writeHeader(&buf, kindKeySet); err != nil {
+		return nil, err
+	}
+	flags := byte(0)
+	if includeSecret {
+		flags |= keySetHasSecret
+	}
+	buf.WriteByte(flags)
+	if includeSecret {
+		if err := c.sk.Serialize(&buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.pk.Serialize(&buf); err != nil {
+		return nil, err
+	}
+	if err := c.rlk.Serialize(&buf); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(gks))); err != nil {
+		return nil, err
+	}
+	for _, gk := range gks {
+		if err := gk.Serialize(&buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// maxKeySetGaloisKeys bounds the Galois-key count when decoding.
+const maxKeySetGaloisKeys = 1 << 16
+
+// importKeys restores key material from an ExportKeys blob (New with
+// WithKeySet).
+func (c *Context) importKeys(data []byte) error {
+	r := bytes.NewReader(data)
+	if err := c.readHeader(r, kindKeySet); err != nil {
+		return err
+	}
+	var flags [1]byte
+	if _, err := io.ReadFull(r, flags[:]); err != nil {
+		return err
+	}
+	if flags[0]&keySetHasSecret != 0 {
+		sk, err := bfv.ReadSecretKey(r, c.params)
+		if err != nil {
+			return fmt.Errorf("hebfv: key set secret key: %w", err)
+		}
+		c.sk = sk
+	}
+	pk, err := bfv.ReadPublicKey(r, c.params)
+	if err != nil {
+		return fmt.Errorf("hebfv: key set public key: %w", err)
+	}
+	c.pk = pk
+	rlk, err := bfv.ReadRelinKey(r, c.params)
+	if err != nil {
+		return fmt.Errorf("hebfv: key set relin key: %w", err)
+	}
+	c.rlk = rlk
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if count > maxKeySetGaloisKeys {
+		return fmt.Errorf("hebfv: implausible Galois-key count %d", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		gk, err := bfv.ReadGaloisKey(r, c.params)
+		if err != nil {
+			return fmt.Errorf("hebfv: key set Galois key %d: %w", i, err)
+		}
+		c.gks[gk.G] = gk
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("hebfv: %d trailing bytes after key set", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package hebfv
+
+import "math/bits"
+
+// Slot-level rotations. Under CRT batching the N plaintext slots form a
+// 2 × (N/2) matrix, and the ring's Galois automorphisms act on it as
+// slot permutations: τ_{3^k} rotates each row left by k, τ_{2N−1} swaps
+// the rows. The slot → Galois-element mapping is computed here, inside
+// the facade, so callers speak in rotation steps and never see
+// exponents; the mapping itself is backend-independent (it depends only
+// on the ring degree), so rotations are bit-identical across backends.
+//
+// Mechanics: the NTT slot at index j holds the evaluation of the
+// plaintext polynomial at ψ^(2·bitrev(j)+1) (the transform's
+// Longa–Naehrig layout). The odd exponents mod 2N factor as ±3^c —
+// ⟨−1⟩ × ⟨3⟩ generates the whole group — so logical slot (row r,
+// column c) is assigned the evaluation at (−1)^r·3^c. Applying τ_g
+// (g = 3^k) to the ciphertext moves the evaluation at ±3^c to
+// ±3^(c−k): each row rotates left by k, rows never mix. g = 2N−1
+// negates every exponent: the rows swap column-wise.
+
+// slotPerm maps logical slot index (row-major in the 2 × N/2 matrix) to
+// the NTT slot holding its evaluation point.
+func slotPerm(n int) []int {
+	logN := bits.TrailingZeros(uint(n))
+	twoN := uint64(2 * n)
+	perm := make([]int, n)
+	row := n / 2
+	e := uint64(1) // 3^c mod 2N
+	for c := 0; c < row; c++ {
+		perm[c] = nttSlot(e, logN)          // row 0: evaluation at ψ^(3^c)
+		perm[row+c] = nttSlot(twoN-e, logN) // row 1: evaluation at ψ^(−3^c)
+		e = e * 3 % twoN
+	}
+	return perm
+}
+
+// nttSlot returns the NTT slot index whose evaluation exponent is the
+// odd e: j with 2·bitrev(j)+1 = e.
+func nttSlot(e uint64, logN int) int {
+	return int(bits.Reverse64((e-1)/2) >> (64 - logN))
+}
+
+// rowStepElement returns the Galois element realizing a row rotation by
+// k steps (left for positive k, right for negative), i.e. 3^(k mod N/2)
+// mod 2N.
+func (c *Context) rowStepElement(k int) uint64 {
+	row := c.params.N / 2
+	k = ((k % row) + row) % row
+	twoN := uint64(2 * c.params.N)
+	g := uint64(1)
+	for i := 0; i < k; i++ {
+		g = g * 3 % twoN
+	}
+	return g
+}
+
+// columnElement returns the Galois element realizing the column-wise
+// row swap: 2N − 1 (negation of every evaluation exponent).
+func (c *Context) columnElement() uint64 {
+	return uint64(2*c.params.N) - 1
+}
+
+// RotateRows rotates each slot row left by k steps (right for negative
+// k): output slot (r, c) receives input slot (r, (c+k) mod RowSlots).
+// The Galois key for the step is derived and cached on first use.
+func (c *Context) RotateRows(ct *Ciphertext, k int) (*Ciphertext, error) {
+	if _, err := c.requireBatching(); err != nil {
+		return nil, err
+	}
+	raw, err := c.own(ct)
+	if err != nil {
+		return nil, err
+	}
+	g := c.rowStepElement(k)
+	if g == 1 {
+		return ct, nil // rotation by a multiple of the row length
+	}
+	gk, err := c.galoisKey(g)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eng.ApplyGalois(raw, gk)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+// RotateColumns swaps the two slot rows column-wise: output slot (r, c)
+// receives input slot (1−r, c).
+func (c *Context) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
+	if _, err := c.requireBatching(); err != nil {
+		return nil, err
+	}
+	raw, err := c.own(ct)
+	if err != nil {
+		return nil, err
+	}
+	gk, err := c.galoisKey(c.columnElement())
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eng.ApplyGalois(raw, gk)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(out), nil
+}
+
+// InnerSum returns a ciphertext whose every slot holds the sum of all
+// input slots, via the log-depth rotate-and-add ladder (log2(RowSlots)
+// row rotations plus one column swap). The ladder's Galois keys derive
+// lazily; pregenerate them with WithRotations(1, 2, 4, …) and
+// WithColumnRotation on contexts that must stay evaluation-only.
+func (c *Context) InnerSum(ct *Ciphertext) (*Ciphertext, error) {
+	if _, err := c.requireBatching(); err != nil {
+		return nil, err
+	}
+	if _, err := c.own(ct); err != nil {
+		return nil, err
+	}
+	acc := ct
+	for sh := 1; sh < c.RowSlots(); sh <<= 1 {
+		rot, err := c.RotateRows(acc, sh)
+		if err != nil {
+			return nil, err
+		}
+		if acc, err = c.Add(acc, rot); err != nil {
+			return nil, err
+		}
+	}
+	swapped, err := c.RotateColumns(acc)
+	if err != nil {
+		return nil, err
+	}
+	return c.Add(acc, swapped)
+}
+
+// RotateRowsMany returns the row rotations of ct by every step in ks,
+// hoisting the key-switching digit decomposition: one decomposition
+// serves all steps. On backends with NTT-resident rotation outputs the
+// results stay in cached NTT form — their base conversions deferred —
+// until a consumer forces coefficients (see Ciphertext). Each output is
+// bit-identical to RotateRows(ct, ks[i]).
+func (c *Context) RotateRowsMany(ct *Ciphertext, ks []int) ([]*Ciphertext, error) {
+	if _, err := c.requireBatching(); err != nil {
+		return nil, err
+	}
+	raw, err := c.own(ct)
+	if err != nil {
+		return nil, err
+	}
+	// Identity steps (k ≡ 0 mod RowSlots) pass through untouched, exactly
+	// like RotateRows — no key switch, no key required.
+	els := c.rowStepElements(ks)
+	out := make([]*Ciphertext, len(ks))
+	var positions []int
+	var gs []uint64
+	for i, g := range els {
+		if g == 1 {
+			out[i] = ct
+		} else {
+			positions = append(positions, i)
+			gs = append(gs, g)
+		}
+	}
+	gks, err := c.galoisKeys(gs)
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) == 0 {
+		return out, nil // all steps were identities: nothing to hoist
+	}
+	if dr, ok := c.eng.(DeferredRotator); ok && dr.CanDefer() {
+		rots, err := dr.RotateManyNTT(raw, gks)
+		if err != nil {
+			return nil, err
+		}
+		for j, r := range rots {
+			out[positions[j]] = c.wrapDeferred(r)
+		}
+		return out, nil
+	}
+	rots, err := c.eng.RotateMany(raw, gks)
+	if err != nil {
+		return nil, err
+	}
+	for j, r := range rots {
+		out[positions[j]] = c.wrap(r)
+	}
+	return out, nil
+}
+
+// RotateRowsAndSum returns, for each input ciphertext, ct + Σ_k
+// RotateRows(ct, k) over the steps ks — the batched rotate-and-sum
+// aggregation, with the key-switching reductions of all steps fused on
+// backends that support it. Bit-identical to folding RotateRows outputs
+// with Add in step order.
+func (c *Context) RotateRowsAndSum(cts []*Ciphertext, ks []int) ([]*Ciphertext, error) {
+	if _, err := c.requireBatching(); err != nil {
+		return nil, err
+	}
+	raw, err := c.ownAll(cts)
+	if err != nil {
+		return nil, err
+	}
+	// Identity steps contribute the un-keyswitched input itself, like
+	// RotateRows; modular addition commutes bit-exactly, so folding them
+	// after the engine's reduction matches the documented step order.
+	var gs []uint64
+	identity := 0
+	for _, g := range c.rowStepElements(ks) {
+		if g == 1 {
+			identity++
+		} else {
+			gs = append(gs, g)
+		}
+	}
+	gks, err := c.galoisKeys(gs)
+	if err != nil {
+		return nil, err
+	}
+	var out []*rawCiphertext
+	if len(gs) == 0 {
+		// All steps were identities: no hoisted decomposition to pay.
+		out = append(out, raw...)
+	} else if out, err = c.eng.RotateAndSum(raw, gks); err != nil {
+		return nil, err
+	}
+	for i := range out {
+		for r := 0; r < identity; r++ {
+			if out[i], err = c.eng.Add(out[i], raw[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	wrapped := make([]*Ciphertext, len(out))
+	for i, ct := range out {
+		wrapped[i] = c.wrap(ct)
+	}
+	return wrapped, nil
+}
+
+// rowStepElements maps rotation steps to Galois elements. Steps that
+// reduce to the identity element g = 1 (k ≡ 0 mod RowSlots) are handled
+// by the callers as pass-throughs — never key-switched.
+func (c *Context) rowStepElements(ks []int) []uint64 {
+	out := make([]uint64, len(ks))
+	for i, k := range ks {
+		out[i] = c.rowStepElement(k)
+	}
+	return out
+}

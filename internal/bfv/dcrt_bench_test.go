@@ -187,6 +187,32 @@ func BenchmarkRotateHoisted(b *testing.B) {
 	}
 }
 
+// BenchmarkRotateHoistedNTT is the same k rotations with the per-output
+// base conversions deferred (RotateManyNTT): the cost of producing the
+// rotations for a consumer that aggregates or discards them in NTT form.
+func BenchmarkRotateHoistedNTT(b *testing.B) {
+	ev, ct, gks := rotationRig(b, 4096, 8)
+	be := NewBatchEvaluatorFrom(ev)
+	release := func(rots []*RotatedNTT) {
+		for _, r := range rots {
+			r.Release()
+		}
+	}
+	rots, err := be.RotateManyNTT(ct, gks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	release(rots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rots, err := be.RotateManyNTT(ct, gks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		release(rots)
+	}
+}
+
 // BenchmarkRotateSumSerial / BenchmarkRotateSumHoisted measure the
 // batched rotate-and-sum workload (ct + Σ_g τ_g(ct)): the serial side
 // folds per-rotation ApplyGalois with Add; the hoisted side shares one

@@ -1,0 +1,141 @@
+package bfv
+
+import "testing"
+
+// NTT-resident rotation outputs: RotateManyNTT must reproduce RotateMany
+// (and hence ApplyGalois) bit for bit once materialized, and deferred
+// NTT-domain sums must match coefficient-domain addition.
+
+func TestRotatedNTTMatchesRotateMany(t *testing.T) {
+	params := ParamsSec27()
+	c := newCtx(t, params, 501, false)
+	gks := genGaloisKeys(t, params, c.sk, 502, 5)
+	ct, err := c.enc.EncryptValue(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBatchEvaluatorFrom(c.eval)
+	want, err := be.RotateMany(ct, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.RotateManyNTT(ct, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gks {
+		m := got[i].Materialize()
+		if !m.Equal(want[i]) {
+			t.Fatalf("rotation %d (g=%d): materialized deferred output differs", i, gks[i].G)
+		}
+		// Materialize is cached: a second call returns the same ciphertext.
+		if got[i].Materialize() != m {
+			t.Fatalf("rotation %d: Materialize not cached", i)
+		}
+		got[i].Release()
+	}
+}
+
+func TestRotatedNTTAddMatchesCoefficientAdd(t *testing.T) {
+	params := ParamsSec27()
+	c := newCtx(t, params, 503, false)
+	gks := genGaloisKeys(t, params, c.sk, 504, 4)
+	ct, err := c.enc.EncryptValue(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBatchEvaluatorFrom(c.eval)
+	rots, err := be.RotateManyNTT(ct, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fold all deferred outputs in the NTT domain; the materialized sum
+	// must equal folding the materialized outputs with Add in slice order.
+	acc := rots[0]
+	for _, r := range rots[1:] {
+		next, ok := acc.Add(r)
+		if !ok {
+			t.Fatal("deferred Add refused within the exactness window")
+		}
+		acc = next
+	}
+	want, err := c.eval.ApplyGalois(ct, gks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gk := range gks[1:] {
+		r, err := c.eval.ApplyGalois(ct, gk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = c.eval.Add(want, r)
+	}
+	if !acc.Materialize().Equal(want) {
+		t.Fatal("NTT-domain deferred sum differs from coefficient-domain Add fold")
+	}
+}
+
+func TestRotatedNTTFallbackOnSchoolbook(t *testing.T) {
+	params := ParamsToy()
+	c := newCtx(t, params, 505, false)
+	gks := genGaloisKeys(t, params, c.sk, 506, 2)
+	ct, err := c.enc.EncryptValue(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewSchoolbookEvaluator(params, nil)
+	be := NewBatchEvaluatorFrom(oracle)
+	rots, err := be.RotateManyNTT(ct, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gk := range gks {
+		want, err := oracle.ApplyGalois(ct, gk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rots[i].Materialize().Equal(want) {
+			t.Fatalf("rotation %d: schoolbook fallback differs", i)
+		}
+	}
+	// Materialized-only handles refuse deferred Add; callers fall back to
+	// coefficient addition.
+	if _, ok := rots[0].Add(rots[1]); ok {
+		t.Fatal("deferred Add succeeded on a materialized-only handle")
+	}
+	// Release is a no-op there, and materialization still works after it.
+	rots[0].Release()
+	if rots[0].Materialize() == nil {
+		t.Fatal("materialized handle lost its ciphertext after Release")
+	}
+}
+
+func TestRotatedNTTAddRefusesPastBound(t *testing.T) {
+	params := ParamsSec27()
+	c := newCtx(t, params, 507, false)
+	gks := genGaloisKeys(t, params, c.sk, 508, 1)
+	ct, err := c.enc.EncryptValue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBatchEvaluatorFrom(c.eval)
+	rots, err := be.RotateManyNTT(ct, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling the magnitude bound each Add must eventually hit the basis
+	// exactness window and refuse — never silently wrap.
+	acc := rots[0]
+	for i := 0; i < 200; i++ {
+		next, ok := acc.Add(acc)
+		if !ok {
+			return
+		}
+		if next.magBits <= acc.magBits {
+			t.Fatal("deferred Add did not grow the magnitude bound")
+		}
+		acc = next
+	}
+	t.Fatal("deferred Add never refused past the exactness window")
+}

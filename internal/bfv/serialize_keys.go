@@ -9,16 +9,20 @@ import (
 	"repro/internal/poly"
 )
 
-// Public-key and relinearization-key serialization: what a client ships
-// to the PIM server once, so later uploads are ciphertexts only.
+// Public-key, relinearization-key, and Galois-key serialization: what a
+// client ships to the PIM server once, so later uploads are ciphertexts
+// only.
 //
 //	public key: magic "BFVp" | u32 N | u32 W | p0 limbs | p1 limbs
 //	relin key:  magic "BFVr" | u32 digits | u32 baseBits | u32 N | u32 W |
 //	            digits × (k0 limbs | k1 limbs)
+//	galois key: magic "BFVg" | u64 g | u32 digits | u32 baseBits | u32 N |
+//	            u32 W | digits × (k0 limbs | k1 limbs)
 
 var (
 	magicPublicKey = [4]byte{'B', 'F', 'V', 'p'}
 	magicRelinKey  = [4]byte{'B', 'F', 'V', 'r'}
+	magicGaloisKey = [4]byte{'B', 'F', 'V', 'g'}
 )
 
 // Serialize writes the public key in binary form.
@@ -127,4 +131,83 @@ func ReadRelinKey(r io.Reader, params *Parameters) (*RelinKey, error) {
 		rk.K0[i], rk.K1[i] = k0, k1
 	}
 	return rk, nil
+}
+
+// Serialize writes the Galois key in binary form — the rotation-key
+// upload of the deployment model: a client that wants server-side slot
+// rotations ships one Galois key per rotation step.
+func (gk *GaloisKey) Serialize(w io.Writer) error {
+	if len(gk.K0) == 0 || len(gk.K0) != len(gk.K1) {
+		return errors.New("bfv: malformed Galois key")
+	}
+	if _, err := w.Write(magicGaloisKey[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, gk.G); err != nil {
+		return err
+	}
+	hdr := []uint32{
+		uint32(len(gk.K0)), uint32(gk.BaseBits),
+		uint32(gk.K0[0].N), uint32(gk.K0[0].W),
+	}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for i := range gk.K0 {
+		if err := writePoly(w, gk.K0[i]); err != nil {
+			return err
+		}
+		if err := writePoly(w, gk.K1[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadGaloisKey deserializes a Galois key and validates it against
+// params.
+func ReadGaloisKey(r io.Reader, params *Parameters) (*GaloisKey, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != magicGaloisKey {
+		return nil, errors.New("bfv: bad Galois-key magic")
+	}
+	var g uint64
+	if err := binary.Read(r, binary.LittleEndian, &g); err != nil {
+		return nil, err
+	}
+	if g%2 == 0 {
+		return nil, fmt.Errorf("bfv: Galois element %d must be odd", g)
+	}
+	hdr := make([]uint32, 4)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	digits, baseBits, n, w := int(hdr[0]), uint(hdr[1]), int(hdr[2]), int(hdr[3])
+	if digits == 0 || digits > 64 {
+		return nil, fmt.Errorf("bfv: implausible digit count %d", digits)
+	}
+	if n != params.N || w != params.Q.W || baseBits != params.RelinBaseBits {
+		return nil, errors.New("bfv: Galois key shape mismatch")
+	}
+	gk := &GaloisKey{
+		G:        g % uint64(2*params.N),
+		BaseBits: baseBits,
+		K0:       make([]*poly.Poly, digits),
+		K1:       make([]*poly.Poly, digits),
+	}
+	for i := 0; i < digits; i++ {
+		k0, err := readPoly(r, n, w)
+		if err != nil {
+			return nil, err
+		}
+		k1, err := readPoly(r, n, w)
+		if err != nil {
+			return nil, err
+		}
+		gk.K0[i], gk.K1[i] = k0, k1
+	}
+	return gk, nil
 }

@@ -90,6 +90,73 @@ func TestKeySerializationRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestGaloisKeySerializationRoundTrip(t *testing.T) {
+	c := newCtx(t, ParamsToy(), 43, false)
+	kg := NewKeyGenerator(c.params, samplingSource(43))
+	gk, err := kg.GenGaloisKey(c.sk, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gk.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGaloisKey(&buf, c.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G != gk.G || back.BaseBits != gk.BaseBits || len(back.K0) != len(gk.K0) {
+		t.Fatal("Galois key shape differs")
+	}
+	for i := range back.K0 {
+		if !back.K0[i].Equal(gk.K0[i]) || !back.K1[i].Equal(gk.K1[i]) {
+			t.Fatalf("Galois key digit %d differs", i)
+		}
+	}
+	// Rotation through the deserialized key must be bit-identical to the
+	// original key's.
+	ct, _ := c.enc.EncryptValue(9)
+	want, err := c.eval.ApplyGalois(ct, gk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.eval.ApplyGalois(ct, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("rotation with deserialized Galois key differs")
+	}
+}
+
+func TestGaloisKeySerializationRejectsGarbage(t *testing.T) {
+	params := ParamsToy()
+	if _, err := ReadGaloisKey(bytes.NewReader([]byte("BFVrXXXXXXXXXXXX")), params); err == nil {
+		t.Error("wrong magic accepted for Galois key")
+	}
+	c := newCtx(t, params, 44, false)
+	kg := NewKeyGenerator(c.params, samplingSource(44))
+	gk, err := kg.GenGaloisKey(c.sk, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	gk.Serialize(&buf)
+	if _, err := ReadGaloisKey(&buf, ParamsSec27()); err == nil {
+		t.Error("Galois key shape mismatch accepted")
+	}
+	buf.Reset()
+	gk.Serialize(&buf)
+	trunc := buf.Bytes()[:buf.Len()/3]
+	if _, err := ReadGaloisKey(bytes.NewReader(trunc), params); err == nil {
+		t.Error("truncated Galois key accepted")
+	}
+	var empty bytes.Buffer
+	if err := (&GaloisKey{G: 3}).Serialize(&empty); err == nil {
+		t.Error("empty Galois key serialized")
+	}
+}
+
 func TestRelinKeySerializeRejectsMalformed(t *testing.T) {
 	var buf bytes.Buffer
 	bad := &RelinKey{}
