@@ -10,13 +10,22 @@
 //	hepim-bench -fig dcrt         # measure host EvalMul across hebfv backends (slow: runs the schoolbook)
 //	hepim-bench -fig dcrt -backend dcrt-native         # restrict to one registry backend
 //	hepim-bench -fig batch        # measure batched rotations (hoisted vs serial) + decryption
-//	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # emit the tracking JSON (dcrt + batch axes)
+//	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # emit the tracking JSON (dcrt + batch + kernel axes)
+//
+// Profiling the kernel hot spots (see doc.go for the workflow):
+//
+//	hepim-bench -fig dcrt -backend dcrt-native -cpuprofile cpu.out
+//	go tool pprof -top cpu.out            # NTT butterflies, conversions, fused accumulators
+//	hepim-bench -fig batch -memprofile mem.out
+//	go tool pprof -alloc_space mem.out    # steady-state allocation audit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/hebfv"
@@ -26,10 +35,39 @@ import (
 func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|dcrt|batch|all")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	jsonFlag := flag.String("dcrt-json", "", "write the measured evaluation-layer report (EvalMul + batched-rotation axes) to this path (e.g. BENCH_dcrt.json)")
+	jsonFlag := flag.String("dcrt-json", "", "write the measured evaluation-layer report (EvalMul + batched-rotation + kernel axes) to this path (e.g. BENCH_dcrt.json)")
 	backendFlag := flag.String("backend", "",
 		fmt.Sprintf("restrict -fig dcrt/batch to one hebfv backend %v; empty = the tracked set", hebfv.Backends()))
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measured workload to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the measured workload to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+			}
+		}()
+	}
 
 	if *backendFlag != "" {
 		known := false

@@ -81,9 +81,54 @@
 // base conversions — the cost that capped hoisted RotateMany at ~1.4×
 // over serial rotation — are deferred until a consumer forces
 // coefficients, and sums of deferred outputs fuse entirely in the NTT
-// domain. The hebfv facade threads this through transparently: a
-// deferred rotation materializes on first arithmetic/decrypt/serialize
+// domain. Multiplication outputs defer the same way (bfv.ProductNTT /
+// Evaluator.MulNTT / BatchEvaluator.MulManyNTT): a relinearized
+// product's two components are exact integers in the extended basis —
+// the rescaled tensor part plus the key-switching accumulator — held as
+// residue-domain accumulators until forced, so deferred products Add in
+// the RNS domain (a MulMany-then-Sum dot product pays one conversion
+// pair for the whole reduction) and chain into further multiplications
+// through a centered-mod-q re-entry that never packs coefficients. The
+// hebfv facade threads both transparently: a deferred handle
+// materializes on first decrypt/serialize/incompatible-arithmetic
 // touch, bit-identically.
+//
+// # Kernel architecture: lazy reduction and fusion
+//
+// The scalar kernels under internal/ntt and internal/dcrt are organized
+// around Harvey-style lazy reduction with explicit bound contracts, so
+// reduction work is paid once per pipeline rather than once per op:
+//
+//   - ForwardLazy emits NTT values in [0, 4q) (two butterfly layers
+//     merged per memory pass, bounds-check-free inner loops); Forward
+//     adds the single folding pass that restores < q.
+//   - InverseLazy emits [0, 2q) — the n⁻¹ scaling is folded into the
+//     last butterfly stage, so no separate scaling pass runs at all —
+//     and Inverse adds one conditional-subtraction pass.
+//   - The base-conversion γ pass, the scale-and-round division, and the
+//     pointwise Barrett products all accept lazy inputs exactly, so
+//     Convolve and the evaluator pipelines run transform→multiply→
+//     transform with one reduction per coefficient end to end.
+//   - Key switching folds its whole digit sum in one fused pass per
+//     component (ntt.MulAddPair128 / GaloisAccPair128): per slot, the
+//     digit×key products accumulate lazily in 128 bits — digits may
+//     carry the 4q transform bound — and a single Barrett reduction
+//     lands the sum below q. The binding invariant is the reduction's
+//     q·2⁶⁴ validity domain, enforced by ntt.Acc128Capacity (for the
+//     paper's shapes: exactly the three-digit key switch in one fold).
+//   - Key-switching accumulators are far smaller integers than tensor
+//     components, so their digit transforms and accumulation run on a
+//     basis prefix only and the missing limb channels are recovered by
+//     an exact residue-domain base extension (dcrt.ExtendResidues) —
+//     trading transforms for one word-level recombination pass.
+//
+// Values above q therefore appear, by design, in: digit NTT forms
+// (< 4p unfolded on the deferred path, < 2p folded elsewhere), lazy
+// inverse-transform outputs (< 2p), deferred product accumulators
+// (< 2p), and deferred-chain operand forms (< 4p); every kernel
+// documents which lazy bound it accepts, and the property tests in
+// internal/ntt pin the bounds at the 60-bit prime ceiling with inputs
+// at 0, q−1, 2q−1 and 4q−1.
 //
 // Decryption is RNS-native on the same machinery: the phase c0 + c1·s
 // (+ c2·s²) accumulates on cached NTT forms and the exact t/q rounding
@@ -102,9 +147,16 @@
 // public API lives in hebfv/, the implementation under internal/ (see
 // DESIGN.md for the map) and the runnable entry points under cmd/ and
 // examples/. Evaluation-layer performance is
-// tracked by `hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json` (v4:
-// EvalMul, batched-rotation, and decryption axes, measured through the
-// hebfv backend registry and restrictable with -backend) and gated in
-// CI by cmd/benchdiff against .github/bench-baseline.txt — a blocking
-// job since the facade PR.
+// tracked by `hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json` (v5:
+// EvalMul incl. deferred Mul chains, batched-rotation, decryption, and
+// raw-kernel axes, measured through the hebfv backend registry and
+// restrictable with -backend) and gated in CI by cmd/benchdiff against
+// .github/bench-baseline.txt — a blocking job, now paired with an
+// allocation-regression gate over the steady-state kernels. To profile
+// the kernels from the CLI:
+//
+//	hepim-bench -fig dcrt -backend dcrt-native -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
+//	hepim-bench -fig batch -memprofile mem.out
+//	go tool pprof -alloc_space mem.out
 package repro

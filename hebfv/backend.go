@@ -71,6 +71,20 @@ type DeferredRotator interface {
 	RotateManyNTT(ct *bfv.Ciphertext, gks []*bfv.GaloisKey) ([]*bfv.RotatedNTT, error)
 }
 
+// DeferredMultiplier is the optional Engine upgrade for NTT-resident
+// multiplication outputs: MulNTT/MulManyNTT return deferred product
+// handles whose base conversions wait until a consumer forces
+// coefficients, chain into further multiplications, and fuse sums in the
+// RNS domain. CanDeferMul reports whether deferral actually happens on
+// this engine's configuration — MulNTT itself transparently materializes
+// on backends that cannot defer, so callers that route pipelines (the
+// facade) gate on CanDeferMul and fall back to Mul/MulMany otherwise.
+type DeferredMultiplier interface {
+	CanDeferMul() bool
+	MulNTT(a, b bfv.MulOperand) (*bfv.ProductNTT, error)
+	MulManyNTT(as, bs []bfv.MulOperand) ([]*bfv.ProductNTT, error)
+}
+
 // KernelReporter is the optional Engine upgrade for modeled-hardware
 // backends that account their kernel launches (the "pim" backend).
 type KernelReporter interface {
@@ -228,6 +242,16 @@ func (e *evalEngine) CanDefer() bool { return e.be.CanDeferRotations() }
 
 func (e *evalEngine) RotateManyNTT(a *bfv.Ciphertext, gks []*bfv.GaloisKey) ([]*bfv.RotatedNTT, error) {
 	return e.be.RotateManyNTT(a, gks)
+}
+
+func (e *evalEngine) CanDeferMul() bool { return e.be.CanDeferMuls() }
+
+func (e *evalEngine) MulNTT(a, b bfv.MulOperand) (*bfv.ProductNTT, error) {
+	return e.ev.MulNTT(a, b)
+}
+
+func (e *evalEngine) MulManyNTT(as, bs []bfv.MulOperand) ([]*bfv.ProductNTT, error) {
+	return e.be.MulManyNTT(as, bs)
 }
 
 func (e *evalEngine) RotateAndSum(cts []*bfv.Ciphertext, gks []*bfv.GaloisKey) ([]*bfv.Ciphertext, error) {

@@ -11,34 +11,44 @@ import (
 // Context that produced it. Handles are immutable: every operation
 // returns a fresh one.
 //
-// A rotation produced by the deferred path (Context.RotateRowsMany on a
-// backend supporting NTT-resident outputs) stays in cached NTT form —
-// its base conversions deferred — until a consumer forces coefficients:
-// further arithmetic, decryption, serialization or Equal. Sums of
-// deferred rotations fuse in the NTT domain when exactness bounds allow,
-// so rotate-then-aggregate pipelines skip the per-output conversions
-// entirely. All of this is transparent: results are bit-identical
-// either way.
+// A rotation or multiplication produced by a deferred path
+// (Context.RotateRowsMany, Mul/MulMany/Square on a backend supporting
+// NTT-resident outputs) stays in RNS-resident form — its base
+// conversions deferred — until a consumer forces coefficients:
+// decryption, serialization, Equal, or an operation with no deferred
+// path. Sums of deferred rotations fuse in the NTT domain, sums of
+// deferred products fuse in the residue domain, and deferred products
+// chain straight into further multiplications, all when exactness bounds
+// allow. All of this is transparent: results are bit-identical either
+// way.
 type Ciphertext struct {
 	ctx *Context
 
-	mu  sync.Mutex
-	ct  *bfv.Ciphertext // materialized form; nil while deferred
-	rot *bfv.RotatedNTT // deferred rotation output; nil once unused
+	mu   sync.Mutex
+	ct   *bfv.Ciphertext // materialized form; nil while deferred
+	rot  *bfv.RotatedNTT // deferred rotation output; nil once unused
+	prod *bfv.ProductNTT // deferred product output; nil once unused
 }
 
 // force materializes the handle's coefficient form, returning the
 // deferred accumulators to the scratch pool — steady-state batched
-// rotation stays allocation-free through the facade too. A concurrent
-// NTT-domain Add against the released handle safely reports false and
-// falls back to coefficient addition.
+// rotation and multiplication stay allocation-free through the facade
+// too. A concurrent deferred Add against the released handle safely
+// reports false and falls back to coefficient addition.
 func (ct *Ciphertext) force() *bfv.Ciphertext {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	if ct.ct == nil {
-		ct.ct = ct.rot.Materialize()
-		ct.rot.Release()
-		ct.rot = nil
+		switch {
+		case ct.rot != nil:
+			ct.ct = ct.rot.Materialize()
+			ct.rot.Release()
+			ct.rot = nil
+		case ct.prod != nil:
+			ct.ct = ct.prod.Materialize()
+			ct.prod.Release()
+			ct.prod = nil
+		}
 	}
 	return ct.ct
 }
@@ -52,6 +62,27 @@ func (ct *Ciphertext) deferred() *bfv.RotatedNTT {
 		return ct.rot
 	}
 	return nil
+}
+
+// deferredProd returns the product handle while the ciphertext has not
+// been materialized, else nil.
+func (ct *Ciphertext) deferredProd() *bfv.ProductNTT {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.ct == nil {
+		return ct.prod
+	}
+	return nil
+}
+
+// operand returns the handle's form for the deferred multiplication
+// pipeline: the live product handle when still deferred, else the
+// materialized ciphertext.
+func (ct *Ciphertext) operand() bfv.MulOperand {
+	if p := ct.deferredProd(); p != nil {
+		return p
+	}
+	return ct.force()
 }
 
 // Degree returns the ciphertext degree (1 for fresh encryptions, 2 for
@@ -74,6 +105,11 @@ func (c *Context) wrap(ct *bfv.Ciphertext) *Ciphertext {
 // wrapDeferred binds a deferred rotation output to the context.
 func (c *Context) wrapDeferred(rot *bfv.RotatedNTT) *Ciphertext {
 	return &Ciphertext{ctx: c, rot: rot}
+}
+
+// wrapDeferredProd binds a deferred product output to the context.
+func (c *Context) wrapDeferredProd(prod *bfv.ProductNTT) *Ciphertext {
+	return &Ciphertext{ctx: c, prod: prod}
 }
 
 // own validates that ct belongs to this context and returns its

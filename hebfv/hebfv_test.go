@@ -688,3 +688,141 @@ func TestFacadeRejectsMisuse(t *testing.T) {
 		t.Fatal("eager rotations without batching accepted")
 	}
 }
+
+// TestFacadeDeferredProducts drives the NTT-resident multiplication
+// pipeline through the facade: Mul chains, Square, MulMany + Sum fusion
+// — each compared slot-for-slot and bit-for-bit against the schoolbook
+// backend, which never defers.
+func TestFacadeDeferredProducts(t *testing.T) {
+	fast := toyCtx(t, 41)
+	keys, err := fast.ExportKeys(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := hebfv.New(
+		hebfv.WithInsecureToyParameters(),
+		hebfv.WithBackend("schoolbook"),
+		hebfv.WithKeySet(keys),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vals := make([]uint64, fast.Slots())
+	for i := range vals {
+		vals[i] = uint64(3*i + 1)
+	}
+	encBoth := func(v []uint64) (*hebfv.Ciphertext, *hebfv.Ciphertext) {
+		t.Helper()
+		ct, err := fast.EncryptSlots(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := ct.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct2, err := slow.UnmarshalCiphertext(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct, ct2
+	}
+	a, aS := encBoth(vals)
+	b, bS := encBoth(append([]uint64{7, 5}, vals[:len(vals)-2]...))
+
+	equal := func(name string, f, s *hebfv.Ciphertext) {
+		t.Helper()
+		fb, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fb) != string(sb) {
+			t.Fatalf("%s: deferred facade result differs from schoolbook", name)
+		}
+	}
+
+	// Chained Mul: the intermediate stays deferred between levels.
+	p, err := fast.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := fast.Mul(p, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pS, err := slow.Mul(aS, bS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2S, err := slow.Mul(pS, bS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal("mul chain", p2, p2S)
+
+	// Square of a deferred product.
+	sq, err := fast.Square(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqS, err := slow.Square(pS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal("square", sq, sqS)
+
+	// MulMany + Sum: the dot-product reduction fuses in the RNS domain.
+	as := []*hebfv.Ciphertext{a, b, a}
+	bs := []*hebfv.Ciphertext{b, b, a}
+	asS := []*hebfv.Ciphertext{aS, bS, aS}
+	bsS := []*hebfv.Ciphertext{bS, bS, aS}
+	prods, err := fast.MulMany(as, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, err := fast.Sum(prods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodsS, err := slow.MulMany(asS, bsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dotS, err := slow.Sum(prodsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal("mulmany+sum", dot, dotS)
+
+	// Mixed Add (deferred product + fresh ciphertext) falls back to the
+	// coefficient domain, still bit-identical.
+	mixed, err := fast.Add(prods[0], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedS, err := slow.Add(prodsS[0], aS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal("mixed add", mixed, mixedS)
+
+	// Decryption of a deferred chain recovers the slotwise product.
+	got, err := fast.DecryptSlots(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := slow.DecryptSlots(p2S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}

@@ -3,6 +3,8 @@ package hebfv
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/bfv"
 )
 
 // Encoding and encryption.
@@ -141,12 +143,18 @@ func (c *Context) NoiseBudget(ct *Ciphertext) (int, error) {
 // Homomorphic arithmetic — slot-wise (SIMD) under batching encodings.
 
 // Add returns a + b. Sums of deferred rotation outputs fuse in the NTT
-// domain when exactness bounds allow (see Ciphertext).
+// domain, and sums of deferred product outputs in the RNS domain, when
+// exactness bounds allow (see Ciphertext).
 func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if a != nil && b != nil && a.ctx == c && b.ctx == c {
 		if ra, rb := a.deferred(), b.deferred(); ra != nil && rb != nil {
 			if sum, ok := ra.Add(rb); ok {
 				return c.wrapDeferred(sum), nil
+			}
+		}
+		if pa, pb := a.deferredProd(), b.deferredProd(); pa != nil && pb != nil {
+			if sum, ok := pa.Add(pb); ok {
+				return c.wrapDeferredProd(sum), nil
 			}
 		}
 	}
@@ -170,13 +178,35 @@ func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	return c.binOp(a, b, c.eng.Sub)
 }
 
-// Mul returns the relinearized product a·b.
+// Mul returns the relinearized product a·b. On backends with deferred
+// multiplication the result stays NTT-resident — it chains into further
+// Mul calls and fuses under Sum/Add without intermediate base
+// conversions — and materializes transparently (bit-identically) when a
+// consumer needs coefficients.
 func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if dm, ok := c.eng.(DeferredMultiplier); ok && dm.CanDeferMul() &&
+		a != nil && b != nil && a.ctx == c && b.ctx == c {
+		prod, err := dm.MulNTT(a.operand(), b.operand())
+		if err != nil {
+			return nil, err
+		}
+		return c.wrapDeferredProd(prod), nil
+	}
 	return c.binOp(a, b, c.eng.Mul)
 }
 
-// Square returns the relinearized square of a.
+// Square returns the relinearized square of a (deferred like Mul where
+// the backend supports it).
 func (c *Context) Square(a *Ciphertext) (*Ciphertext, error) {
+	if dm, ok := c.eng.(DeferredMultiplier); ok && dm.CanDeferMul() &&
+		a != nil && a.ctx == c {
+		op := a.operand()
+		prod, err := dm.MulNTT(op, op)
+		if err != nil {
+			return nil, err
+		}
+		return c.wrapDeferredProd(prod), nil
+	}
 	return c.unOp(a, c.eng.Square)
 }
 
@@ -220,20 +250,62 @@ func (c *Context) MulPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
 }
 
 // Sum folds the ciphertexts into their total in slice order — the
-// aggregation kernel of the paper's mean/variance workloads.
+// aggregation kernel of the paper's mean/variance workloads. When every
+// input is a deferred product (a MulMany-then-Sum dot product), the fold
+// fuses in the RNS domain and the whole reduction pays one base-
+// conversion pair; the result is bit-identical to the materialized fold.
 func (c *Context) Sum(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, errors.New("hebfv: empty sum")
+	}
+	if sum, ok := c.sumDeferred(cts); ok {
+		return sum, nil
+	}
 	raw, err := c.ownAll(cts)
 	if err != nil {
 		return nil, err
-	}
-	if len(raw) == 0 {
-		return nil, errors.New("hebfv: empty sum")
 	}
 	out, err := c.eng.Sum(raw)
 	if err != nil {
 		return nil, err
 	}
 	return c.wrap(out), nil
+}
+
+// sumDeferred folds all-deferred-product inputs in the RNS domain
+// ((…(c0+c1)+c2)+…, the engine Sum order). It reports false — releasing
+// any intermediate handles it made — when an input is not a live
+// deferred product or a fusion falls back (bound overflow), leaving the
+// caller to take the materialized path.
+func (c *Context) sumDeferred(cts []*Ciphertext) (*Ciphertext, bool) {
+	if len(cts) < 2 {
+		return nil, false
+	}
+	prods := make([]*bfv.ProductNTT, len(cts))
+	for i, ct := range cts {
+		if ct == nil || ct.ctx != c {
+			return nil, false
+		}
+		if prods[i] = ct.deferredProd(); prods[i] == nil {
+			return nil, false
+		}
+	}
+	acc := prods[0]
+	accOwned := false
+	for _, p := range prods[1:] {
+		sum, ok := acc.Add(p)
+		if !ok {
+			if accOwned {
+				acc.Release()
+			}
+			return nil, false
+		}
+		if accOwned {
+			acc.Release()
+		}
+		acc, accOwned = sum, true
+	}
+	return c.wrapDeferredProd(acc), true
 }
 
 // AddMany returns the element-wise sums as[i] + bs[i], scheduled on the
@@ -243,9 +315,32 @@ func (c *Context) AddMany(as, bs []*Ciphertext) ([]*Ciphertext, error) {
 }
 
 // MulMany returns the element-wise relinearized products as[i]·bs[i],
-// scheduled on the backend's batch pipeline.
+// scheduled on the backend's batch pipeline. On backends with deferred
+// multiplication the products stay NTT-resident (see Mul) — a following
+// Sum fuses the whole reduction in the RNS domain.
 func (c *Context) MulMany(as, bs []*Ciphertext) ([]*Ciphertext, error) {
-	return c.batchBinOp(as, bs, c.eng.MulMany)
+	dm, ok := c.eng.(DeferredMultiplier)
+	if !ok || !dm.CanDeferMul() || len(as) != len(bs) {
+		return c.batchBinOp(as, bs, c.eng.MulMany)
+	}
+	aOps := make([]bfv.MulOperand, len(as))
+	bOps := make([]bfv.MulOperand, len(bs))
+	for i := range as {
+		if as[i] == nil || bs[i] == nil || as[i].ctx != c || bs[i].ctx != c {
+			return c.batchBinOp(as, bs, c.eng.MulMany)
+		}
+		aOps[i] = as[i].operand()
+		bOps[i] = bs[i].operand()
+	}
+	prods, err := dm.MulManyNTT(aOps, bOps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Ciphertext, len(prods))
+	for i, p := range prods {
+		out[i] = c.wrapDeferredProd(p)
+	}
+	return out, nil
 }
 
 // Helpers.

@@ -9,6 +9,8 @@ import (
 
 	"repro/hebfv"
 	"repro/internal/bfv"
+	"repro/internal/nt"
+	"repro/internal/ntt"
 	"repro/internal/sampling"
 )
 
@@ -26,6 +28,16 @@ import (
 // selected with hepim-bench's -backend flag — and adds the op "rotate"
 // backend "galois-hoisted-ntt": RotateMany with NTT-resident outputs,
 // the per-output base conversions deferred.
+//
+// v5 adds two axes for the fused lazy-reduction kernels: op "kernel"
+// rows time the raw transform and convolution primitives at the 60-bit
+// basis prime (backends "ntt-forward", "ntt-forward-lazy",
+// "ntt-inverse", "ntt-inverse-lazy", "convolve"), and op "" backend
+// "dcrt-native-deferred" rows time the depth-k Mul chain through the
+// NTT-resident ProductNTT pipeline (every level consumes the previous
+// deferred handle; only the final result materializes), with
+// speedup_vs_serial relating each deferred row to its materialized
+// dcrt-native pair.
 
 // DCRTPoint is one measured backend × ring-degree × depth combination.
 // NsPerOp is the time of one full depth-long chain of relinearized
@@ -35,8 +47,8 @@ import (
 type DCRTPoint struct {
 	N           int     `json:"n"`
 	QBits       int     `json:"q_bits"`
-	Backend     string  `json:"backend"`      // evalmul: registry name; rotate: "galois-serial"|"galois-hoisted"|"galois-hoisted-ntt"; decrypt: "decrypt-bigint"|"decrypt-rns"
-	Op          string  `json:"op,omitempty"` // "" (evalmul) | "rotate" | "rotate-sum" | "decrypt"
+	Backend     string  `json:"backend"`      // evalmul: registry name or "dcrt-native-deferred"; rotate: "galois-serial"|"galois-hoisted"|"galois-hoisted-ntt"; decrypt: "decrypt-bigint"|"decrypt-rns"; kernel: primitive name
+	Op          string  `json:"op,omitempty"` // "" (evalmul) | "rotate" | "rotate-sum" | "decrypt" | "kernel"
 	Depth       int     `json:"depth,omitempty"`
 	Rotations   int     `json:"rotations,omitempty"` // rotate rows: Galois-element count k
 	Iters       int     `json:"iters"`
@@ -110,10 +122,122 @@ func measureEvalMul(n, depth int, backend string) (DCRTPoint, error) {
 	}, nil
 }
 
+// measureMulChainDeferred times the depth-long chain through the
+// NTT-resident pipeline: each level consumes the previous level's
+// deferred handle and only the final result materializes.
+func measureMulChainDeferred(n, depth int) (DCRTPoint, error) {
+	params := bfv.ParamsSec54AtDegree(n)
+	src := sampling.NewSourceFromUint64(uint64(n))
+	kg := bfv.NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinKey(sk)
+	_ = sk
+	enc := bfv.NewEncryptor(params, pk, src)
+	ct0, err := enc.EncryptValue(11)
+	if err != nil {
+		return DCRTPoint{}, err
+	}
+	ct1, err := enc.EncryptValue(13)
+	if err != nil {
+		return DCRTPoint{}, err
+	}
+	ev := bfv.NewEvaluator(params, rlk)
+	if !ev.CanDeferMuls() {
+		return DCRTPoint{}, fmt.Errorf("bench: deferred multiplication unavailable at n=%d", n)
+	}
+	chain := func() error {
+		var cur bfv.MulOperand = ct0
+		var prev *bfv.ProductNTT
+		for d := 0; d < depth; d++ {
+			next, err := ev.MulNTT(cur, ct1)
+			if err != nil {
+				return err
+			}
+			if prev != nil {
+				prev.Release()
+			}
+			cur, prev = next, next
+		}
+		prev.Materialize()
+		prev.Release()
+		return nil
+	}
+	iters, ns, err := timeOp(chain, false)
+	if err != nil {
+		return DCRTPoint{}, err
+	}
+	return DCRTPoint{
+		N:       n,
+		QBits:   params.Q.Bits(),
+		Backend: "dcrt-native-deferred",
+		Depth:   depth,
+		Iters:   iters,
+		NsPerOp: ns,
+	}, nil
+}
+
+// MeasureKernels times the raw transform and convolution primitives at
+// ring degree n over a 60-bit basis prime — the kernel-level axis of
+// BENCH_dcrt.json v5.
+func MeasureKernels(n int) ([]DCRTPoint, error) {
+	primes, err := nt.NTTPrimes(60, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := ntt.GetTable(primes[0], n)
+	if err != nil {
+		return nil, err
+	}
+	q := tab.R.Q
+	qBits := 60
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	dst := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i) * 12345 % q
+		b[i] = uint64(i) * 54321 % q
+	}
+	// The lazy transforms accept their own lazy outputs as inputs
+	// (ForwardLazy: < 4q, InverseLazy: < 2q), so every kernel self-feeds
+	// without intermediate reduction — the rows measure exactly the
+	// per-transform cost difference the lazy entry points exist for.
+	kernels := []struct {
+		name string
+		fn   func() error
+	}{
+		{"ntt-forward", func() error { tab.Forward(a); return nil }},
+		{"ntt-forward-lazy", func() error { tab.ForwardLazy(a); return nil }},
+		{"ntt-inverse", func() error { tab.Inverse(a); return nil }},
+		{"ntt-inverse-lazy", func() error { tab.InverseLazy(a); return nil }},
+		{"convolve", func() error { tab.Convolve(dst, a, b); return nil }},
+	}
+	var out []DCRTPoint
+	for _, k := range kernels {
+		iters, ns, err := timeOp(k.fn, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DCRTPoint{
+			N: n, QBits: qBits, Backend: k.name, Op: "kernel",
+			Iters: iters, NsPerOp: ns,
+		})
+		// Re-range for the next kernel (outside the timing): lazy rows
+		// leave a below 4q, and the strict transforms require < q.
+		for i, v := range a {
+			for v >= q {
+				v -= q
+			}
+			a[i] = v
+		}
+	}
+	return out, nil
+}
+
 // MeasureDCRT measures EvalMul at depth 1 on the given registry
 // backends (all three tracked backends when the list is empty) for the
 // given ring degrees, plus chained depth-3 and depth-5 runs of the
-// double-CRT backends at the largest degree, and returns the tracking
+// double-CRT backends at the largest degree (with a deferred-pipeline
+// row alongside each dcrt-native chain row), and returns the tracking
 // figure plus the JSON report.
 func MeasureDCRT(degrees []int, backendNames []string) (*Figure, *DCRTReport, error) {
 	if len(backendNames) == 0 {
@@ -128,7 +252,7 @@ func MeasureDCRT(degrees []int, backendNames []string) (*Figure, *DCRTReport, er
 			"PIM kernels defer; this repo's host path now has it, rescale included",
 	}
 	rep := &DCRTReport{
-		Schema:      "repro/dcrt-evalmul/v4",
+		Schema:      "repro/dcrt-evalmul/v5",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Op:          "EvalMul chain (tensor + relinearize per level); ns_per_op is per chain",
@@ -175,27 +299,63 @@ func MeasureDCRT(degrees []int, backendNames []string) (*Figure, *DCRTReport, er
 		}
 	}
 	nMax := degrees[len(degrees)-1]
-	for _, depth := range []int{3, 5} {
+	trackNative := false
+	for _, name := range depthBackends {
+		if name == "dcrt-native" {
+			trackNative = true
+		}
+	}
+	for _, depth := range []int{1, 3, 5} {
 		pts := map[string]*DCRTPoint{}
 		row := Row{Label: fmt.Sprintf("n=%d depth=%d", nMax, depth), Seconds: map[string]float64{}}
-		for _, name := range depthBackends {
-			p, err := measureEvalMul(nMax, depth, name)
+		if depth > 1 {
+			for _, name := range depthBackends {
+				p, err := measureEvalMul(nMax, depth, name)
+				if err != nil {
+					return nil, nil, err
+				}
+				pts[name] = &p
+			}
+			if lg, nat := pts["dcrt-legacy"], pts["dcrt-native"]; lg != nil && nat != nil {
+				nat.SpeedupBigX = float64(lg.NsPerOp) / float64(nat.NsPerOp)
+				row.Annotation = fmt.Sprintf("%.1fx vs legacy", nat.SpeedupBigX)
+			}
+			for _, name := range depthBackends {
+				row.Seconds[name] = float64(pts[name].NsPerOp) / 1e9
+				rep.Points = append(rep.Points, *pts[name])
+			}
+		}
+		if trackNative {
+			// The NTT-resident Mul-chain row: deferred handles between
+			// levels, one materialization at the end.
+			def, err := measureMulChainDeferred(nMax, depth)
 			if err != nil {
 				return nil, nil, err
 			}
-			pts[name] = &p
+			nat := pts["dcrt-native"]
+			if nat == nil && depth == 1 {
+				// Depth-1 native was measured in the per-degree sweep.
+				for i := range rep.Points {
+					p := &rep.Points[i]
+					if p.N == nMax && p.Backend == "dcrt-native" && p.Depth == 1 && p.Op == "" {
+						nat = p
+					}
+				}
+			}
+			if nat != nil {
+				def.SpeedupSerX = float64(nat.NsPerOp) / float64(def.NsPerOp)
+			}
+			row.Seconds["dcrt-native-deferred"] = float64(def.NsPerOp) / 1e9
+			rep.Points = append(rep.Points, def)
 		}
-		if lg, nat := pts["dcrt-legacy"], pts["dcrt-native"]; lg != nil && nat != nil {
-			nat.SpeedupBigX = float64(lg.NsPerOp) / float64(nat.NsPerOp)
-			row.Annotation = fmt.Sprintf("%.1fx vs legacy", nat.SpeedupBigX)
-		}
-		for _, name := range depthBackends {
-			row.Seconds[name] = float64(pts[name].NsPerOp) / 1e9
-			rep.Points = append(rep.Points, *pts[name])
-		}
-		if len(depthBackends) > 0 {
+		if len(row.Seconds) > 0 && depth > 1 {
 			fig.Rows = append(fig.Rows, row)
 		}
+	}
+	if kpts, err := MeasureKernels(nMax); err == nil {
+		rep.Points = append(rep.Points, kpts...)
+	} else {
+		return nil, nil, err
 	}
 	return fig, rep, nil
 }

@@ -41,11 +41,20 @@ type Ciphertext struct {
 // polynomial it was built from, so swapping a component in ct.Polys
 // invalidates its entry structurally; only in-place mutation of a
 // component's limbs remains covered by the immutability convention.
+//
+// Components that keep being multiplied (chained products consuming the
+// same operand, shared weights in a dot product) additionally cache the
+// per-slot Shoup companions of their form: the companions cost a
+// hardware division per slot to build, so they are only constructed once
+// a component's form has been requested for a second multiplication —
+// single-use operands never pay for them.
 type nttCache struct {
-	mu    sync.Mutex
-	ctx   *dcrt.Context
-	forms []*dcrt.Poly
-	srcs  []*poly.Poly
+	mu     sync.Mutex
+	ctx    *dcrt.Context
+	forms  []*dcrt.Poly
+	srcs   []*poly.Poly
+	shoups []*dcrt.Poly
+	uses   []int
 }
 
 // rnsNTT returns the cached centered double-CRT form of component i,
@@ -53,18 +62,40 @@ type nttCache struct {
 // builder of another component of the same ciphertext serializes behind
 // the per-ciphertext lock.
 func (ct *Ciphertext) rnsNTT(ctx *dcrt.Context, i int) *dcrt.Poly {
+	f, _ := ct.rnsNTTUse(ctx, i, false)
+	return f
+}
+
+// rnsNTTShoup is rnsNTT returning the form's Shoup companions as well —
+// nil until the component has been requested at least twice, after which
+// they are built and cached (see nttCache).
+func (ct *Ciphertext) rnsNTTShoup(ctx *dcrt.Context, i int) (form, shoup *dcrt.Poly) {
+	return ct.rnsNTTUse(ctx, i, true)
+}
+
+func (ct *Ciphertext) rnsNTTUse(ctx *dcrt.Context, i int, wantShoup bool) (form, shoup *dcrt.Poly) {
 	ct.ntt.mu.Lock()
 	defer ct.ntt.mu.Unlock()
 	if ct.ntt.ctx != ctx || len(ct.ntt.forms) != len(ct.Polys) {
 		ct.ntt.ctx = ctx
 		ct.ntt.forms = make([]*dcrt.Poly, len(ct.Polys))
 		ct.ntt.srcs = make([]*poly.Poly, len(ct.Polys))
+		ct.ntt.shoups = make([]*dcrt.Poly, len(ct.Polys))
+		ct.ntt.uses = make([]int, len(ct.Polys))
 	}
 	if ct.ntt.forms[i] == nil || ct.ntt.srcs[i] != ct.Polys[i] {
 		ct.ntt.forms[i] = ctx.ToRNSCentered(ct.Polys[i])
 		ct.ntt.srcs[i] = ct.Polys[i]
+		ct.ntt.shoups[i] = nil
+		ct.ntt.uses[i] = 0
 	}
-	return ct.ntt.forms[i]
+	if wantShoup {
+		ct.ntt.uses[i]++
+		if ct.ntt.shoups[i] == nil && ct.ntt.uses[i] >= 2 {
+			ct.ntt.shoups[i] = ctx.ShoupConsts(ct.ntt.forms[i])
+		}
+	}
+	return ct.ntt.forms[i], ct.ntt.shoups[i]
 }
 
 // Degree returns len(Polys) - 1.

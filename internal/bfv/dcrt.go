@@ -41,6 +41,11 @@ func dcrtFor(par *Parameters) *dcrt.Context {
 			panic(fmt.Sprintf("bfv: double-CRT context for %v: %v", par, err))
 		}
 		par.dcrtCtx = ctx
+		// Key-switching accumulators are bounded by keySwitch bits — far
+		// below the tensor bound the basis is sized for — so their digit
+		// transforms and accumulation run on a basis prefix and extend to
+		// the remaining channels in the residue domain (ExtendResidues).
+		par.dcrtSubK = ctx.SubBasisFor(keySwitch + 1)
 	})
 	if par.dcrtCtx == nil {
 		// A recovered first-build panic leaves the Once spent; keep the
@@ -56,66 +61,69 @@ func mulRq(par *Parameters, a, b *poly.Poly) *poly.Poly {
 }
 
 // keyForms caches the double-CRT NTT forms of a key-switching key's
-// polynomials — together with their per-slot Shoup companions, so the
-// accumulation inner loops run Shoup multiplications against the
-// immutable key side — and every Relinearize/ApplyGalois pays only the
-// digit-side transforms. Keys are immutable after generation/
-// deserialization, and the cache is keyed to the context that built it
-// (a key is only ever used with one parameter set).
+// polynomials, so every Relinearize/ApplyGalois pays only the digit-side
+// transforms. The fused 128-bit accumulation kernels multiply the raw key
+// slots (no Shoup companions needed — the single Barrett fold per slot
+// replaces the per-digit Shoup reductions). Keys are immutable after
+// generation/deserialization, and the cache is keyed to the context that
+// built it (a key is only ever used with one parameter set).
 type keyForms struct {
-	once     sync.Once
-	k0, k1   []*dcrt.Poly
-	k0s, k1s []*dcrt.Poly // Shoup companions of k0, k1
+	once   sync.Once
+	k0, k1 []*dcrt.Poly
 }
 
 func (kf *keyForms) get(ctx *dcrt.Context, k0, k1 []*poly.Poly) (f0, f1 []*dcrt.Poly) {
-	kf.build(ctx, k0, k1)
-	return kf.k0, kf.k1
-}
-
-// getShoup returns the forms plus their Shoup companions.
-func (kf *keyForms) getShoup(ctx *dcrt.Context, k0, k1 []*poly.Poly) (f0, f1, s0, s1 []*dcrt.Poly) {
-	kf.build(ctx, k0, k1)
-	return kf.k0, kf.k1, kf.k0s, kf.k1s
-}
-
-func (kf *keyForms) build(ctx *dcrt.Context, k0, k1 []*poly.Poly) {
 	kf.once.Do(func() {
 		kf.k0 = make([]*dcrt.Poly, len(k0))
 		kf.k1 = make([]*dcrt.Poly, len(k1))
-		kf.k0s = make([]*dcrt.Poly, len(k0))
-		kf.k1s = make([]*dcrt.Poly, len(k1))
 		for i := range k0 {
 			kf.k0[i] = ctx.ToRNS(k0[i])
 			kf.k1[i] = ctx.ToRNS(k1[i])
-			kf.k0s[i] = ctx.ShoupConsts(kf.k0[i])
-			kf.k1s[i] = ctx.ShoupConsts(kf.k1[i])
 		}
 	})
+	return kf.k0, kf.k1
 }
 
 // keySwitchAcc folds Σᵢ digitᵢ·keyᵢ for both key components entirely in
 // the NTT domain: one forward transform per digit, one inverse transform
 // per component — the double-CRT key-switching inner loop. Digits arrive
 // already in double-CRT form (from Context.DigitsToRNS, which decomposes
-// with limb shifts), are consumed and returned to the context's scratch
-// pool, and the accumulators leave through the word-sized fast base
-// conversion — no big.Int and no steady-state allocation on the path.
-func keySwitchAcc(ctx *dcrt.Context, digits []*dcrt.Poly, k0, k1, k0s, k1s []*dcrt.Poly) (s0, s1 *poly.Poly) {
+// with limb shifts and leaves the transforms lazily reduced), are
+// consumed and returned to the context's scratch pool, and the whole
+// digit sum folds in one fused pass per component (128-bit lazy
+// accumulation, one Barrett reduction per slot). The accumulators leave
+// through the word-sized fast base conversion — no big.Int and no
+// steady-state allocation on the path.
+func keySwitchAcc(ctx *dcrt.Context, digits []*dcrt.Poly, k0, k1 []*dcrt.Poly) (s0, s1 *poly.Poly) {
 	acc0 := ctx.GetScratch()
 	acc1 := ctx.GetScratch()
 	defer ctx.PutScratch(acc0)
 	defer ctx.PutScratch(acc1)
-	acc0.Zero()
-	acc1.Zero()
-	for i, dR := range digits {
-		if i < len(k0) {
-			ctx.MulAddShoupNTT(acc0, k0[i], k0s[i], dR)
-			ctx.MulAddShoupNTT(acc1, k1[i], k1s[i], dR)
-		}
+	ctx.MulPairAllNTT(acc0, acc1, k0, k1, digits)
+	for _, dR := range digits {
 		ctx.PutScratch(dR)
 	}
 	return ctx.FromRNS(acc0), ctx.FromRNS(acc1)
+}
+
+// keySwitchAccResidues runs the key switch on the sub-basis prefix of
+// `limbs` channels — digits arrive with only those channels populated —
+// and returns the accumulators as full-basis residue-domain elements:
+// inverse transforms over the prefix, then an exact base extension into
+// the remaining channels (the accumulator magnitude fits the prefix, see
+// dcrtFor). Pooled; the caller owns them. Digits are consumed.
+func keySwitchAccResidues(ctx *dcrt.Context, digits []*dcrt.Poly, k0, k1 []*dcrt.Poly, limbs int) (acc0, acc1 *dcrt.Poly) {
+	acc0 = ctx.GetScratch()
+	acc1 = ctx.GetScratch()
+	ctx.MulPairLimbsNTT(acc0, acc1, k0, k1, digits, limbs)
+	for _, dR := range digits {
+		ctx.PutScratch(dR)
+	}
+	ctx.IntoResiduesLazyLimbs(acc0, limbs)
+	ctx.IntoResiduesLazyLimbs(acc1, limbs)
+	ctx.ExtendResidues(acc0, limbs)
+	ctx.ExtendResidues(acc1, limbs)
+	return acc0, acc1
 }
 
 // relinDigits returns ct polynomial p decomposed into double-CRT digit
@@ -128,16 +136,12 @@ func relinDigits(ctx *dcrt.Context, par *Parameters, p *poly.Poly, keyLen int) [
 // components into acc0/acc1 (NTT domain, extended basis) — the Galois
 // key-switching inner loop under the decompose-then-permute convention.
 // The automorphism is the slot gather idx (dcrt.GaloisNTTIndices), fused
-// into the accumulation so permuted digits are never materialized, and
+// into the accumulation so permuted digits are never materialized, the
+// whole digit sum folds in one 128-bit fused pass per component, and
 // digits are NOT consumed: a hoisted rotation reuses one decomposition
 // across many Galois elements, so ownership stays with the caller.
-func galoisKeySwitchAcc(ctx *dcrt.Context, acc0, acc1 *dcrt.Poly, digits []*dcrt.Poly, idx []uint32, k0, k1, k0s, k1s []*dcrt.Poly) {
-	for i, dR := range digits {
-		if i >= len(k0) {
-			break
-		}
-		ctx.GaloisAccNTT(acc0, acc1, k0[i], k0s[i], k1[i], k1s[i], dR, idx)
-	}
+func galoisKeySwitchAcc(ctx *dcrt.Context, acc0, acc1 *dcrt.Poly, digits []*dcrt.Poly, idx []uint32, k0, k1 []*dcrt.Poly) {
+	ctx.GaloisAccAllNTT(acc0, acc1, k0, k1, digits, idx)
 }
 
 // keySwitchAccLegacy is the PR-1 key-switching path: big.Int digit

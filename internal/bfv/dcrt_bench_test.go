@@ -106,6 +106,118 @@ func BenchmarkEvalMulDepth1(b *testing.B) { benchmarkDepthPair(b, 1) }
 func BenchmarkEvalMulDepth3(b *testing.B) { benchmarkDepthPair(b, 3) }
 func BenchmarkEvalMulDepth5(b *testing.B) { benchmarkDepthPair(b, 5) }
 
+// benchmarkMulChainDeferred times the same depth-long chain through the
+// NTT-resident pipeline: every level consumes the previous level's
+// deferred handle and only the final result materializes — coefficients
+// are packed once per chain instead of once per level.
+func benchmarkMulChainDeferred(b *testing.B, n, depth int) {
+	params := ParamsSec54AtDegree(n)
+	src := sampling.NewSourceFromUint64(uint64(n + depth))
+	kg := NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinKey(sk)
+	_ = sk
+	enc := NewEncryptor(params, pk, src)
+	ct0, err := enc.EncryptValue(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct1, err := enc.EncryptValue(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := NewEvaluator(params, rlk)
+	if !ev.CanDeferMuls() {
+		b.Fatal("deferred multiplication unavailable on this configuration")
+	}
+	chain := func() {
+		var cur MulOperand = ct0
+		var prev *ProductNTT
+		for d := 0; d < depth; d++ {
+			next, err := ev.MulNTT(cur, ct1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if prev != nil {
+				prev.Release()
+			}
+			cur, prev = next, next
+		}
+		prev.Materialize()
+		prev.Release()
+	}
+	chain() // warm the caches (twiddle tables, key and operand forms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain()
+	}
+}
+
+func BenchmarkMulChainDeferred1(b *testing.B) { benchmarkMulChainDeferred(b, 4096, 1) }
+func BenchmarkMulChainDeferred3(b *testing.B) { benchmarkMulChainDeferred(b, 4096, 3) }
+
+// BenchmarkMulManySum measures the dot-product reduction Σᵢ aᵢ·bᵢ over 8
+// pairs, materialized (MulMany + Add fold) vs deferred (MulManyNTT + RNS
+// domain Add fold, one final conversion pair).
+func BenchmarkMulManySum(b *testing.B) {
+	const pairs = 8
+	params := ParamsSec54AtDegree(4096)
+	src := sampling.NewSourceFromUint64(4096 + pairs)
+	kg := NewKeyGenerator(params, src)
+	sk, pk := kg.GenKeyPair()
+	rlk := kg.GenRelinKey(sk)
+	_ = sk
+	enc := NewEncryptor(params, pk, src)
+	as := make([]*Ciphertext, pairs)
+	bs := make([]*Ciphertext, pairs)
+	aOps := make([]MulOperand, pairs)
+	bOps := make([]MulOperand, pairs)
+	for i := range as {
+		var err error
+		if as[i], err = enc.EncryptValue(uint64(2 + i)); err != nil {
+			b.Fatal(err)
+		}
+		if bs[i], err = enc.EncryptValue(uint64(3 + i)); err != nil {
+			b.Fatal(err)
+		}
+		aOps[i], bOps[i] = as[i], bs[i]
+	}
+	be := NewBatchEvaluator(params, rlk)
+	ev := be.Evaluator()
+	b.Run("path=materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prods, err := be.MulMany(as, bs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc := prods[0]
+			for _, p := range prods[1:] {
+				acc = ev.Add(acc, p)
+			}
+		}
+	})
+	b.Run("path=deferred", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prods, err := be.MulManyNTT(aOps, bOps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc := prods[0]
+			for _, p := range prods[1:] {
+				sum, ok := acc.Add(p)
+				if !ok {
+					b.Fatal("deferred sum fell back")
+				}
+				acc.Release()
+				p.Release()
+				acc = sum
+			}
+			acc.Materialize()
+			acc.Release()
+		}
+	})
+}
+
 // BenchmarkEncrypt tracks the non-Mul side of the double-CRT win: fresh
 // encryption was two schoolbook products per ciphertext.
 func BenchmarkEncrypt(b *testing.B) {

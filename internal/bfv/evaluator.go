@@ -306,12 +306,12 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 
 	if ev.useDCRT() {
 		ctx := dcrtFor(par)
-		k0, k1, k0s, k1s := ev.rlk.forms.getShoup(ctx, ev.rlk.K0, ev.rlk.K1)
+		k0, k1 := ev.rlk.forms.get(ctx, ev.rlk.K0, ev.rlk.K1)
 		var s0, s1 *poly.Poly
 		if ev.useRNSNative() {
 			// Digit decomposition by limb shifts, accumulation in the NTT
 			// domain, fast base conversion out — the big.Int-free path.
-			s0, s1 = keySwitchAcc(ctx, relinDigits(ctx, par, ct.Polys[2], len(k0)), k0, k1, k0s, k1s)
+			s0, s1 = keySwitchAcc(ctx, relinDigits(ctx, par, ct.Polys[2], len(k0)), k0, k1)
 		} else {
 			s0, s1 = keySwitchAccLegacy(ctx, decomposePoly(ct.Polys[2], par), k0, k1)
 		}
@@ -334,8 +334,23 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 	return &Ciphertext{Polys: []*poly.Poly{c0, c1}}, nil
 }
 
-// Mul returns the relinearized product of two degree-1 ciphertexts.
+// Mul returns the relinearized product of two degree-1 ciphertexts. On
+// the RNS-native backend the tensor, rescale and key switch fuse through
+// the deferred-product pipeline (see mul_ntt.go): the rescaled components
+// and the key-switching accumulators sum as exact integers in the
+// extended basis and leave through a single base conversion each — one
+// conversion and one packing pass fewer per component than rescaling and
+// key-switching separately, with bit-identical results.
 func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if ev.CanDeferMuls() && ct0.Degree() == 1 && ct1.Degree() == 1 {
+		res0, res1 := ev.mulDeferred(ct0, ct1)
+		defer dcrtFor(ev.params).PutScratch(res0)
+		defer dcrtFor(ev.params).PutScratch(res1)
+		ctx := dcrtFor(ev.params)
+		return &Ciphertext{Polys: []*poly.Poly{
+			ctx.FromResidues(res0), ctx.FromResidues(res1),
+		}}, nil
+	}
 	d2, err := ev.MulNoRelin(ct0, ct1)
 	if err != nil {
 		return nil, err

@@ -146,7 +146,7 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, gk *GaloisKey) (*Ciphertext, er
 // domain against the key's cached Shoup forms, and both components leave
 // through the fast base conversion.
 func galoisKeySwitch(ctx *dcrt.Context, digits []*dcrt.Poly, gk *GaloisKey) (s0, s1 *poly.Poly) {
-	k0, k1, k0s, k1s := gk.forms.getShoup(ctx, gk.K0, gk.K1)
+	k0, k1 := gk.forms.get(ctx, gk.K0, gk.K1)
 	idx := dcrt.GaloisNTTIndices(ctx.N, gk.G)
 	acc0 := ctx.GetScratch()
 	acc1 := ctx.GetScratch()
@@ -154,7 +154,7 @@ func galoisKeySwitch(ctx *dcrt.Context, digits []*dcrt.Poly, gk *GaloisKey) (s0,
 	defer ctx.PutScratch(acc1)
 	acc0.Zero()
 	acc1.Zero()
-	galoisKeySwitchAcc(ctx, acc0, acc1, digits, idx, k0, k1, k0s, k1s)
+	galoisKeySwitchAcc(ctx, acc0, acc1, digits, idx, k0, k1)
 	return ctx.FromRNS(acc0), ctx.FromRNS(acc1)
 }
 

@@ -37,6 +37,7 @@ type Parameters struct {
 	// of hashing the modulus string on every evaluator operation.
 	dcrtOnce sync.Once
 	dcrtCtx  *dcrt.Context
+	dcrtSubK int // sub-basis length for key-switching accumulators (dcrtFor)
 }
 
 // NewParameters validates and assembles a parameter set.

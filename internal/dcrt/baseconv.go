@@ -49,6 +49,11 @@ type convState struct {
 	cLo, cHi []uint64
 	eLo, eHi []uint64
 
+	// remFits[i] reports q ≤ p_i for a one-word q: a mod-q remainder
+	// magnitude is then already a canonical residue in limb channel i and
+	// the per-coefficient ReduceWide fold is skipped.
+	remFits []bool
+
 	rounders sync.Map // t (uint64) → *ScaleRounder
 }
 
@@ -86,6 +91,7 @@ func newConvState(c *Context) *convState {
 		t.Mod(c.Basis.QHat(i), q)
 		cv.cLo = append(cv.cLo, bigWord(t, 0))
 		cv.cHi = append(cv.cHi, bigWord(t, 1))
+		cv.remFits = append(cv.remFits, qr.words == 1 && qr.q0 <= p)
 	}
 	for e := 0; e <= k; e++ {
 		t.Mul(big.NewInt(int64(e)), c.Basis.Q)
@@ -104,11 +110,114 @@ func (c *Context) RNSNative() bool { return c.conv != nil }
 
 // convModQ converts a residue-domain element (representing exact integer
 // coefficients X with |X| ≤ 2^BoundBits) to X mod q, writing the
-// canonical values into the (lo, hi) word slabs. dstHi may be nil for
-// one-word moduli.
+// canonical values into the (lo, hi) word slabs. Limb values may be
+// lazily reduced (< 2p, the InverseLazy bound): the γ pass folds them
+// exactly. dstHi may be nil for one-word moduli.
 func (c *Context) convModQ(x *Poly, dstLo, dstHi []uint64) {
 	cv := c.conv
 	k := c.K()
+
+	// One-word moduli run the γ pass fused into the recombination sweep:
+	// each coefficient's γ_i = [(x_i + δ_i)·ω_i] mod p_i values are
+	// computed in registers and consumed immediately by the fixed-point
+	// lift sum and the Σ γ_i·C_i dot product — the γ scratch element and
+	// its write/read round trip disappear. The plain add never wraps
+	// (x_i < 2p, δ_i < p, 3p < 2⁶⁴) and the Shoup multiply reduces any
+	// word-sized operand exactly.
+	if cv.qr.words == 1 && k == 3 {
+		// Fully unrolled three-limb form — the shape of every paper
+		// parameter set — with the per-limb constants held in registers.
+		r1 := cv.qr.r1
+		x0, x1, x2 := x.Coeffs[0], x.Coeffs[1], x.Coeffs[2]
+		p0, p1, p2 := c.Basis.Primes[0], c.Basis.Primes[1], c.Basis.Primes[2]
+		d0, d1, d2 := cv.deltaP[0], cv.deltaP[1], cv.deltaP[2]
+		om0, om1, om2 := cv.omega[0], cv.omega[1], cv.omega[2]
+		os0, os1, os2 := cv.omegaShoup[0], cv.omegaShoup[1], cv.omegaShoup[2]
+		nu0, nu1, nu2 := cv.nu[0], cv.nu[1], cv.nu[2]
+		c0, c1, c2 := cv.cLo[0], cv.cLo[1], cv.cLo[2]
+		parallelChunks(c.N, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				v := x0[j] + d0
+				qh, _ := bits.Mul64(v, os0)
+				g0 := v*om0 - qh*p0
+				if g0 >= p0 {
+					g0 -= p0
+				}
+				v = x1[j] + d1
+				qh, _ = bits.Mul64(v, os1)
+				g1 := v*om1 - qh*p1
+				if g1 >= p1 {
+					g1 -= p1
+				}
+				v = x2[j] + d2
+				qh, _ = bits.Mul64(v, os2)
+				g2 := v*om2 - qh*p2
+				if g2 >= p2 {
+					g2 -= p2
+				}
+				ph, pl := bits.Mul64(g0, nu0)
+				sLo, sHi := ph<<32|pl>>32, uint64(0)
+				var cc uint64
+				ph, pl = bits.Mul64(g1, nu1)
+				sLo, cc = bits.Add64(sLo, ph<<32|pl>>32, 0)
+				sHi += cc
+				ph, pl = bits.Mul64(g2, nu2)
+				sLo, cc = bits.Add64(sLo, ph<<32|pl>>32, 0)
+				sHi += cc
+				_ = sLo
+				aHi, aLo := bits.Mul64(g0, c0)
+				ph, pl = bits.Mul64(g1, c1)
+				aLo, cc = bits.Add64(aLo, pl, 0)
+				aHi += ph + cc
+				ph, pl = bits.Mul64(g2, c2)
+				aLo, cc = bits.Add64(aLo, pl, 0)
+				aHi += ph + cc
+				dstLo[j] = r1.Sub(r1.ReduceWide(aHi, aLo), cv.eLo[sHi])
+			}
+			if dstHi != nil {
+				for j := lo; j < hi; j++ {
+					dstHi[j] = 0
+				}
+			}
+		})
+		return
+	}
+	if cv.qr.words == 1 && k <= maxFusedChunk {
+		r1 := cv.qr.r1
+		var xs [maxFusedChunk][]uint64
+		for i := 0; i < k; i++ {
+			xs[i] = x.Coeffs[i]
+		}
+		primes := c.Basis.Primes
+		parallelChunks(c.N, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				var sLo, sHi, aLo, aHi, cc uint64
+				for i := 0; i < k; i++ {
+					p := primes[i]
+					v := xs[i][j] + cv.deltaP[i]
+					qh, _ := bits.Mul64(v, cv.omegaShoup[i])
+					gij := v*cv.omega[i] - qh*p
+					if gij >= p {
+						gij -= p
+					}
+					ph, pl := bits.Mul64(gij, cv.nu[i])
+					sLo, cc = bits.Add64(sLo, ph<<32|pl>>32, 0)
+					sHi += cc
+					ph, pl = bits.Mul64(gij, cv.cLo[i])
+					aLo, cc = bits.Add64(aLo, pl, 0)
+					aHi += ph + cc
+				}
+				dstLo[j] = r1.Sub(r1.ReduceWide(aHi, aLo), cv.eLo[sHi])
+			}
+			if dstHi != nil {
+				for j := lo; j < hi; j++ {
+					dstHi[j] = 0
+				}
+			}
+		})
+		return
+	}
+
 	g := c.getScratch()
 	defer c.PutScratch(g)
 
@@ -117,8 +226,9 @@ func (c *Context) convModQ(x *Poly, dstLo, dstHi []uint64) {
 		r := c.Tabs[i].R
 		xi, gi := x.Coeffs[i], g.Coeffs[i]
 		d, om, oms := cv.deltaP[i], cv.omega[i], cv.omegaShoup[i]
+		xi = xi[:len(gi)]
 		for j := range gi {
-			gi[j] = r.MulShoup(r.Add(xi[j], d), om, oms)
+			gi[j] = r.MulShoup(xi[j]+d, om, oms)
 		}
 	})
 
@@ -201,6 +311,12 @@ func (c *Context) putU64(s *[]uint64) { c.u64s.Put(s) }
 // channel: the decomposition is pure limb shifts (no big.Int) and the
 // only per-digit cost beyond them is the forward transform set.
 //
+// Digit NTT forms are lazily reduced (< 2p): the lazy forward transform's
+// [0, 4p) outputs are folded once instead of twice, because every
+// consumer — the 128-bit fused accumulators, the per-digit Shoup and
+// Barrett kernels, and the inverse transform behind FromRNS — accepts the
+// 2p bound and reduces digit operands exactly.
+//
 // The returned elements come from the context's scratch pool: callers
 // that drop them after one use (the key-switching accumulators do)
 // should hand them back via PutScratch to keep steady-state evaluation
@@ -235,9 +351,82 @@ func (c *Context) DigitsToRNS(p *poly.Poly, baseBits uint, count int) []*Poly {
 			copy(out[d].Coeffs[i], ch0)
 		}
 	}
-	k := c.K()
-	parallelFor(count*k, func(t int) {
-		c.Tabs[t%k].Forward(out[t/k].Coeffs[t%k])
+	c.digitsForward(out, c.K())
+	return out
+}
+
+// digitsForward runs the lazy forward transform set over the first
+// `limbs` limb channels of every digit, folding the outputs below 2p so
+// the elements satisfy the general Poly lazy bound (every kernel,
+// including the inverse transform, accepts < 2p).
+func (c *Context) digitsForward(out []*Poly, limbs int) {
+	parallelFor(len(out)*limbs, func(t int) {
+		tab := c.Tabs[t%limbs]
+		ch := out[t/limbs].Coeffs[t%limbs]
+		tab.ForwardLazy(ch)
+		twoQ := 2 * tab.R.Q
+		for j, v := range ch {
+			if v >= twoQ {
+				ch[j] = v - twoQ
+			}
+		}
 	})
+}
+
+// digitsForwardLazy is digitsForward without the folding pass: digit
+// channels keep the raw [0, 4p) ForwardLazy bound. Only for digit sets
+// that feed the 128-bit fused accumulators exclusively (fuseCap accounts
+// for the 4p operand) — the deferred multiplication path.
+func (c *Context) digitsForwardLazy(out []*Poly, limbs int) {
+	parallelFor(len(out)*limbs, func(t int) {
+		c.Tabs[t%limbs].ForwardLazy(out[t/limbs].Coeffs[t%limbs])
+	})
+}
+
+// DigitsToRNSWords is DigitsToRNS reading the canonical mod-q coefficients
+// from base-conversion word pairs instead of a packed polynomial — the
+// deferred multiplication pipeline's digit source, which never
+// materializes the rescaled c2 component. Only the first `limbs` limb
+// channels are populated and transformed (lazily, < 4p: the digits feed
+// the fused accumulators, which fold exactly); pass K() for a full-basis
+// digit set. hi may be nil when q fits one word.
+func (c *Context) DigitsToRNSWords(lo, hi []uint64, baseBits uint, count, limbs int) []*Poly {
+	if baseBits == 0 || baseBits > 32 {
+		panic("dcrt: digit base must be 1..32 bits")
+	}
+	mask := uint64(1)<<baseBits - 1
+	out := make([]*Poly, count)
+	for d := range out {
+		out[d] = c.getScratch()
+		ch0 := out[d].Coeffs[0]
+		off := uint(d) * baseBits
+		switch {
+		case off >= 64 && hi == nil:
+			for j := 0; j < c.N; j++ {
+				ch0[j] = 0
+			}
+		case off >= 64:
+			sh := off - 64
+			for j := 0; j < c.N; j++ {
+				ch0[j] = hi[j] >> sh & mask
+			}
+		case hi == nil:
+			for j := 0; j < c.N; j++ {
+				ch0[j] = lo[j] >> off & mask
+			}
+		default:
+			for j := 0; j < c.N; j++ {
+				v := lo[j] >> off
+				if off != 0 {
+					v |= hi[j] << (64 - off)
+				}
+				ch0[j] = v & mask
+			}
+		}
+		for i := 1; i < limbs; i++ {
+			copy(out[d].Coeffs[i], ch0)
+		}
+	}
+	c.digitsForwardLazy(out, limbs)
 	return out
 }

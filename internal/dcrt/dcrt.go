@@ -53,8 +53,19 @@ type Context struct {
 	// when the modulus shape forces the big.Int recombination fallback.
 	conv *convState
 
+	// fuseCap bounds how many key·digit products (on top of the
+	// accumulator seed) the 128-bit fused key-switching kernels may sum
+	// before the single Barrett fold: ntt.Acc128Capacity at the widest
+	// basis prime — the fold is valid only below p·2⁶⁴ and the
+	// per-limb capacity 2⁶⁴/(4p−1) shrinks as p grows, so the widest
+	// prime binds — for a strict key operand and a lazily-reduced
+	// (< 4p, the unfolded ForwardLazy bound) digit operand. Below 1 the
+	// fused kernels fall back to per-digit passes.
+	fuseCap int
+
 	scratch sync.Pool // *Poly buffers for transforms and accumulators
 	u64s    sync.Pool // *[]uint64 length-N slabs for the conversion kernels
+	exts    sync.Map  // sub-basis length → *extState (see baseext.go)
 }
 
 // ctxKey identifies a context in the process-wide cache.
@@ -129,6 +140,13 @@ func NewContext(mod *poly.Modulus, n, boundBits int) (*Context, error) {
 		return &s
 	}
 	c.conv = newConvState(c)
+	maxP := basis.Primes[0]
+	for _, p := range basis.Primes[1:] {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	c.fuseCap = ntt.Acc128Capacity(maxP, maxP-1, 4*maxP-1)
 	return c, nil
 }
 
@@ -280,14 +298,27 @@ func (c *Context) FromRNS(p *Poly) *poly.Poly {
 	if c.conv == nil {
 		return c.FromRNSRecombine(p)
 	}
-	tmp := c.intt(p)
+	tmp := c.inttLazy(p)
 	defer c.PutScratch(tmp)
-	uLo, uHi := c.getU64(), c.getU64()
+	return c.FromResidues(tmp)
+}
+
+// FromResidues is the residue-domain tail of FromRNS: it base-converts an
+// element already in the residue (coefficient) domain — e.g. a deferred
+// product accumulator — to mod q and packs it. Limb values may be lazily
+// reduced (< 2p). Requires an RNS-native context.
+func (c *Context) FromResidues(p *Poly) *poly.Poly {
+	uLo := c.getU64()
 	defer c.putU64(uLo)
-	defer c.putU64(uHi)
-	c.convModQ(tmp, *uLo, *uHi)
+	var hi []uint64
+	if c.conv.qr.words == 2 {
+		uHi := c.getU64()
+		defer c.putU64(uHi)
+		hi = *uHi
+	}
+	c.convModQ(p, *uLo, hi)
 	out := poly.NewPoly(c.N, c.Mod.W)
-	c.packModQ(out, *uLo, *uHi)
+	c.packModQ(out, *uLo, hi)
 	return out
 }
 
@@ -308,12 +339,48 @@ func (c *Context) FromRNSRecombine(p *Poly) *poly.Poly {
 }
 
 // intt returns a pooled copy of p transformed to the residue
-// (coefficient) domain, limb-parallel.
+// (coefficient) domain, limb-parallel, with canonical (< p) values — the
+// form the big.Int recombination paths require.
 func (c *Context) intt(p *Poly) *Poly {
 	tmp := c.getScratch()
 	parallelFor(c.K(), func(i int) {
 		copy(tmp.Coeffs[i], p.Coeffs[i])
 		c.Tabs[i].Inverse(tmp.Coeffs[i])
+	})
+	return tmp
+}
+
+// ToResidues returns a pooled copy of p transformed from the NTT domain
+// to the residue (coefficient) domain with canonical (< p) values — the
+// deferred-product pipeline's bridge from an NTT-domain key-switching
+// accumulator to exact-integer residue arithmetic. Callers return the
+// element via PutScratch (or hand it to a handle that does).
+func (c *Context) ToResidues(p *Poly) *Poly { return c.intt(p) }
+
+// ToResiduesLazy is ToResidues with lazily-reduced (< 2p) values — the
+// form AddLazyNTT and the base-conversion γ pass accept directly, saving
+// the strict reduction pass.
+func (c *Context) ToResiduesLazy(p *Poly) *Poly { return c.inttLazy(p) }
+
+// IntoResiduesLazyLimbs inverse-transforms the first `limbs` limb
+// channels of p in place (lazily, < 2p) — for accumulators the caller
+// owns outright, where the copy a pooled intt would make is waste.
+func (c *Context) IntoResiduesLazyLimbs(p *Poly, limbs int) {
+	parallelFor(limbs, func(i int) {
+		c.Tabs[i].InverseLazy(p.Coeffs[i])
+	})
+}
+
+// inttLazy is intt with lazily-reduced outputs (< 2p): the inverse
+// transform's final scaling skips its conditional subtraction. Valid for
+// consumers whose next step is a Shoup or Barrett multiplication — the
+// base-conversion γ pass and the scale-and-round division — which reduce
+// exactly for any word-sized input.
+func (c *Context) inttLazy(p *Poly) *Poly {
+	tmp := c.getScratch()
+	parallelFor(c.K(), func(i int) {
+		copy(tmp.Coeffs[i], p.Coeffs[i])
+		c.Tabs[i].InverseLazy(tmp.Coeffs[i])
 	})
 	return tmp
 }
@@ -358,6 +425,109 @@ func (c *Context) MulNTT(dst, a, b *Poly) {
 	})
 }
 
+// MulShoupLazyNTT sets dst = a·w pointwise with wS = ShoupConsts(w) —
+// the tensor product against an operand whose Shoup companions are
+// cached (repeat multiplicands). a may be lazily reduced; outputs are
+// lazy (< 2p), which every rescale consumer accepts. dst may alias.
+func (c *Context) MulShoupLazyNTT(dst, a, w, wS *Poly) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		da, dw, ds, dd := a.Coeffs[i], w.Coeffs[i], wS.Coeffs[i], dst.Coeffs[i]
+		da = da[:len(dd)]
+		dw = dw[:len(dd)]
+		ds = ds[:len(dd)]
+		for j := range dd {
+			dd[j] = r.MulShoupLazy(da[j], dw[j], ds[j])
+		}
+	})
+}
+
+// MulPairAddShoupLazyNTT sets dst = a0·w0 + a1·w1 pointwise with both
+// fixed operands' Shoup companions cached — the middle tensor component
+// against a repeat multiplicand. Outputs are lazy (< 2p). dst may alias.
+func (c *Context) MulPairAddShoupLazyNTT(dst, a0, w0, w0s, a1, w1, w1s *Poly) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		twoP := 2 * r.Q
+		da0, dw0, ds0 := a0.Coeffs[i], w0.Coeffs[i], w0s.Coeffs[i]
+		da1, dw1, ds1 := a1.Coeffs[i], w1.Coeffs[i], w1s.Coeffs[i]
+		dd := dst.Coeffs[i]
+		da0 = da0[:len(dd)]
+		dw0 = dw0[:len(dd)]
+		ds0 = ds0[:len(dd)]
+		da1 = da1[:len(dd)]
+		dw1 = dw1[:len(dd)]
+		ds1 = ds1[:len(dd)]
+		for j := range dd {
+			s := r.MulShoupLazy(da0[j], dw0[j], ds0[j]) + r.MulShoupLazy(da1[j], dw1[j], ds1[j])
+			if s >= twoP {
+				s -= twoP
+			}
+			dd[j] = s
+		}
+	})
+}
+
+// AddLazyNTT sets dst = a + b for lazily-reduced operands (< 2p),
+// maintaining the < 2p bound with a single conditional subtraction of 2p
+// — the deferred-accumulator addition, whose operands come from
+// InverseLazy without a strict reduction pass. dst may alias a or b.
+func (c *Context) AddLazyNTT(dst, a, b *Poly) {
+	parallelFor(c.K(), func(i int) {
+		twoP := 2 * c.Tabs[i].R.Q
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		da = da[:len(dd)]
+		db = db[:len(dd)]
+		for j := range dd {
+			s := da[j] + db[j]
+			if s >= twoP {
+				s -= twoP
+			}
+			dd[j] = s
+		}
+	})
+}
+
+// MulPairAddNTT sets dst = a0·b0 + a1·b1 pointwise — the middle tensor
+// component c0·c1' + c1·c0' in one memory pass: both products accumulate
+// in 128 bits and fold with a single Barrett reduction per slot, instead
+// of a MulNTT pass followed by a MulAddNTT pass. Operands may be lazily
+// reduced (< 4p): each folds below 2p in a register first, keeping the
+// two-product sum 8p² inside the reduction's p·2⁶⁴ validity window for
+// the ≤ 60-bit basis primes. dst may alias any operand.
+func (c *Context) MulPairAddNTT(dst, a0, b0, a1, b1 *Poly) {
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		twoP := 2 * r.Q
+		da0, db0 := a0.Coeffs[i], b0.Coeffs[i]
+		da1, db1 := a1.Coeffs[i], b1.Coeffs[i]
+		dd := dst.Coeffs[i]
+		da0 = da0[:len(dd)]
+		db0 = db0[:len(dd)]
+		da1 = da1[:len(dd)]
+		db1 = db1[:len(dd)]
+		for j := range dd {
+			x0, y0, x1, y1 := da0[j], db0[j], da1[j], db1[j]
+			if x0 >= twoP {
+				x0 -= twoP
+			}
+			if y0 >= twoP {
+				y0 -= twoP
+			}
+			if x1 >= twoP {
+				x1 -= twoP
+			}
+			if y1 >= twoP {
+				y1 -= twoP
+			}
+			h0, l0 := bits.Mul64(x0, y0)
+			h1, l1 := bits.Mul64(x1, y1)
+			lo, cc := bits.Add64(l0, l1, 0)
+			dd[j] = r.ReduceWide(h0+h1+cc, lo)
+		}
+	})
+}
+
 // MulAddNTT sets dst += a·b pointwise — the key-switching accumulator:
 // digit×key products stay in the NTT domain and only the final sum pays
 // an inverse transform.
@@ -396,6 +566,104 @@ func (c *Context) MulAddShoupNTT(dst, a, aShoup, b *Poly) {
 		da, ds, db, dd := a.Coeffs[i], aShoup.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range dd {
 			dd[j] = r.Add(dd[j], r.MulShoup(db[j], da[j], ds[j]))
+		}
+	})
+}
+
+// maxFusedChunk caps the per-call digit fan-in of the fused key-switching
+// kernels: chunks of at most this many digits (and at most fuseCap, the
+// Barrett-domain bound — Acc128Capacity already budgets the sub-2⁶⁴
+// accumulator seed) share one fold. 32 covers every paper parameter set
+// in a single chunk while keeping the kernel's slice headers on the
+// stack.
+const maxFusedChunk = 32
+
+// MulAddPairAllNTT folds a whole key-switching digit sum into both
+// component accumulators in one memory pass:
+//
+//	acc0 += Σ_d k0[d]·digits[d],  acc1 += Σ_d k1[d]·digits[d]
+//
+// with the per-slot digit sums accumulated lazily in 128 bits and folded
+// by a single Barrett reduction (ntt.MulAddPair128) — one reduction per
+// slot per component instead of one per digit. Digits may be lazily
+// reduced (DigitsToRNS emits < 2p); keys and accumulators are canonical.
+// Results are bit-identical to the per-digit MulAddNTT loop. Uses at most
+// min(len(digits), len(k0)) digits.
+func (c *Context) MulAddPairAllNTT(acc0, acc1 *Poly, k0, k1, digits []*Poly) {
+	c.mulPairAll(acc0, acc1, k0, k1, digits, c.K(), false)
+}
+
+// MulPairAllNTT is MulAddPairAllNTT in overwrite mode (acc = Σ rather
+// than +=): a key switch that starts from zero skips the clearing pass.
+func (c *Context) MulPairAllNTT(acc0, acc1 *Poly, k0, k1, digits []*Poly) {
+	c.mulPairAll(acc0, acc1, k0, k1, digits, c.K(), true)
+}
+
+// MulPairLimbsNTT is MulPairAllNTT restricted to the first `limbs` limb
+// channels — the sub-basis key switch, whose accumulator is extended to
+// the remaining channels afterwards (ExtendResidues).
+func (c *Context) MulPairLimbsNTT(acc0, acc1 *Poly, k0, k1, digits []*Poly, limbs int) {
+	c.mulPairAll(acc0, acc1, k0, k1, digits, limbs, true)
+}
+
+func (c *Context) mulPairAll(acc0, acc1 *Poly, k0, k1, digits []*Poly, limbs int, overwrite bool) {
+	nd := len(digits)
+	if len(k0) < nd {
+		nd = len(k0)
+	}
+	if nd == 0 {
+		if overwrite {
+			acc0.Zero()
+			acc1.Zero()
+		}
+		return
+	}
+	if c.fuseCap < 1 {
+		// Per-digit fallback (unreachable for modring-representable
+		// primes, where the capacity is always ≥ 2); limb-aware so the
+		// sub-basis path stays correct.
+		parallelFor(limbs, func(i int) {
+			r := c.Tabs[i].R
+			a0, a1 := acc0.Coeffs[i], acc1.Coeffs[i]
+			if overwrite {
+				for j := range a0 {
+					a0[j], a1[j] = 0, 0
+				}
+			}
+			for d := 0; d < nd; d++ {
+				f0, f1, dd := k0[d].Coeffs[i], k1[d].Coeffs[i], digits[d].Coeffs[i]
+				for j := range a0 {
+					v := dd[j]
+					a0[j] = r.Add(a0[j], r.Mul(f0[j], v))
+					a1[j] = r.Add(a1[j], r.Mul(f1[j], v))
+				}
+			}
+		})
+		return
+	}
+	chunk := c.fuseCap
+	if chunk > maxFusedChunk {
+		chunk = maxFusedChunk
+	}
+	parallelFor(limbs, func(i int) {
+		r := c.Tabs[i].R
+		var b0, b1, bd [maxFusedChunk][]uint64
+		for lo := 0; lo < nd; lo += chunk {
+			hi := lo + chunk
+			if hi > nd {
+				hi = nd
+			}
+			for d := lo; d < hi; d++ {
+				b0[d-lo] = k0[d].Coeffs[i]
+				b1[d-lo] = k1[d].Coeffs[i]
+				bd[d-lo] = digits[d].Coeffs[i]
+			}
+			m := hi - lo
+			if overwrite && lo == 0 {
+				ntt.MulPair128(r, acc0.Coeffs[i], acc1.Coeffs[i], b0[:m], b1[:m], bd[:m])
+			} else {
+				ntt.MulAddPair128(r, acc0.Coeffs[i], acc1.Coeffs[i], b0[:m], b1[:m], bd[:m])
+			}
 		}
 	})
 }

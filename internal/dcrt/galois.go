@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+
+	"repro/internal/ntt"
 )
 
 // galoisKey identifies a permutation table in the process-wide cache.
@@ -95,6 +97,54 @@ func (c *Context) MulAddGatherShoupNTT(dst, a, aShoup, b *Poly, idx []uint32) {
 		da, ds, db, dd := a.Coeffs[i], aShoup.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
 		for j := range dd {
 			dd[j] = r.Add(dd[j], r.MulShoup(db[idx[j]], da[j], ds[j]))
+		}
+	})
+}
+
+// GaloisAccAllNTT folds a whole hoisted Galois key switch into both
+// component accumulators in one memory pass:
+//
+//	acc0 += Σ_d k0[d]·τ(digits[d]),  acc1 += Σ_d k1[d]·τ(digits[d])
+//
+// with τ as the slot gather idx, each gathered digit slot loaded once per
+// product pair, and the per-slot digit sums accumulated lazily in 128
+// bits before a single Barrett fold (ntt.GaloisAccPair128). Digits may be
+// lazily reduced (< 2p); results are bit-identical to the per-digit
+// GaloisAccNTT loop. Uses at most min(len(digits), len(k0)) digits.
+func (c *Context) GaloisAccAllNTT(acc0, acc1 *Poly, k0, k1, digits []*Poly, idx []uint32) {
+	nd := len(digits)
+	if len(k0) < nd {
+		nd = len(k0)
+	}
+	if nd == 0 {
+		return
+	}
+	if c.fuseCap < 1 {
+		for d := 0; d < nd; d++ {
+			c.MulAddGatherNTT(acc0, k0[d], digits[d], idx)
+			c.MulAddGatherNTT(acc1, k1[d], digits[d], idx)
+		}
+		return
+	}
+	chunk := c.fuseCap
+	if chunk > maxFusedChunk {
+		chunk = maxFusedChunk
+	}
+	parallelFor(c.K(), func(i int) {
+		r := c.Tabs[i].R
+		var b0, b1, bd [maxFusedChunk][]uint64
+		for lo := 0; lo < nd; lo += chunk {
+			hi := lo + chunk
+			if hi > nd {
+				hi = nd
+			}
+			for d := lo; d < hi; d++ {
+				b0[d-lo] = k0[d].Coeffs[i]
+				b1[d-lo] = k1[d].Coeffs[i]
+				bd[d-lo] = digits[d].Coeffs[i]
+			}
+			m := hi - lo
+			ntt.GaloisAccPair128(r, acc0.Coeffs[i], acc1.Coeffs[i], b0[:m], b1[:m], bd[:m], idx)
 		}
 	})
 }

@@ -77,8 +77,14 @@ func parallelFor(n int, f func(int)) {
 	if n <= 0 {
 		return
 	}
-	if n == 1 {
-		f(0)
+	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// Serial fast path: with one worker nothing can run concurrently,
+		// so skip the job bookkeeping (allocation, channel traffic,
+		// atomics) and run inline — the per-limb kernels stay
+		// allocation-free on single-CPU hosts.
+		for i := 0; i < n; i++ {
+			f(i)
+		}
 		return
 	}
 	poolOnce.Do(startPool)

@@ -61,7 +61,12 @@ func (r *Ring) Mul(a, b uint64) uint64 {
 	return r.reduce128(hi, lo)
 }
 
-// reduce128 reduces the 128-bit value hi:lo modulo q.
+// reduce128 reduces the 128-bit value hi:lo modulo q. The value must
+// satisfy x < q·2⁶⁴ — the quotient has to fit one word for the Barrett
+// estimate (and the correction loop) to be meaningful. Every caller
+// bounds its operands so this holds: products of values below q (Mul),
+// lazily-reduced pointwise products folded below 2q per operand, and the
+// fused 128-bit accumulations capped by ntt.Acc128Capacity.
 func (r *Ring) reduce128(hi, lo uint64) uint64 {
 	// q < 2^62 keeps the estimate within one conditional subtraction.
 	// Estimate floor(x/q) ≈ floor((x * floor(2^128/q)) / 2^128), computing
@@ -89,9 +94,10 @@ func (r *Ring) reduce128(hi, lo uint64) uint64 {
 	return rem
 }
 
-// ReduceWide returns (hi·2⁶⁴ + lo) mod q for an arbitrary 128-bit value —
-// the folding primitive the RNS base-conversion kernels use to bring a
-// two-word remainder into a limb channel without a hardware division.
+// ReduceWide returns (hi·2⁶⁴ + lo) mod q for a 128-bit value below
+// q·2⁶⁴ (see reduce128) — the folding primitive the RNS base-conversion
+// kernels use to bring a two-word remainder into a limb channel without
+// a hardware division.
 func (r *Ring) ReduceWide(hi, lo uint64) uint64 { return r.reduce128(hi, lo) }
 
 // Pow returns a^e mod q.

@@ -1,0 +1,131 @@
+// Fused multiply-accumulate kernels for the key-switching inner loops.
+//
+// A key switch folds Σ_d key_d·digit_d into an accumulator, once per
+// component, in the NTT domain. Done one digit at a time (the per-op
+// kernels in internal/dcrt), every digit pays a full pass over the
+// accumulator plus a modular reduction per product. The kernels here fuse
+// the whole digit sum: for each slot the products accumulate lazily in
+// 128 bits across all digits — plus the accumulator's previous value —
+// and a single Barrett fold brings the sum back below q. One memory pass,
+// one reduction per slot per component, regardless of the digit count.
+//
+// Overflow contract: the single Barrett fold (modring reduce128) is only
+// valid for values below q·2⁶⁴ — the quotient must fit one word — so the
+// binding constraint is not the 128-bit register but the reduction
+// domain. Callers bound the inputs and digit count via
+// Acc128Capacity(q, maxK, maxD): the number of key·digit products (each
+// key value ≤ maxK, digit value ≤ maxD) that, plus a seed below 2⁶⁴,
+// stay under q·2⁶⁴. Digits may arrive lazily reduced (< 4q from
+// ForwardLazy); the capacity query accounts for that via maxD.
+package ntt
+
+import (
+	"math/big"
+	"math/bits"
+
+	"repro/internal/modring"
+)
+
+// Acc128Capacity returns the number of a·b product terms (a ≤ maxA,
+// b ≤ maxB) that can be accumulated on top of a seed below 2⁶⁴ while
+// keeping the total below q·2⁶⁴ — the validity domain of the single
+// Barrett fold: D·maxA·maxB + (2⁶⁴−1) ≤ q·2⁶⁴ − 1 for every D up to the
+// returned value. Zero means no fusion headroom. (For the paper shapes —
+// 60-bit basis primes, canonical keys, < 4p lazy digits — this is
+// exactly 3, matching the three-digit key switch in one pass.)
+func Acc128Capacity(q, maxA, maxB uint64) int {
+	if maxA == 0 || maxB == 0 {
+		return 1 << 30
+	}
+	num := new(big.Int).Lsh(new(big.Int).SetUint64(q-1), 64)
+	den := new(big.Int).Mul(new(big.Int).SetUint64(maxA), new(big.Int).SetUint64(maxB))
+	num.Div(num, den)
+	if num.BitLen() > 30 {
+		return 1 << 30 // plenty; keeps the result a sane int everywhere
+	}
+	return int(num.Int64())
+}
+
+// MulAddPair128 folds both key-switching component sums in one pass:
+//
+//	acc0[j] = (acc0[j] + Σ_d k0[d][j]·digits[d][j]) mod q
+//	acc1[j] = (acc1[j] + Σ_d k1[d][j]·digits[d][j]) mod q
+//
+// with each slot's digit sum accumulated lazily in 128 bits and folded by
+// a single Barrett reduction. Each digit slot is read once and feeds both
+// components. Digits may be lazily reduced; keys and accumulators must be
+// below q. The caller guarantees len(k0) == len(k1) == len(digits) ≤
+// Acc128Capacity(maxKey, maxDigit). Allocation-free.
+func MulAddPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64) {
+	mulPair128(r, acc0, acc1, k0, k1, digits, true)
+}
+
+// MulPair128 is MulAddPair128 in overwrite mode: the accumulators' prior
+// contents are ignored (acc = Σ_d k·digit rather than +=), so a
+// key-switch that starts from zero skips the clearing pass.
+func MulPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64) {
+	mulPair128(r, acc0, acc1, k0, k1, digits, false)
+}
+
+func mulPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, seed bool) {
+	n := len(acc0)
+	acc1 = acc1[:n]
+	for d := range digits {
+		digits[d] = digits[d][:n]
+		k0[d] = k0[d][:n]
+		k1[d] = k1[d][:n]
+	}
+	for j := 0; j < n; j++ {
+		var s0lo, s0hi, s1lo, s1hi uint64
+		if seed {
+			s0lo, s1lo = acc0[j], acc1[j]
+		}
+		for d := range digits {
+			v := digits[d][j]
+			hi, lo := bits.Mul64(k0[d][j], v)
+			var c uint64
+			s0lo, c = bits.Add64(s0lo, lo, 0)
+			s0hi += hi + c
+			hi, lo = bits.Mul64(k1[d][j], v)
+			s1lo, c = bits.Add64(s1lo, lo, 0)
+			s1hi += hi + c
+		}
+		acc0[j] = r.ReduceWide(s0hi, s0lo)
+		acc1[j] = r.ReduceWide(s1hi, s1lo)
+	}
+}
+
+// GaloisAccPair128 is MulAddPair128 with the digits gathered through the
+// slot permutation idx — the hoisted Galois key-switching inner loop:
+//
+//	acc0[j] = (acc0[j] + Σ_d k0[d][j]·digits[d][idx[j]]) mod q
+//	acc1[j] = (acc1[j] + Σ_d k1[d][j]·digits[d][idx[j]]) mod q
+//
+// Each gathered digit slot is loaded once per (j, d) and feeds both
+// component sums. Same bounds contract as MulAddPair128; allocation-free.
+func GaloisAccPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, idx []uint32) {
+	n := len(acc0)
+	acc1 = acc1[:n]
+	idx = idx[:n]
+	for d := range digits {
+		k0[d] = k0[d][:n]
+		k1[d] = k1[d][:n]
+	}
+	for j := 0; j < n; j++ {
+		ij := idx[j]
+		s0lo, s0hi := acc0[j], uint64(0)
+		s1lo, s1hi := acc1[j], uint64(0)
+		for d := range digits {
+			v := digits[d][ij]
+			hi, lo := bits.Mul64(k0[d][j], v)
+			var c uint64
+			s0lo, c = bits.Add64(s0lo, lo, 0)
+			s0hi += hi + c
+			hi, lo = bits.Mul64(k1[d][j], v)
+			s1lo, c = bits.Add64(s1lo, lo, 0)
+			s1hi += hi + c
+		}
+		acc0[j] = r.ReduceWide(s0hi, s0lo)
+		acc1[j] = r.ReduceWide(s1hi, s1lo)
+	}
+}

@@ -5,6 +5,23 @@
 // 4q (forward) / 2q (inverse) and are only brought back below q at the
 // end of a transform, saving the per-butterfly conditional subtractions.
 //
+// The transform kernels are written for the scalar hot path: two
+// butterfly layers are merged into one radix-4 memory pass (halving the
+// load/store traffic of a transform), the inner loops run over re-sliced
+// quarters so the compiler drops every bounds check, and the lazy entry
+// points (ForwardLazy, InverseLazy, PointwiseMulLazy) let fused pipelines
+// such as Convolve and the key-switching accumulators skip the final
+// reduction pass of each individual op and reduce once at the end.
+//
+// Lazy-bound contract (q < 2⁶², so 4q < 2⁶⁴ never wraps):
+//
+//   - Forward/Inverse take values < q and produce values < q.
+//   - ForwardLazy takes values < q (or lazily, < 4q: the first layer folds)
+//     and produces values < 4q.
+//   - InverseLazy takes values < 2q and produces values < 2q.
+//   - PointwiseMulLazy takes operands < 2⁶² and produces values < q
+//     (the Barrett reduction is exact for any 128-bit product).
+//
 // This is the algorithmic core of the CPU-SEAL baseline in the paper
 // (§4.1): SEAL "leverages the Residue Number System (RNS) and the Number
 // Theoretic Transform (NTT) implementations for faster operations". The
@@ -34,6 +51,11 @@ type Table struct {
 	psiInvRev   []uint64 // psi^{-bitrev(i)}, GS order
 	psiInvShoup []uint64
 	nInvShoup   uint64
+
+	// n⁻¹ folded into the last GS stage (see inverseCore): the final
+	// stage's twiddle pre-multiplied by n⁻¹, so the inverse transform
+	// needs no separate scaling pass.
+	lastW, lastWShoup uint64
 
 	scratch sync.Pool // *[]uint64 buffers of length N for Convolve
 }
@@ -105,6 +127,10 @@ func NewTable(q uint64, n int) (*Table, error) {
 	}
 	t.nInv = r.Inv(uint64(n))
 	t.nInvShoup = r.ShoupConst(t.nInv)
+	if n > 1 {
+		t.lastW = r.Mul(t.psiInvRev[1], t.nInv)
+		t.lastWShoup = r.ShoupConst(t.lastW)
+	}
 	t.scratch.New = func() any {
 		buf := make([]uint64, n)
 		return &buf
@@ -126,36 +152,12 @@ func bitrev(x uint, bits int) uint {
 }
 
 // Forward transforms a (length N, coefficients < q) into the NTT domain in
-// place. Cooley–Tukey, decimation in time, no explicit bit reversal
-// (Longa–Naehrig layout). Butterflies run on lazily-reduced values < 4q
-// (Harvey): u is folded below 2q on read, v = MulShoupLazy < 2q, and the
-// outputs u+v and u−v+2q stay below 4q (< 2^64 since q < 2^62). A final
-// pass restores the < q contract.
+// place, restoring the < q contract with one final reduction pass over the
+// lazy transform.
 func (t *Table) Forward(a []uint64) {
-	if len(a) != t.N {
-		panic("ntt: Forward length mismatch")
-	}
-	n := t.N
+	t.ForwardLazy(a)
 	q := t.R.Q
 	twoQ := 2 * q
-	step := n
-	for m := 1; m < n; m <<= 1 {
-		step >>= 1
-		for i := 0; i < m; i++ {
-			j1 := 2 * i * step
-			w := t.psiRev[m+i]
-			ws := t.psiRevShoup[m+i]
-			for j := j1; j < j1+step; j++ {
-				u := a[j]
-				if u >= twoQ {
-					u -= twoQ
-				}
-				v := t.R.MulShoupLazy(a[j+step], w, ws)
-				a[j] = u + v
-				a[j+step] = u + twoQ - v
-			}
-		}
-	}
 	for i, v := range a {
 		if v >= twoQ {
 			v -= twoQ
@@ -167,53 +169,283 @@ func (t *Table) Forward(a []uint64) {
 	}
 }
 
+// ForwardLazy transforms a into the NTT domain in place, leaving the
+// outputs lazily reduced in [0, 4q). Cooley–Tukey, decimation in time, no
+// explicit bit reversal (Longa–Naehrig layout). Butterflies run on
+// lazily-reduced values (Harvey): u is folded below 2q on read,
+// v = MulShoupLazy < 2q, and the outputs u+v and u−v+2q stay below 4q
+// (< 2^64 since q < 2^62). Two butterfly layers are merged per memory
+// pass: each radix-4 block keeps its four values in registers through
+// both layers, so the array is swept ⌈log₂(n)/2⌉ times instead of
+// log₂(n). Inputs may themselves be lazy (< 4q): the first layer's fold
+// brings them into range.
+//
+// Callers that need canonical outputs use Forward; consumers that reduce
+// anyway (pointwise Barrett products, the 128-bit fused accumulators)
+// take the lazy form and save the reduction pass.
+func (t *Table) ForwardLazy(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: Forward length mismatch")
+	}
+	n := t.N
+	q := t.R.Q
+	twoQ := 2 * q
+	psi, psiS := t.psiRev, t.psiRevShoup
+	m := 1
+	step := n
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		// Odd log₂(n): one single-layer pass, then radix-4 the rest.
+		step >>= 1
+		w, ws := psi[1], psiS[1]
+		x := a[:step:step]
+		y := a[step : 2*step : 2*step]
+		for j := 0; j < step && j < len(x) && j < len(y); j++ {
+			u := x[j]
+			if u >= twoQ {
+				u -= twoQ
+			}
+			xv := y[j]
+			qh, _ := bits.Mul64(xv, ws)
+			v := xv*w - qh*q
+			x[j] = u + v
+			y[j] = u + twoQ - v
+		}
+		m = 2
+	}
+	for ; m < n; m <<= 2 {
+		step >>= 2 // distance of the second merged layer; blocks span 4·step
+		for i := 0; i < m; i++ {
+			j1 := 4 * i * step
+			w1, w1s := psi[m+i], psiS[m+i]
+			w2, w2s := psi[2*m+2*i], psiS[2*m+2*i]
+			w3, w3s := psi[2*m+2*i+1], psiS[2*m+2*i+1]
+			q0 := a[j1 : j1+step : j1+step]
+			q1 := a[j1+step : j1+2*step : j1+2*step]
+			q2 := a[j1+2*step : j1+3*step : j1+3*step]
+			q3 := a[j1+3*step : j1+4*step : j1+4*step]
+			for k := 0; k < len(q0) && k < len(q1) && k < len(q2) && k < len(q3); k++ {
+				x0, x1, x2, x3 := q0[k], q1[k], q2[k], q3[k]
+				// Layer 1 (distance 2·step): (x0,x2) and (x1,x3) on w1.
+				if x0 >= twoQ {
+					x0 -= twoQ
+				}
+				if x1 >= twoQ {
+					x1 -= twoQ
+				}
+				qh, _ := bits.Mul64(x2, w1s)
+				v2 := x2*w1 - qh*q
+				qh, _ = bits.Mul64(x3, w1s)
+				v3 := x3*w1 - qh*q
+				y0 := x0 + v2
+				y2 := x0 + twoQ - v2
+				y1 := x1 + v3
+				y3 := x1 + twoQ - v3
+				// Layer 2 (distance step): (y0,y1) on w2, (y2,y3) on w3.
+				if y0 >= twoQ {
+					y0 -= twoQ
+				}
+				if y2 >= twoQ {
+					y2 -= twoQ
+				}
+				qh, _ = bits.Mul64(y1, w2s)
+				u1 := y1*w2 - qh*q
+				qh, _ = bits.Mul64(y3, w3s)
+				u3 := y3*w3 - qh*q
+				q0[k] = y0 + u1
+				q1[k] = y0 + twoQ - u1
+				q2[k] = y2 + u3
+				q3[k] = y2 + twoQ - u3
+			}
+		}
+	}
+}
+
 // Inverse transforms a back to the coefficient domain in place
-// (Gentleman–Sande, decimation in frequency) and divides by N. Butterfly
-// values stay below 2q (lazy); the final nInv scaling pass fully reduces.
+// (Gentleman–Sande, decimation in frequency) and divides by N, fully
+// reducing the outputs below q.
 func (t *Table) Inverse(a []uint64) {
+	t.inverseCore(a)
+	q := t.R.Q
+	for i, v := range a {
+		if v >= q {
+			v -= q
+		}
+		a[i] = v
+	}
+}
+
+// InverseLazy is Inverse with the outputs left lazily reduced in [0, 2q).
+// Inputs may be lazy themselves (< 2q). Consumers whose next step is a
+// Shoup or Barrett multiplication (the base-conversion γ pass, the
+// scale-and-round division) accept the lazy form directly and save the
+// final reduction pass entirely.
+func (t *Table) InverseLazy(a []uint64) {
+	t.inverseCore(a)
+}
+
+// inverseCore runs the GS butterfly layers, two per memory pass; values
+// stay below 2q throughout (inputs < 2q tolerated). The n⁻¹ scaling is
+// folded into the last stage — its sum output multiplies by n⁻¹, its
+// difference output by the pre-combined lastW = ψ⁻¹·n⁻¹ — so no separate
+// scaling pass runs; outputs are lazily reduced (< 2q).
+func (t *Table) inverseCore(a []uint64) {
 	if len(a) != t.N {
 		panic("ntt: Inverse length mismatch")
 	}
 	n := t.N
-	twoQ := 2 * t.R.Q
+	q := t.R.Q
+	twoQ := 2 * q
+	psi, psiS := t.psiInvRev, t.psiInvShoup
 	step := 1
-	for m := n >> 1; m >= 1; m >>= 1 {
-		for i := 0; i < m; i++ {
-			j1 := 2 * i * step
-			w := t.psiInvRev[m+i]
-			ws := t.psiInvShoup[m+i]
-			for j := j1; j < j1+step; j++ {
-				u := a[j]
-				v := a[j+step]
-				s := u + v // < 4q
-				if s >= twoQ {
-					s -= twoQ
+	m := n >> 1
+	for ; m >= 4; m >>= 2 {
+		// Merged stages m (distance step) and m/2 (distance 2·step).
+		half := m >> 1
+		for i := 0; i < half; i++ {
+			j1 := 4 * i * step
+			wa0, wa0s := psi[m+2*i], psiS[m+2*i]
+			wa1, wa1s := psi[m+2*i+1], psiS[m+2*i+1]
+			wb, wbs := psi[half+i], psiS[half+i]
+			q0 := a[j1 : j1+step : j1+step]
+			q1 := a[j1+step : j1+2*step : j1+2*step]
+			q2 := a[j1+2*step : j1+3*step : j1+3*step]
+			q3 := a[j1+3*step : j1+4*step : j1+4*step]
+			for k := 0; k < len(q0) && k < len(q1) && k < len(q2) && k < len(q3); k++ {
+				x0, x1, x2, x3 := q0[k], q1[k], q2[k], q3[k]
+				// Layer 1 (distance step): (x0,x1) on wa0, (x2,x3) on wa1.
+				s0 := x0 + x1
+				if s0 >= twoQ {
+					s0 -= twoQ
 				}
-				a[j] = s
-				a[j+step] = t.R.MulShoupLazy(u+twoQ-v, w, ws)
+				d := x0 + twoQ - x1
+				qh, _ := bits.Mul64(d, wa0s)
+				d0 := d*wa0 - qh*q
+				s1 := x2 + x3
+				if s1 >= twoQ {
+					s1 -= twoQ
+				}
+				d = x2 + twoQ - x3
+				qh, _ = bits.Mul64(d, wa1s)
+				d1 := d*wa1 - qh*q
+				// Layer 2 (distance 2·step): (s0,s1) and (d0,d1) on wb.
+				v := s0 + s1
+				if v >= twoQ {
+					v -= twoQ
+				}
+				q0[k] = v
+				d = s0 + twoQ - s1
+				qh, _ = bits.Mul64(d, wbs)
+				q2[k] = d*wb - qh*q
+				v = d0 + d1
+				if v >= twoQ {
+					v -= twoQ
+				}
+				q1[k] = v
+				d = d0 + twoQ - d1
+				qh, _ = bits.Mul64(d, wbs)
+				q3[k] = d*wb - qh*q
 			}
 		}
-		step <<= 1
+		step <<= 2
 	}
-	for i := range a {
-		a[i] = t.R.MulShoup(a[i], t.nInv, t.nInvShoup)
+	nInv, nInvS := t.nInv, t.nInvShoup
+	lw, lws := t.lastW, t.lastWShoup
+	switch m {
+	case 2:
+		// Even log₂(n): the last two stages merge, with the n⁻¹ scaling
+		// folded into the second one.
+		wa0, wa0s := psi[2], psiS[2]
+		wa1, wa1s := psi[3], psiS[3]
+		q0 := a[0:step:step]
+		q1 := a[step : 2*step : 2*step]
+		q2 := a[2*step : 3*step : 3*step]
+		q3 := a[3*step : 4*step : 4*step]
+		for k := 0; k < len(q0) && k < len(q1) && k < len(q2) && k < len(q3); k++ {
+			x0, x1, x2, x3 := q0[k], q1[k], q2[k], q3[k]
+			s0 := x0 + x1
+			if s0 >= twoQ {
+				s0 -= twoQ
+			}
+			d := x0 + twoQ - x1
+			qh, _ := bits.Mul64(d, wa0s)
+			d0 := d*wa0 - qh*q
+			s1 := x2 + x3
+			if s1 >= twoQ {
+				s1 -= twoQ
+			}
+			d = x2 + twoQ - x3
+			qh, _ = bits.Mul64(d, wa1s)
+			d1 := d*wa1 - qh*q
+			v := s0 + s1
+			qh, _ = bits.Mul64(v, nInvS)
+			q0[k] = v*nInv - qh*q
+			d = s0 + twoQ - s1
+			qh, _ = bits.Mul64(d, lws)
+			q2[k] = d*lw - qh*q
+			v = d0 + d1
+			qh, _ = bits.Mul64(v, nInvS)
+			q1[k] = v*nInv - qh*q
+			d = d0 + twoQ - d1
+			qh, _ = bits.Mul64(d, lws)
+			q3[k] = d*lw - qh*q
+		}
+	case 1:
+		// Odd log₂(n): the last stage (distance n/2) runs alone, scaled.
+		x := a[:step:step]
+		y := a[step : 2*step : 2*step]
+		for j := 0; j < step && j < len(x) && j < len(y); j++ {
+			u, v := x[j], y[j]
+			s := u + v
+			qh, _ := bits.Mul64(s, nInvS)
+			x[j] = s*nInv - qh*q
+			d := u + twoQ - v
+			qh, _ = bits.Mul64(d, lws)
+			y[j] = d*lw - qh*q
+		}
 	}
 }
 
 // PointwiseMul sets dst[i] = a[i]*b[i] mod q. dst may alias a or b.
+// Operands may be lazily reduced (< 4q): each is folded below 2q in a
+// register before the Barrett product, keeping the 128-bit value inside
+// the reduction's q·2⁶⁴ validity window for every q < 2⁶². Outputs are
+// canonical (< q).
 func (t *Table) PointwiseMul(dst, a, b []uint64) {
 	if len(dst) != t.N || len(a) != t.N || len(b) != t.N {
 		panic("ntt: PointwiseMul length mismatch")
 	}
+	r := t.R
+	twoQ := 2 * r.Q
+	a = a[:len(dst)]
+	b = b[:len(dst)]
 	for i := range dst {
-		dst[i] = t.R.Mul(a[i], b[i])
+		x, y := a[i], b[i]
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if y >= twoQ {
+			y -= twoQ
+		}
+		dst[i] = r.Mul(x, y)
 	}
+}
+
+// PointwiseMulLazy is the lazy-input entry point of PointwiseMul, fusing
+// with ForwardLazy: operands may carry the [0, 4q) transform bound, so a
+// Forward→PointwiseMul pipeline pays no reduction pass between the
+// stages. Outputs are canonical (< q); dst may alias a or b.
+func (t *Table) PointwiseMulLazy(dst, a, b []uint64) {
+	t.PointwiseMul(dst, a, b)
 }
 
 // Convolve computes the negacyclic convolution dst = a ⊛ b (i.e. the
 // product of the polynomials in Z_q[X]/(Xⁿ+1)) without mutating a or b.
-// Scratch comes from the table's pool, so steady-state calls are
-// allocation-free.
+// The pipeline is fused through the lazy entry points: both forward
+// transforms stay lazy (< 4q), the pointwise Barrett products reduce them
+// exactly, and only the inverse transform's final scaling pass restores
+// the < q contract — one reduction per coefficient for the whole
+// convolution instead of one per stage. Scratch comes from the table's
+// pool, so steady-state calls are allocation-free.
 func (t *Table) Convolve(dst, a, b []uint64) {
 	if len(a) != t.N || len(b) != t.N {
 		panic("ntt: Convolve length mismatch")
@@ -222,9 +454,9 @@ func (t *Table) Convolve(dst, a, b []uint64) {
 	tb := t.getScratch()
 	copy(*ta, a)
 	copy(*tb, b)
-	t.Forward(*ta)
-	t.Forward(*tb)
-	t.PointwiseMul(dst, *ta, *tb)
+	t.ForwardLazy(*ta)
+	t.ForwardLazy(*tb)
+	t.PointwiseMulLazy(dst, *ta, *tb)
 	t.Inverse(dst)
 	t.putScratch(ta)
 	t.putScratch(tb)

@@ -209,6 +209,9 @@ func TestGetTableCachesPerPair(t *testing.T) {
 }
 
 func TestConvolveAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
 	tab := testTable(t, 50, 256)
 	rng := rand.New(rand.NewSource(61))
 	a := make([]uint64, 256)

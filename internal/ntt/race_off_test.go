@@ -1,0 +1,8 @@
+//go:build !race
+
+package ntt
+
+// raceEnabled reports whether the race detector is active; the
+// allocation assertions skip under it (sync.Pool intentionally drops
+// items to widen race coverage, so pooled paths allocate).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package ntt
+
+const raceEnabled = true
