@@ -12,6 +12,17 @@
 //	hepim-bench -fig batch        # measure batched rotations (hoisted vs serial) + decryption
 //	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # emit the tracking JSON (dcrt + batch + kernel axes)
 //
+// Reproducible chaos runs (fault injection on the simulated PIM system):
+//
+//	hepim-bench -faults transient=0.1,dead=0.01,straggler=0.05
+//	hepim-bench -faults dead=1 -fault-seed 11 -fault-dpus 4   # kill every DPU: exercises backend failover
+//
+// A chaos run drives one fixed slot-level workload on the pim backend
+// under the given per-launch fault rates, checks the decrypted results
+// bit-for-bit against the dcrt-native host backend, and prints the
+// fault and failover statistics. The same -fault-seed always yields the
+// same fault schedule.
+//
 // Profiling the kernel hot spots (see doc.go for the workflow):
 //
 //	hepim-bench -fig dcrt -backend dcrt-native -cpuprofile cpu.out
@@ -26,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/hebfv"
@@ -40,7 +52,19 @@ func main() {
 		fmt.Sprintf("restrict -fig dcrt/batch to one hebfv backend %v; empty = the tracked set", hebfv.Backends()))
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measured workload to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the measured workload to this file")
+	faultsFlag := flag.String("faults", "",
+		"run a chaos workload on the pim backend with these fault rates (e.g. transient=0.1,dead=0.01,straggler=0.05)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule for -faults")
+	faultDPUs := flag.Int("fault-dpus", 8, "number of simulated DPUs for -faults")
 	flag.Parse()
+
+	if *faultsFlag != "" {
+		if err := chaosRun(*faultsFlag, *faultSeed, *faultDPUs, *csvFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -166,6 +190,153 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// parseFaultRates decodes "transient=0.1,dead=0.01,straggler=0.05".
+// Omitted classes default to rate 0.
+func parseFaultRates(spec string) (transient, dead, straggler float64, err error) {
+	for _, field := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("bad fault spec %q (want class=rate)", field)
+		}
+		rate, perr := strconv.ParseFloat(val, 64)
+		if perr != nil || rate < 0 || rate > 1 {
+			return 0, 0, 0, fmt.Errorf("bad fault rate %q (want a probability in [0,1])", val)
+		}
+		switch name {
+		case "transient":
+			transient = rate
+		case "dead":
+			dead = rate
+		case "straggler":
+			straggler = rate
+		default:
+			return 0, 0, 0, fmt.Errorf("unknown fault class %q (have transient, dead, straggler)", name)
+		}
+	}
+	return transient, dead, straggler, nil
+}
+
+// chaosRun drives one fixed slot workload on the pim backend under
+// injected DPU faults and verifies the decrypted results bit-for-bit
+// against the dcrt-native host backend. Toy parameters keep the
+// functional simulator fast; the fault schedule is a pure function of
+// the seed, so a failing run reproduces exactly.
+func chaosRun(spec string, seed uint64, dpus int, csv bool) error {
+	transient, dead, straggler, err := parseFaultRates(spec)
+	if err != nil {
+		return err
+	}
+	const workloadSeed = 42
+	pimCtx, err := hebfv.New(hebfv.WithInsecureToyParameters(), hebfv.WithSeed(workloadSeed),
+		hebfv.WithBackend("pim"), hebfv.WithPIMDPUs(dpus),
+		hebfv.WithPIMFaultInjection(seed, transient, dead, straggler))
+	if err != nil {
+		return err
+	}
+	hostCtx, err := hebfv.New(hebfv.WithInsecureToyParameters(), hebfv.WithSeed(workloadSeed))
+	if err != nil {
+		return err
+	}
+
+	run := func(ctx *hebfv.Context) ([][]uint64, error) {
+		a := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+		b := []uint64{2, 7, 1, 8, 2, 8, 1, 8}
+		ca, err := ctx.EncryptSlots(a)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := ctx.EncryptSlots(b)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := ctx.Add(ca, cb)
+		if err != nil {
+			return nil, err
+		}
+		prod, err := ctx.Mul(ca, cb)
+		if err != nil {
+			return nil, err
+		}
+		rot, err := ctx.RotateRows(sum, 3)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := ctx.InnerSum(prod)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]uint64
+		for _, ct := range []*hebfv.Ciphertext{sum, prod, rot, inner} {
+			slots, err := ctx.DecryptSlots(ct)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, slots)
+		}
+		return out, nil
+	}
+
+	got, err := run(pimCtx)
+	if err != nil {
+		return fmt.Errorf("chaos workload on pim backend: %w", err)
+	}
+	want, err := run(hostCtx)
+	if err != nil {
+		return fmt.Errorf("reference workload on %s: %w", hebfv.DefaultBackend, err)
+	}
+	mismatches := 0
+	for step := range want {
+		for i := range want[step] {
+			if got[step][i] != want[step][i] {
+				mismatches++
+			}
+		}
+	}
+
+	stats, _ := pimCtx.PIMStats()
+	fo, _ := pimCtx.FailoverStats()
+	verdict := "bit-identical"
+	if mismatches != 0 {
+		verdict = fmt.Sprintf("%d slot mismatches", mismatches)
+	}
+
+	rows := [][2]string{
+		{"fault-seed", fmt.Sprint(seed)},
+		{"dpus", fmt.Sprint(dpus)},
+		{"rate-transient", fmt.Sprintf("%.3f", transient)},
+		{"rate-dead", fmt.Sprintf("%.3f", dead)},
+		{"rate-straggler", fmt.Sprintf("%.3f", straggler)},
+		{"verdict", verdict},
+		{"transient-faults", fmt.Sprint(stats.TransientFaults)},
+		{"dead-dpus", fmt.Sprint(stats.DeadDPUs)},
+		{"straggler-hits", fmt.Sprint(stats.StragglerHits)},
+		{"retries", fmt.Sprint(stats.Retries)},
+		{"redispatches", fmt.Sprint(stats.Redispatches)},
+		{"failover-engaged", fmt.Sprint(fo.Engaged)},
+	}
+	if fo.Engaged {
+		rows = append(rows,
+			[2]string{"failover-fallback", fo.Fallback},
+			[2]string{"failover-failed-ops", fmt.Sprint(fo.FailedOps)},
+			[2]string{"failover-trigger", fo.Trigger})
+	}
+	if csv {
+		fmt.Println("stat,value")
+		for _, r := range rows {
+			fmt.Printf("%s,%s\n", r[0], r[1])
+		}
+	} else {
+		fmt.Printf("Chaos run: pim backend vs %s (4-step slot workload)\n", hebfv.DefaultBackend)
+		for _, r := range rows {
+			fmt.Printf("  %-20s %s\n", r[0], r[1])
+		}
+	}
+	if mismatches != 0 {
+		return fmt.Errorf("chaos run diverged: %s", verdict)
+	}
+	return nil
 }
 
 func collect(s *bench.Suite, which string) ([]*bench.Figure, error) {

@@ -143,6 +143,35 @@
 // correctness oracle the double-CRT backend is differentially tested
 // against (bfv.NewSchoolbookEvaluator).
 //
+// # Error contract and fault tolerance
+//
+// The facade's error contract is typed and panic-free: hebfv's public
+// entry points recover internal panics into errors, blob rejection is
+// hebfv.ErrCorruptBlob (deserialization validates magic, version,
+// parameters and coefficient canonicity, and is fuzz-tested), and
+// secret-key operations on evaluation-only contexts are
+// hebfv.ErrNoSecretKey. See the hebfv package docs for the full
+// taxonomy.
+//
+// Fault tolerance is built on a deterministic injector
+// (internal/faultinject): a fault decision is a pure function of
+// (seed, site, key), so chaos runs reproduce exactly. The simulated
+// PIM system (internal/pim) models transient DPU faults (bounded retry
+// with backoff), permanent DPU death (shards re-dispatch to
+// survivors), and stragglers (modeled-cycle inflation); the kernel
+// drivers in internal/pim/kernels re-stage and re-launch until the
+// retry budget runs out, and pim.FaultStats counts the toll. The
+// host-side worker pool (internal/dcrt) isolates task panics — a
+// panicking task poisons only its own job, surfaces as a typed
+// *dcrt.PanicError at the submitter, and leaves the pool serviceable —
+// verified under the race detector with nested submissions. When the
+// PIM backend degrades beyond its retry budget, the hebfv context
+// fails over to the host backend and replays the operation,
+// bit-identically. Reproducible chaos runs are scriptable:
+//
+//	hepim-bench -faults transient=0.1,dead=0.01,straggler=0.05
+//	hepim-bench -faults dead=1 -fault-seed 11   # total DPU loss: exercises failover
+//
 // The root package holds the per-figure benchmarks (bench_test.go); the
 // public API lives in hebfv/, the implementation under internal/ (see
 // DESIGN.md for the map) and the runnable entry points under cmd/ and

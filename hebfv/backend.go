@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/bfv"
+	"repro/internal/faultinject"
 	"repro/internal/hepim"
 	"repro/internal/pim"
 )
@@ -92,6 +93,13 @@ type KernelReporter interface {
 	ModeledSeconds() float64
 }
 
+// faultReporter is the optional Engine upgrade for backends with a
+// fault model (the "pim" backend): accumulated injection/retry
+// counters, surfaced through Context.PIMStats.
+type faultReporter interface {
+	FaultStats() pim.FaultStats
+}
+
 // Config carries everything a backend needs to construct its engine.
 type Config struct {
 	Params *bfv.Parameters
@@ -100,6 +108,14 @@ type Config struct {
 	// PIMDPUs overrides the simulated DPU count for the "pim" backend
 	// (0 = the paper machine's 2,524). Other backends ignore it.
 	PIMDPUs int
+
+	// PIMFaultSeed/PIMFaultRates arm the "pim" backend's deterministic
+	// fault injector: rates maps injection sites (pim.SiteDPUTransient,
+	// pim.SiteDPUDead, pim.SiteDPUStraggler) to per-launch-per-DPU
+	// probabilities. A nil/empty map leaves injection disabled. Other
+	// backends ignore both.
+	PIMFaultSeed  uint64
+	PIMFaultRates map[string]float64
 }
 
 // Backend constructs evaluation engines for a named strategy.
@@ -186,6 +202,13 @@ func init() {
 		srv, err := hepim.NewServer(sys, cfg.Params, cfg.Relin)
 		if err != nil {
 			return nil, err
+		}
+		if len(cfg.PIMFaultRates) > 0 {
+			in := faultinject.New(cfg.PIMFaultSeed)
+			for site, p := range cfg.PIMFaultRates {
+				in.SetRate(site, p)
+			}
+			srv.Sys.SetFaultInjector(in)
 		}
 		return &pimEngine{srv: srv}, nil
 	}})
@@ -398,4 +421,10 @@ func (e *pimEngine) ModeledSeconds() float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.srv.ModeledSeconds()
+}
+
+func (e *pimEngine) FaultStats() pim.FaultStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.srv.Sys.FaultStats()
 }

@@ -1,7 +1,7 @@
 package hebfv
 
 import (
-	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/bfv"
@@ -116,10 +116,10 @@ func (c *Context) wrapDeferredProd(prod *bfv.ProductNTT) *Ciphertext {
 // materialized form.
 func (c *Context) own(ct *Ciphertext) (*bfv.Ciphertext, error) {
 	if ct == nil {
-		return nil, errors.New("hebfv: nil ciphertext")
+		return nil, fmt.Errorf("%w: nil ciphertext", ErrNilHandle)
 	}
 	if ct.ctx != c {
-		return nil, errors.New("hebfv: ciphertext belongs to a different context")
+		return nil, fmt.Errorf("%w: ciphertext from another context", ErrForeignHandle)
 	}
 	return ct.force(), nil
 }
@@ -156,10 +156,10 @@ type Plaintext struct {
 // ownPlain validates that pt belongs to this context.
 func (c *Context) ownPlain(pt *Plaintext) (*bfv.Plaintext, error) {
 	if pt == nil {
-		return nil, errors.New("hebfv: nil plaintext")
+		return nil, fmt.Errorf("%w: nil plaintext", ErrNilHandle)
 	}
 	if pt.ctx != c {
-		return nil, errors.New("hebfv: plaintext belongs to a different context")
+		return nil, fmt.Errorf("%w: plaintext from another context", ErrForeignHandle)
 	}
 	return pt.pt, nil
 }

@@ -111,11 +111,21 @@ func New(opts ...Option) (*Context, error) {
 		c.backend = DefaultBackend
 	}
 	if c.eng, err = NewEngine(c.backend, Config{
-		Params:  params,
-		Relin:   c.rlk,
-		PIMDPUs: cfg.pimDPUs,
+		Params:        params,
+		Relin:         c.rlk,
+		PIMDPUs:       cfg.pimDPUs,
+		PIMFaultSeed:  cfg.pimFaultSeed,
+		PIMFaultRates: cfg.pimFaultRates,
 	}); err != nil {
 		return nil, err
+	}
+	if c.backend == "pim" {
+		// Graceful degradation: a pim engine failing past its fault
+		// retry budget fails over to the (bit-identical) host default.
+		relin := c.rlk
+		c.eng = newFailoverEngine(c.eng, c.backend, DefaultBackend, func() (Engine, error) {
+			return NewEngine(DefaultBackend, Config{Params: params, Relin: relin})
+		})
 	}
 
 	// Eager Galois keys: deduplicated, in sorted step order so two
@@ -216,6 +226,46 @@ func (c *Context) PIMReport() (launches int, modeledSeconds float64, ok bool) {
 	return kr.KernelLaunches(), kr.ModeledSeconds(), true
 }
 
+// PIMStats holds the accumulated fault-model counters of the "pim"
+// backend: faults injected, retries and shard re-dispatches the
+// fault-tolerant dispatch performed, and DPUs lost permanently.
+type PIMStats struct {
+	TransientFaults int // injected transient launch failures
+	DeadDPUs        int // DPUs permanently failed
+	StragglerHits   int // launches slowed by the straggler model
+	Retries         int // shard retries after transient faults
+	Redispatches    int // shards re-dispatched off dead DPUs
+}
+
+// PIMStats returns the fault and retry counters of a modeled-hardware
+// backend; ok is false when the selected backend has no fault model
+// (everything but "pim"). All-zero counters with ok true mean no faults
+// were injected — the normal case without WithPIMFaultInjection.
+func (c *Context) PIMStats() (stats PIMStats, ok bool) {
+	fr, isFR := c.eng.(faultReporter)
+	if !isFR {
+		return PIMStats{}, false
+	}
+	fs := fr.FaultStats()
+	return PIMStats{
+		TransientFaults: fs.TransientFaults,
+		DeadDPUs:        fs.DeadDPUs,
+		StragglerHits:   fs.StragglerHits,
+		Retries:         fs.Retries,
+		Redispatches:    fs.Redispatches,
+	}, true
+}
+
+// FailoverStats reports the backend-failover state; ok is false when
+// the context's backend has no failover path (everything but "pim").
+func (c *Context) FailoverStats() (stats FailoverStats, ok bool) {
+	fe, isFE := c.eng.(*failoverEngine)
+	if !isFE {
+		return FailoverStats{}, false
+	}
+	return fe.stats(), true
+}
+
 // galoisKey returns the key for Galois element g, deriving and caching
 // it when the context holds the secret key.
 func (c *Context) galoisKey(g uint64) (*bfv.GaloisKey, error) {
@@ -225,7 +275,7 @@ func (c *Context) galoisKey(g uint64) (*bfv.GaloisKey, error) {
 		return gk, nil
 	}
 	if c.sk == nil || c.kg == nil {
-		return nil, fmt.Errorf("hebfv: no Galois key for element %d and no secret key to derive one (export it from the key-owning context)", g)
+		return nil, fmt.Errorf("%w: no Galois key for element %d and no secret key to derive one (export it from the key-owning context)", ErrNoSecretKey, g)
 	}
 	c.srcMu.Lock()
 	gk, err := c.kg.GenGaloisKey(c.sk, g)
@@ -253,7 +303,7 @@ func (c *Context) galoisKeys(gs []uint64) ([]*bfv.GaloisKey, error) {
 // requireBatching returns the batch encoder or a descriptive error.
 func (c *Context) requireBatching() (*bfv.BatchEncoder, error) {
 	if c.encoder == nil {
-		return nil, fmt.Errorf("hebfv: the slot API needs a batching plaintext modulus (t prime, t ≡ 1 mod 2N): %v", c.batchErr)
+		return nil, fmt.Errorf("%w: the slot API needs t prime with t ≡ 1 mod 2N: %v", ErrNoBatching, c.batchErr)
 	}
 	return c.encoder, nil
 }

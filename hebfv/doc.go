@@ -60,4 +60,39 @@
 // registry (RegisterBackend, NewEngine) is the mount point for new
 // in-repo engines; its signatures name internal types deliberately, so
 // it cannot be implemented outside the repository.
+//
+// # Error contract and fault tolerance
+//
+// The public API never lets a panic escape: every exported entry point
+// recovers internal panics and converts them to errors, and every
+// rejection of user-controlled input is typed so callers can branch
+// with errors.Is:
+//
+//   - ErrCorruptBlob — a serialized blob (ciphertext or key set) failed
+//     validation: truncated, bad magic/version/kind, parameters that do
+//     not match the context, non-canonical coefficients, or trailing
+//     bytes. Deserialization is hardened against hostile input and
+//     fuzz-tested (FuzzUnmarshalCiphertext, FuzzImportKeySet).
+//   - ErrNoSecretKey — a secret-key operation (Decrypt, NoiseBudget,
+//     ExportKeys(true), deriving an uncached Galois key) on an
+//     evaluation-only context restored from ExportKeys(false).
+//   - ErrNilHandle / ErrForeignHandle — a nil handle, or one created by
+//     a different Context.
+//   - ErrNoBatching — slot operations under a plaintext modulus with no
+//     batching structure.
+//   - ErrBackendFailed — an evaluation backend failed internally (e.g.
+//     a worker panic, or a PIM fault budget exhausted); the operation
+//     did not produce a result.
+//
+// The simulated PIM backend carries a deterministic fault model:
+// WithPIMFaultInjection(seed, transient, dead, straggler) arms
+// per-launch DPU fault rates, transient faults retry with backoff,
+// dead DPUs' shards re-dispatch to survivors, and Context.PIMStats
+// reports the toll. When the PIM system degrades beyond recovery
+// (pim-fault-class errors only — semantic errors propagate unchanged),
+// the context fails over to the host backend once and replays the
+// failed operation; Context.FailoverStats records the switch. Results
+// remain bit-identical under any fault schedule — the differential
+// fault tests pin this at a 10% transient rate and under total DPU
+// loss.
 package hebfv

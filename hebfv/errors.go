@@ -1,0 +1,66 @@
+package hebfv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dcrt"
+)
+
+// Error taxonomy. Every failure crossing the public API wraps one of
+// these sentinels, so callers branch with errors.Is instead of matching
+// message strings:
+//
+//   - ErrCorruptBlob: a serialized blob (ciphertext or key set) failed
+//     structural validation — truncated, oversized, wrong magic,
+//     non-canonical coefficients, trailing bytes.
+//   - ErrBackendFailed: the evaluation backend failed operationally —
+//     a worker panic converted to an error, or a modeled-hardware fault
+//     past its retry budget. Distinct from semantic errors (unsupported
+//     operation, shape mismatch), which never carry this sentinel.
+//   - ErrNoSecretKey: the operation needs the secret key and the
+//     context is evaluation-only (restored from ExportKeys(false)).
+//   - ErrNoBatching: the slot API was used with a plaintext modulus
+//     that does not support CRT batching.
+//   - ErrNilHandle / ErrForeignHandle: a nil ciphertext/plaintext
+//     handle, or one owned by a different Context.
+//
+// No panic escapes the public API on malformed input: entry points
+// recover internal panics and surface them as wrapped ErrBackendFailed
+// (evaluation) or ErrCorruptBlob (deserialization) errors.
+var (
+	ErrCorruptBlob   = errors.New("hebfv: corrupt blob")
+	ErrBackendFailed = errors.New("hebfv: backend evaluation failed")
+	ErrNoSecretKey   = errors.New("hebfv: context holds no secret key (evaluation-only)")
+	ErrNoBatching    = errors.New("hebfv: plaintext modulus does not support batching")
+	ErrNilHandle     = errors.New("hebfv: nil handle")
+	ErrForeignHandle = errors.New("hebfv: handle belongs to a different context")
+)
+
+// guard is deferred by public entry points: a panic below the API
+// boundary (a worker-pool task, an internal kernel) is converted to an
+// ErrBackendFailed-wrapped error instead of unwinding into the caller.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = panicError(r)
+	}
+}
+
+// guardBlob is guard for deserialization entry points, where a panic
+// means the blob drove internal decoding off the rails: it surfaces as
+// ErrCorruptBlob.
+func guardBlob(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: decoding panicked: %v", ErrCorruptBlob, r)
+	}
+}
+
+// panicError maps a recovered panic value to a typed error. A typed
+// *dcrt.PanicError from the worker pool keeps its task context; any
+// other value is reported verbatim.
+func panicError(r any) error {
+	if pe, ok := r.(*dcrt.PanicError); ok {
+		return fmt.Errorf("%w: %v", ErrBackendFailed, pe)
+	}
+	return fmt.Errorf("%w: panic: %v", ErrBackendFailed, r)
+}

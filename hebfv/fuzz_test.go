@@ -1,0 +1,113 @@
+package hebfv
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Fuzz targets for the hardened deserializers. The invariant under
+// test is the API's error contract: arbitrary bytes must produce a
+// typed error or a valid object — never a panic, never an object that
+// later blows up. Valid blobs exercise the accept path so the fuzzer
+// keeps coverage on both sides of every guard.
+
+var fuzzCtxOnce = sync.OnceValues(func() (*Context, error) {
+	return New(WithInsecureToyParameters(), WithSeed(0xfadedbee), WithRotations(1))
+})
+
+func fuzzContext(t testing.TB) *Context {
+	ctx, err := fuzzCtxOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// validCiphertextBlob marshals a fresh toy encryption.
+func validCiphertextBlob(t testing.TB) []byte {
+	ctx := fuzzContext(t)
+	ct, err := ctx.EncryptSlots([]uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func FuzzUnmarshalCiphertext(f *testing.F) {
+	blob := validCiphertextBlob(f)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])       // truncated mid-payload
+	f.Add(blob[:4])                 // header cut after magic
+	f.Add(append(blob, 0, 0, 0, 0)) // trailing garbage
+	flip := bytes.Clone(blob)
+	flip[len(flip)-3] ^= 0xff // non-canonical top limb
+	f.Add(flip)
+	f.Add([]byte{})
+	f.Add([]byte("HEBF"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ctx := fuzzContext(t)
+		ct, err := ctx.UnmarshalCiphertext(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptBlob) {
+				t.Fatalf("unmarshal error is not ErrCorruptBlob-typed: %v", err)
+			}
+			return
+		}
+		// Accepted blobs must be safe to operate on and re-serialize.
+		if _, err := ctx.Add(ct, ct); err != nil {
+			t.Fatalf("accepted ciphertext unusable: %v", err)
+		}
+		if _, err := ct.MarshalBinary(); err != nil {
+			t.Fatalf("accepted ciphertext does not re-serialize: %v", err)
+		}
+	})
+}
+
+func FuzzImportKeySet(f *testing.F) {
+	ctx := fuzzContext(f)
+	full, err := ctx.ExportKeys(true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	public, err := ctx.ExportKeys(false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(public)
+	f.Add(full[:len(full)/3]) // truncated inside the key material
+	tamper := bytes.Clone(public)
+	tamper[5] ^= 0x40 // corrupt the header kind
+	f.Add(tamper)
+	f.Add([]byte{})
+	f.Add([]byte("HEBF\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := New(WithInsecureToyParameters(), WithKeySet(data))
+		if err != nil {
+			return // typed rejection is the expected outcome for noise
+		}
+		// A context restored from an accepted key set must evaluate.
+		ct, err := restored.EncryptSlots([]uint64{7, 8})
+		if err != nil {
+			t.Fatalf("restored context cannot encrypt: %v", err)
+		}
+		if _, err := restored.Add(ct, ct); err != nil {
+			t.Fatalf("restored context cannot evaluate: %v", err)
+		}
+		// Evaluation-only restores must refuse decryption with the
+		// typed sentinel, not panic.
+		if !restored.CanDecrypt() {
+			if _, err := restored.DecryptSlots(ct); !errors.Is(err, ErrNoSecretKey) {
+				t.Fatalf("DecryptSlots on evaluation-only context: got %v, want ErrNoSecretKey", err)
+			}
+		}
+	})
+}

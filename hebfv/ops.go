@@ -22,7 +22,8 @@ func (c *Context) EncodeValue(v uint64) *Plaintext {
 // plaintext slots; homomorphic operations then act slot-wise (SIMD).
 // Slots form a 2 × RowSlots matrix: index i < RowSlots is row 0 column
 // i, the rest row 1 — the layout RotateRows and RotateColumns act on.
-func (c *Context) EncodeSlots(values []uint64) (*Plaintext, error) {
+func (c *Context) EncodeSlots(values []uint64) (_ *Plaintext, err error) {
+	defer guard(&err)
 	enc, err := c.requireBatching()
 	if err != nil {
 		return nil, err
@@ -43,7 +44,8 @@ func (c *Context) EncodeSlots(values []uint64) (*Plaintext, error) {
 }
 
 // DecodeSlots recovers the slot values of a plaintext.
-func (c *Context) DecodeSlots(pt *Plaintext) ([]uint64, error) {
+func (c *Context) DecodeSlots(pt *Plaintext) (_ []uint64, err error) {
+	defer guard(&err)
 	enc, err := c.requireBatching()
 	if err != nil {
 		return nil, err
@@ -66,7 +68,8 @@ func newPlain(c *Context) *Plaintext {
 
 // Encrypt encrypts an encoded plaintext under the context's public key.
 // Encryptions are serialized on the context's randomness source.
-func (c *Context) Encrypt(pt *Plaintext) (*Ciphertext, error) {
+func (c *Context) Encrypt(pt *Plaintext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	raw, err := c.ownPlain(pt)
 	if err != nil {
 		return nil, err
@@ -97,13 +100,14 @@ func (c *Context) EncryptSlots(values []uint64) (*Ciphertext, error) {
 // Decryption — requires the secret key (CanDecrypt).
 
 // Decrypt recovers the encoded plaintext.
-func (c *Context) Decrypt(ct *Ciphertext) (*Plaintext, error) {
+func (c *Context) Decrypt(ct *Ciphertext) (_ *Plaintext, err error) {
+	defer guard(&err)
 	raw, err := c.own(ct)
 	if err != nil {
 		return nil, err
 	}
 	if c.dec == nil {
-		return nil, errors.New("hebfv: context holds no secret key (evaluation-only)")
+		return nil, ErrNoSecretKey
 	}
 	return &Plaintext{ctx: c, pt: c.dec.Decrypt(raw)}, nil
 }
@@ -129,13 +133,14 @@ func (c *Context) DecryptSlots(ct *Ciphertext) ([]uint64, error) {
 
 // NoiseBudget returns the remaining noise budget of ct in bits; zero or
 // negative means decryption is no longer guaranteed.
-func (c *Context) NoiseBudget(ct *Ciphertext) (int, error) {
+func (c *Context) NoiseBudget(ct *Ciphertext) (_ int, err error) {
+	defer guard(&err)
 	raw, err := c.own(ct)
 	if err != nil {
 		return 0, err
 	}
 	if c.dec == nil {
-		return 0, errors.New("hebfv: context holds no secret key (evaluation-only)")
+		return 0, ErrNoSecretKey
 	}
 	return c.dec.NoiseBudget(raw), nil
 }
@@ -145,7 +150,8 @@ func (c *Context) NoiseBudget(ct *Ciphertext) (int, error) {
 // Add returns a + b. Sums of deferred rotation outputs fuse in the NTT
 // domain, and sums of deferred product outputs in the RNS domain, when
 // exactness bounds allow (see Ciphertext).
-func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
+func (c *Context) Add(a, b *Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	if a != nil && b != nil && a.ctx == c && b.ctx == c {
 		if ra, rb := a.deferred(), b.deferred(); ra != nil && rb != nil {
 			if sum, ok := ra.Add(rb); ok {
@@ -174,7 +180,8 @@ func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
 }
 
 // Sub returns a − b.
-func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+func (c *Context) Sub(a, b *Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	return c.binOp(a, b, c.eng.Sub)
 }
 
@@ -183,7 +190,8 @@ func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 // Mul calls and fuses under Sum/Add without intermediate base
 // conversions — and materializes transparently (bit-identically) when a
 // consumer needs coefficients.
-func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+func (c *Context) Mul(a, b *Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	if dm, ok := c.eng.(DeferredMultiplier); ok && dm.CanDeferMul() &&
 		a != nil && b != nil && a.ctx == c && b.ctx == c {
 		prod, err := dm.MulNTT(a.operand(), b.operand())
@@ -197,7 +205,8 @@ func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 
 // Square returns the relinearized square of a (deferred like Mul where
 // the backend supports it).
-func (c *Context) Square(a *Ciphertext) (*Ciphertext, error) {
+func (c *Context) Square(a *Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	if dm, ok := c.eng.(DeferredMultiplier); ok && dm.CanDeferMul() &&
 		a != nil && a.ctx == c {
 		op := a.operand()
@@ -211,12 +220,14 @@ func (c *Context) Square(a *Ciphertext) (*Ciphertext, error) {
 }
 
 // Neg returns −a.
-func (c *Context) Neg(a *Ciphertext) (*Ciphertext, error) {
+func (c *Context) Neg(a *Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	return c.unOp(a, c.eng.Neg)
 }
 
 // AddPlain returns a + pt.
-func (c *Context) AddPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+func (c *Context) AddPlain(a *Ciphertext, pt *Plaintext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	ra, err := c.own(a)
 	if err != nil {
 		return nil, err
@@ -233,7 +244,8 @@ func (c *Context) AddPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
 }
 
 // MulPlain returns a·pt (slot-wise under batching encodings).
-func (c *Context) MulPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+func (c *Context) MulPlain(a *Ciphertext, pt *Plaintext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	ra, err := c.own(a)
 	if err != nil {
 		return nil, err
@@ -254,7 +266,8 @@ func (c *Context) MulPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
 // input is a deferred product (a MulMany-then-Sum dot product), the fold
 // fuses in the RNS domain and the whole reduction pays one base-
 // conversion pair; the result is bit-identical to the materialized fold.
-func (c *Context) Sum(cts []*Ciphertext) (*Ciphertext, error) {
+func (c *Context) Sum(cts []*Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	if len(cts) == 0 {
 		return nil, errors.New("hebfv: empty sum")
 	}
@@ -310,7 +323,8 @@ func (c *Context) sumDeferred(cts []*Ciphertext) (*Ciphertext, bool) {
 
 // AddMany returns the element-wise sums as[i] + bs[i], scheduled on the
 // backend's batch pipeline.
-func (c *Context) AddMany(as, bs []*Ciphertext) ([]*Ciphertext, error) {
+func (c *Context) AddMany(as, bs []*Ciphertext) (_ []*Ciphertext, err error) {
+	defer guard(&err)
 	return c.batchBinOp(as, bs, c.eng.AddMany)
 }
 
@@ -318,7 +332,8 @@ func (c *Context) AddMany(as, bs []*Ciphertext) ([]*Ciphertext, error) {
 // scheduled on the backend's batch pipeline. On backends with deferred
 // multiplication the products stay NTT-resident (see Mul) — a following
 // Sum fuses the whole reduction in the RNS domain.
-func (c *Context) MulMany(as, bs []*Ciphertext) ([]*Ciphertext, error) {
+func (c *Context) MulMany(as, bs []*Ciphertext) (_ []*Ciphertext, err error) {
+	defer guard(&err)
 	dm, ok := c.eng.(DeferredMultiplier)
 	if !ok || !dm.CanDeferMul() || len(as) != len(bs) {
 		return c.batchBinOp(as, bs, c.eng.MulMany)

@@ -3,6 +3,8 @@ package hebfv
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/pim"
 )
 
 // config collects the functional options New resolves a Context from.
@@ -16,6 +18,9 @@ type config struct {
 	seed      *uint64
 	pimDPUs   int
 	keySet    []byte
+
+	pimFaultSeed  uint64
+	pimFaultRates map[string]float64 // injection site -> probability
 }
 
 // Option configures a Context under construction.
@@ -110,6 +115,38 @@ func WithPIMDPUs(n int) Option {
 			return errors.New("hebfv: DPU count must be positive")
 		}
 		c.pimDPUs = n
+		return nil
+	}
+}
+
+// WithPIMFaultInjection arms the "pim" backend's deterministic fault
+// injector: each DPU launch independently suffers a transient failure,
+// permanent death, or straggler slowdown with the given probabilities
+// (each in [0, 1]). Decisions are a pure function of the seed and the
+// launch sequence, so a chaos run replays identically. The backend
+// retries transient faults, re-dispatches dead DPUs' shards to
+// survivors, and — past the retry budget — fails over to the host
+// backend, all while staying bit-identical; the toll shows up in
+// Context.PIMStats and Context.FailoverStats, never in results. Other
+// backends ignore the option.
+func WithPIMFaultInjection(seed uint64, transient, dead, straggler float64) Option {
+	return func(c *config) error {
+		for _, p := range []float64{transient, dead, straggler} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("hebfv: fault probability %v outside [0, 1]", p)
+			}
+		}
+		c.pimFaultSeed = seed
+		c.pimFaultRates = map[string]float64{}
+		if transient > 0 {
+			c.pimFaultRates[pim.SiteDPUTransient] = transient
+		}
+		if dead > 0 {
+			c.pimFaultRates[pim.SiteDPUDead] = dead
+		}
+		if straggler > 0 {
+			c.pimFaultRates[pim.SiteDPUStraggler] = straggler
+		}
 		return nil
 	}
 }

@@ -3,7 +3,6 @@ package hebfv
 import (
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -66,32 +65,33 @@ func (c *Context) writeHeader(w io.Writer, kind uint8) error {
 func (c *Context) readHeader(r io.Reader, wantKind uint8) error {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return err
+		return fmt.Errorf("%w: truncated header: %v", ErrCorruptBlob, err)
 	}
 	if magic != serialMagic {
-		return errors.New("hebfv: bad magic (not a hebfv blob)")
+		return fmt.Errorf("%w: bad magic (not a hebfv blob)", ErrCorruptBlob)
 	}
 	var h serialHeader
 	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
-		return err
+		return fmt.Errorf("%w: truncated header: %v", ErrCorruptBlob, err)
 	}
 	if h.Version != serialVersion {
-		return fmt.Errorf("hebfv: unsupported format version %d (have %d)", h.Version, serialVersion)
+		return fmt.Errorf("%w: unsupported format version %d (have %d)", ErrCorruptBlob, h.Version, serialVersion)
 	}
 	if h.Kind != wantKind {
-		return fmt.Errorf("hebfv: blob kind %d, want %d", h.Kind, wantKind)
+		return fmt.Errorf("%w: blob kind %d, want %d", ErrCorruptBlob, h.Kind, wantKind)
 	}
 	if int(h.N) != c.params.N || int(h.W) != c.params.Q.W ||
 		h.T != c.params.T || uint(h.BaseBits) != c.params.RelinBaseBits {
-		return fmt.Errorf("hebfv: blob parameters (N=%d W=%d t=%d base=%d) do not match the context's %v",
-			h.N, h.W, h.T, h.BaseBits, c.params)
+		return fmt.Errorf("%w: blob parameters (N=%d W=%d t=%d base=%d) do not match the context's %v",
+			ErrCorruptBlob, h.N, h.W, h.T, h.BaseBits, c.params)
 	}
 	return nil
 }
 
 // MarshalBinary serializes the ciphertext (forcing a deferred rotation
 // output first) with the versioned facade header.
-func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+func (ct *Ciphertext) MarshalBinary() (_ []byte, err error) {
+	defer guard(&err)
 	raw := ct.force()
 	var buf bytes.Buffer
 	if err := ct.ctx.writeHeader(&buf, kindCiphertext); err != nil {
@@ -105,17 +105,18 @@ func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 
 // UnmarshalCiphertext deserializes a ciphertext blob into a handle
 // bound to this context, validating the parameter guard.
-func (c *Context) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+func (c *Context) UnmarshalCiphertext(data []byte) (_ *Ciphertext, err error) {
+	defer guardBlob(&err)
 	r := bytes.NewReader(data)
 	if err := c.readHeader(r, kindCiphertext); err != nil {
 		return nil, err
 	}
 	ct, err := bfv.ReadCiphertext(r, c.params)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorruptBlob, err)
 	}
 	if r.Len() != 0 {
-		return nil, fmt.Errorf("hebfv: %d trailing bytes after ciphertext", r.Len())
+		return nil, fmt.Errorf("%w: %d trailing bytes after ciphertext", ErrCorruptBlob, r.Len())
 	}
 	return c.wrap(ct), nil
 }
@@ -132,9 +133,10 @@ const keySetHasSecret = 1
 // restored evaluation-only context will need (WithRotations /
 // WithColumnRotation, or by running the workload once) before
 // exporting.
-func (c *Context) ExportKeys(includeSecret bool) ([]byte, error) {
+func (c *Context) ExportKeys(includeSecret bool) (_ []byte, err error) {
+	defer guard(&err)
 	if includeSecret && c.sk == nil {
-		return nil, errors.New("hebfv: context holds no secret key to export")
+		return nil, fmt.Errorf("%w: nothing to export", ErrNoSecretKey)
 	}
 	c.mu.Lock()
 	gs := make([]uint64, 0, len(c.gks))
@@ -184,48 +186,49 @@ const maxKeySetGaloisKeys = 1 << 16
 
 // importKeys restores key material from an ExportKeys blob (New with
 // WithKeySet).
-func (c *Context) importKeys(data []byte) error {
+func (c *Context) importKeys(data []byte) (err error) {
+	defer guardBlob(&err)
 	r := bytes.NewReader(data)
 	if err := c.readHeader(r, kindKeySet); err != nil {
 		return err
 	}
 	var flags [1]byte
 	if _, err := io.ReadFull(r, flags[:]); err != nil {
-		return err
+		return fmt.Errorf("%w: truncated key set: %v", ErrCorruptBlob, err)
 	}
 	if flags[0]&keySetHasSecret != 0 {
 		sk, err := bfv.ReadSecretKey(r, c.params)
 		if err != nil {
-			return fmt.Errorf("hebfv: key set secret key: %w", err)
+			return fmt.Errorf("%w: key set secret key: %v", ErrCorruptBlob, err)
 		}
 		c.sk = sk
 	}
 	pk, err := bfv.ReadPublicKey(r, c.params)
 	if err != nil {
-		return fmt.Errorf("hebfv: key set public key: %w", err)
+		return fmt.Errorf("%w: key set public key: %v", ErrCorruptBlob, err)
 	}
 	c.pk = pk
 	rlk, err := bfv.ReadRelinKey(r, c.params)
 	if err != nil {
-		return fmt.Errorf("hebfv: key set relin key: %w", err)
+		return fmt.Errorf("%w: key set relin key: %v", ErrCorruptBlob, err)
 	}
 	c.rlk = rlk
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return err
+		return fmt.Errorf("%w: truncated key set: %v", ErrCorruptBlob, err)
 	}
 	if count > maxKeySetGaloisKeys {
-		return fmt.Errorf("hebfv: implausible Galois-key count %d", count)
+		return fmt.Errorf("%w: implausible Galois-key count %d", ErrCorruptBlob, count)
 	}
 	for i := uint32(0); i < count; i++ {
 		gk, err := bfv.ReadGaloisKey(r, c.params)
 		if err != nil {
-			return fmt.Errorf("hebfv: key set Galois key %d: %w", i, err)
+			return fmt.Errorf("%w: key set Galois key %d: %v", ErrCorruptBlob, i, err)
 		}
 		c.gks[gk.G] = gk
 	}
 	if r.Len() != 0 {
-		return fmt.Errorf("hebfv: %d trailing bytes after key set", r.Len())
+		return fmt.Errorf("%w: %d trailing bytes after key set", ErrCorruptBlob, r.Len())
 	}
 	return nil
 }

@@ -64,7 +64,8 @@ func (c *Context) columnElement() uint64 {
 // RotateRows rotates each slot row left by k steps (right for negative
 // k): output slot (r, c) receives input slot (r, (c+k) mod RowSlots).
 // The Galois key for the step is derived and cached on first use.
-func (c *Context) RotateRows(ct *Ciphertext, k int) (*Ciphertext, error) {
+func (c *Context) RotateRows(ct *Ciphertext, k int) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	if _, err := c.requireBatching(); err != nil {
 		return nil, err
 	}
@@ -89,7 +90,8 @@ func (c *Context) RotateRows(ct *Ciphertext, k int) (*Ciphertext, error) {
 
 // RotateColumns swaps the two slot rows column-wise: output slot (r, c)
 // receives input slot (1−r, c).
-func (c *Context) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
+func (c *Context) RotateColumns(ct *Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	if _, err := c.requireBatching(); err != nil {
 		return nil, err
 	}
@@ -113,7 +115,8 @@ func (c *Context) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
 // row rotations plus one column swap). The ladder's Galois keys derive
 // lazily; pregenerate them with WithRotations(1, 2, 4, …) and
 // WithColumnRotation on contexts that must stay evaluation-only.
-func (c *Context) InnerSum(ct *Ciphertext) (*Ciphertext, error) {
+func (c *Context) InnerSum(ct *Ciphertext) (_ *Ciphertext, err error) {
+	defer guard(&err)
 	if _, err := c.requireBatching(); err != nil {
 		return nil, err
 	}
@@ -143,7 +146,8 @@ func (c *Context) InnerSum(ct *Ciphertext) (*Ciphertext, error) {
 // results stay in cached NTT form — their base conversions deferred —
 // until a consumer forces coefficients (see Ciphertext). Each output is
 // bit-identical to RotateRows(ct, ks[i]).
-func (c *Context) RotateRowsMany(ct *Ciphertext, ks []int) ([]*Ciphertext, error) {
+func (c *Context) RotateRowsMany(ct *Ciphertext, ks []int) (_ []*Ciphertext, err error) {
+	defer guard(&err)
 	if _, err := c.requireBatching(); err != nil {
 		return nil, err
 	}
@@ -197,7 +201,8 @@ func (c *Context) RotateRowsMany(ct *Ciphertext, ks []int) ([]*Ciphertext, error
 // aggregation, with the key-switching reductions of all steps fused on
 // backends that support it. Bit-identical to folding RotateRows outputs
 // with Add in step order.
-func (c *Context) RotateRowsAndSum(cts []*Ciphertext, ks []int) ([]*Ciphertext, error) {
+func (c *Context) RotateRowsAndSum(cts []*Ciphertext, ks []int) (_ []*Ciphertext, err error) {
+	defer guard(&err)
 	if _, err := c.requireBatching(); err != nil {
 		return nil, err
 	}

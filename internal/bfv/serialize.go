@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/limb32"
 	"repro/internal/poly"
 )
 
@@ -32,6 +33,23 @@ func readPoly(r io.Reader, n, width int) (*poly.Poly, error) {
 	p := poly.NewPoly(n, width)
 	if err := binary.Read(r, binary.LittleEndian, p.C); err != nil {
 		return nil, err
+	}
+	return p, nil
+}
+
+// readPolyCanonical reads one polynomial and rejects non-canonical
+// coefficients (value ≥ q). Every decoder funnels through this check:
+// downstream arithmetic assumes fully reduced residues, and a hostile
+// blob must not smuggle unreduced ones past the boundary.
+func readPolyCanonical(r io.Reader, n, width int, q limb32.Nat) (*poly.Poly, error) {
+	p, err := readPoly(r, n, width)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < n; c++ {
+		if limb32.Cmp(limb32.Nat(p.C[c*width:(c+1)*width]), q, nil) >= 0 {
+			return nil, fmt.Errorf("bfv: non-canonical coefficient %d (not reduced mod q)", c)
+		}
 	}
 	return p, nil
 }
@@ -79,7 +97,7 @@ func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
 	}
 	ct := &Ciphertext{Polys: make([]*poly.Poly, count)}
 	for i := range ct.Polys {
-		p, err := readPoly(r, n, w)
+		p, err := readPolyCanonical(r, n, w, params.Q.Q)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +138,7 @@ func ReadSecretKey(r io.Reader, params *Parameters) (*SecretKey, error) {
 }
 
 func readPolyAsSecret(r io.Reader, params *Parameters) (*SecretKey, error) {
-	p, err := readPoly(r, params.N, params.Q.W)
+	p, err := readPolyCanonical(r, params.N, params.Q.W, params.Q.Q)
 	if err != nil {
 		return nil, err
 	}

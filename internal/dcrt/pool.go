@@ -1,9 +1,13 @@
 package dcrt
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // A process-wide bounded worker pool executes the per-limb and per-chunk
@@ -11,6 +15,43 @@ import (
 // concurrent evaluators (e.g. a server handling many sessions) cannot
 // oversubscribe the machine: at most GOMAXPROCS limb tasks run at once,
 // the rest queue.
+
+// PanicError is the typed error a panicking pool task is converted to.
+// A panic inside a worker is recovered, wrapped, and re-raised as
+// *PanicError at the submitting parallelFor call — never inside the
+// worker goroutine — so the pool stays serviceable and the caller (at
+// any nesting depth) sees exactly where the task blew up.
+type PanicError struct {
+	Index int    // index of the task that panicked
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack captured at the panic site
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("dcrt: pool task %d panicked: %v", e.Index, e.Value)
+}
+
+// poolFaults, when armed, lets tests and chaos runs inject deliberate
+// task panics at site "pool.panic" (keyed by task index) to exercise
+// the recovery path. Disabled it costs one atomic load and a predicted
+// branch per task.
+var poolFaults atomic.Pointer[faultinject.Injector]
+
+// SitePoolPanic is the injection site the worker pool consults before
+// running each task.
+const SitePoolPanic = "pool.panic"
+
+// SetFaultInjector arms (or, with nil, disarms) panic injection in the
+// shared worker pool.
+func SetFaultInjector(in *faultinject.Injector) { poolFaults.Store(in) }
+
+// maybeInjectPanic fires the armed injector's "pool.panic" site for
+// task index i.
+func maybeInjectPanic(i int) {
+	if in := poolFaults.Load(); in != nil && in.Hit(SitePoolPanic, uint64(i)) {
+		panic(fmt.Sprintf("dcrt: injected pool fault (task %d)", i))
+	}
+}
 
 // job is one parallelFor call: workers and the submitter claim indices
 // [0, n) from next atomically, so every task runs exactly once and any
@@ -20,6 +61,7 @@ type job struct {
 	n    int64
 	next atomic.Int64
 	wg   sync.WaitGroup
+	fail atomic.Pointer[PanicError] // first panic poisons the job
 }
 
 // run claims and executes indices until the job is exhausted.
@@ -29,9 +71,38 @@ func (jb *job) run() {
 		if i >= jb.n {
 			return
 		}
-		jb.f(int(i))
-		jb.wg.Done()
+		jb.runOne(int(i))
 	}
+}
+
+// runOne executes one claimed index, converting a panic into job poison
+// instead of letting it escape into a worker goroutine. Once poisoned,
+// the job's remaining indices are drained without running — their
+// results would be discarded anyway, and skipping them bounds the
+// damage a corrupt state can do. wg accounting is preserved on every
+// path, so the submitter's Wait always returns.
+func (jb *job) runOne(i int) {
+	defer jb.wg.Done()
+	if jb.fail.Load() != nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			jb.fail.CompareAndSwap(nil, asPanicError(i, r))
+		}
+	}()
+	maybeInjectPanic(i)
+	jb.f(i)
+}
+
+// asPanicError wraps a recovered value, preserving an already-typed
+// *PanicError from a nested parallelFor so the innermost index and
+// stack survive to the outermost caller.
+func asPanicError(i int, r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 }
 
 var (
@@ -81,10 +152,9 @@ func parallelFor(n int, f func(int)) {
 		// Serial fast path: with one worker nothing can run concurrently,
 		// so skip the job bookkeeping (allocation, channel traffic,
 		// atomics) and run inline — the per-limb kernels stay
-		// allocation-free on single-CPU hosts.
-		for i := 0; i < n; i++ {
-			f(i)
-		}
+		// allocation-free on single-CPU hosts. Panics are normalized to
+		// the same *PanicError the pooled path raises.
+		serialRun(n, f)
 		return
 	}
 	poolOnce.Do(startPool)
@@ -108,6 +178,26 @@ advertise:
 	}
 	jb.run()
 	jb.wg.Wait()
+	if pe := jb.fail.Load(); pe != nil {
+		panic(pe)
+	}
+}
+
+// serialRun is parallelFor's inline path with the same panic contract:
+// a task panic surfaces at the caller as *PanicError. One deferred
+// recover covers the whole loop, keeping the per-index cost at a
+// branch.
+func serialRun(n int, f func(int)) {
+	i := 0
+	defer func() {
+		if r := recover(); r != nil {
+			panic(asPanicError(i, r))
+		}
+	}()
+	for ; i < n; i++ {
+		maybeInjectPanic(i)
+		f(i)
+	}
 }
 
 // parallelChunks splits [0, n) into roughly worker-count contiguous chunks

@@ -1,0 +1,154 @@
+package dcrt
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// catchPanic runs f and returns the recovered *PanicError (nil when f
+// returns normally; the test fails on an untyped panic).
+func catchPanic(t *testing.T, f func()) (pe *PanicError) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if pe, ok = r.(*PanicError); !ok {
+				t.Fatalf("panic value %T is not *PanicError: %v", r, r)
+			}
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestPoolPanicIsTypedAndCarriesContext(t *testing.T) {
+	pe := catchPanic(t, func() {
+		Parallel(64, func(i int) {
+			if i == 17 {
+				panic("boom at 17")
+			}
+		})
+	})
+	if pe == nil {
+		t.Fatal("panic did not propagate to the submitter")
+	}
+	if pe.Value != "boom at 17" {
+		t.Fatalf("panic value %v, want the original", pe.Value)
+	}
+	if pe.Index != 17 {
+		t.Fatalf("panic index %d, want 17", pe.Index)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "panicked") {
+		t.Fatalf("missing stack or malformed message: %q", pe.Error())
+	}
+}
+
+func TestPoolServiceableAfterPanic(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		if pe := catchPanic(t, func() {
+			Parallel(32, func(i int) {
+				if i%5 == 0 {
+					panic(i)
+				}
+			})
+		}); pe == nil {
+			t.Fatalf("round %d: expected a panic", round)
+		}
+		// The pool must still run clean jobs to completion afterward.
+		var ran atomic.Int64
+		Parallel(100, func(int) { ran.Add(1) })
+		if ran.Load() != 100 {
+			t.Fatalf("round %d: pool degraded, ran %d/100 tasks", round, ran.Load())
+		}
+	}
+}
+
+func TestPoolPanicInNestedSubmission(t *testing.T) {
+	pe := catchPanic(t, func() {
+		Parallel(8, func(outer int) {
+			Parallel(8, func(inner int) {
+				if outer == 3 && inner == 5 {
+					panic("nested boom")
+				}
+			})
+		})
+	})
+	if pe == nil {
+		t.Fatal("nested panic did not propagate")
+	}
+	// The innermost wrap survives re-raising through the outer job.
+	if pe.Value != "nested boom" {
+		t.Fatalf("panic value %v, want the inner value, not a re-wrap", pe.Value)
+	}
+	if pe.Index != 5 {
+		t.Fatalf("index %d, want the inner task index 5", pe.Index)
+	}
+}
+
+func TestPoolPanicConcurrentSubmitters(t *testing.T) {
+	var wg sync.WaitGroup
+	var clean, failed atomic.Int64
+	for s := 0; s < 16; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pe := catchPanic(t, func() {
+				Parallel(64, func(i int) {
+					if s%2 == 0 && i == 11 {
+						panic("even submitter")
+					}
+				})
+			})
+			if pe != nil {
+				failed.Add(1)
+			} else {
+				clean.Add(1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if failed.Load() != 8 || clean.Load() != 8 {
+		t.Fatalf("failed=%d clean=%d, want 8/8 — one job's poison leaked into another",
+			failed.Load(), clean.Load())
+	}
+}
+
+func TestPoolSerialPathPanic(t *testing.T) {
+	// n == 1 forces the inline path regardless of GOMAXPROCS.
+	pe := catchPanic(t, func() {
+		Parallel(1, func(int) { panic("serial boom") })
+	})
+	if pe == nil || pe.Value != "serial boom" || pe.Index != 0 {
+		t.Fatalf("serial path panic not normalized: %+v", pe)
+	}
+}
+
+func TestPoolInjectedFaults(t *testing.T) {
+	in := faultinject.New(9).SetRate(SitePoolPanic, 0.2)
+	SetFaultInjector(in)
+	defer SetFaultInjector(nil)
+
+	hits := 0
+	for round := 0; round < 20; round++ {
+		if pe := catchPanic(t, func() {
+			Parallel(64, func(int) {})
+		}); pe != nil {
+			hits++
+			if s, ok := pe.Value.(string); !ok || !strings.Contains(s, "injected pool fault") {
+				t.Fatalf("unexpected injected panic value: %v", pe.Value)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("armed injector at rate 0.2 over 64 tasks never fired")
+	}
+	// Disarmed, the pool is clean again.
+	SetFaultInjector(nil)
+	if pe := catchPanic(t, func() { Parallel(64, func(int) {}) }); pe != nil {
+		t.Fatalf("disarmed injector still fired: %v", pe)
+	}
+}

@@ -19,6 +19,7 @@ const MRAMWords = 64 * 1024 * 1024 / 4
 type DPU struct {
 	ID   int
 	mram []uint32
+	dead bool // permanently failed (fault model); excluded from live sets
 
 	// Accounting for the most recent kernel launch.
 	taskletInstr []int64 // dynamic instructions per tasklet

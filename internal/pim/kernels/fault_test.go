@@ -1,0 +1,259 @@
+package kernels
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/limb32"
+	"repro/internal/pim"
+)
+
+func faultSys(t *testing.T, dpus int) *pim.System {
+	t.Helper()
+	cfg := pim.DefaultConfig()
+	cfg.NumDPUs = dpus
+	cfg.Tasklets = 2
+	sys, err := pim.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// addOracle computes the expected element-wise modular sum on the host.
+func addOracle(a, b []uint32, w int, q limb32.Nat) []uint32 {
+	out := make([]uint32, len(a))
+	for c := 0; c < len(a)/w; c++ {
+		limb32.AddMod(limb32.Nat(out[c*w:(c+1)*w]),
+			limb32.Nat(a[c*w:(c+1)*w]), limb32.Nat(b[c*w:(c+1)*w]), q, nil)
+	}
+	return out
+}
+
+func testVectors(n, w int, q limb32.Nat) (a, b []uint32) {
+	a = make([]uint32, n*w)
+	b = make([]uint32, n*w)
+	for i := range a {
+		// Stay below q's top limb so coefficients are canonical.
+		a[i] = uint32(i*2654435761) % q[0] / 2
+		b[i] = uint32(i*40503+17) % q[0] / 2
+	}
+	if w > 1 {
+		for i := range a {
+			if i%w != 0 {
+				a[i], b[i] = 0, 0
+			}
+		}
+	}
+	return a, b
+}
+
+func TestFaultTransientRetryBitExact(t *testing.T) {
+	q := limb32.Nat{4294967291} // 2³²−5, prime
+	a, b := testVectors(256, 1, q)
+	want := addOracle(a, b, 1, q)
+
+	sys := faultSys(t, 8)
+	sys.SetFaultInjector(faultinject.New(11).SetRate(pim.SiteDPUTransient, 0.3))
+	for round := 0; round < 10; round++ {
+		got, rep, err := RunVectorAdd(sys, a, b, 1, q)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: coeff %d = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+	}
+	st := sys.FaultStats()
+	if st.TransientFaults == 0 || st.Retries == 0 {
+		t.Fatalf("expected injected transients and retries, got %+v", st)
+	}
+	if st.Retries != st.TransientFaults {
+		t.Fatalf("every transient fault should retry exactly once per round: %+v", st)
+	}
+}
+
+func TestFaultDeadDPURedispatchBitExact(t *testing.T) {
+	q := limb32.Nat{4294967291}
+	a, b := testVectors(512, 1, q)
+	want := addOracle(a, b, 1, q)
+
+	sys := faultSys(t, 6)
+	sys.SetFaultInjector(faultinject.New(5).SetRate(pim.SiteDPUDead, 0.15))
+	var st pim.FaultStats
+	for round := 0; round < 12 && st.DeadDPUs == 0; round++ {
+		got, _, err := RunVectorAdd(sys, a, b, 1, q)
+		if err != nil {
+			t.Fatalf("round %d (stats %+v): %v", round, sys.FaultStats(), err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: coeff %d = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+		st = sys.FaultStats()
+	}
+	if st.DeadDPUs == 0 {
+		t.Skip("seed produced no deaths in 12 rounds (rate 0.15 over 6 DPUs — should not happen)")
+	}
+	if st.Redispatches == 0 {
+		t.Fatalf("dead DPUs without re-dispatches: %+v", st)
+	}
+	if live := sys.LiveDPUCount(); live != 6-st.DeadDPUs {
+		t.Fatalf("live count %d, want %d", live, 6-st.DeadDPUs)
+	}
+}
+
+func TestFaultAllDPUsDead(t *testing.T) {
+	q := limb32.Nat{4294967291}
+	a, b := testVectors(64, 1, q)
+
+	sys := faultSys(t, 3)
+	sys.SetFaultInjector(faultinject.New(1).SetRate(pim.SiteDPUDead, 1))
+	_, _, err := RunVectorAdd(sys, a, b, 1, q)
+	if err == nil {
+		t.Fatal("expected failure with every DPU dying")
+	}
+	if !pim.IsFault(err) {
+		t.Fatalf("error %v is not in the fault taxonomy", err)
+	}
+	// Once everything is dead the system reports it directly.
+	if _, _, err := RunVectorAdd(sys, a, b, 1, q); !errors.Is(err, pim.ErrNoLiveDPUs) {
+		t.Fatalf("got %v, want ErrNoLiveDPUs", err)
+	}
+}
+
+func TestFaultRetryBudgetExhaustion(t *testing.T) {
+	q := limb32.Nat{4294967291}
+	a, b := testVectors(64, 1, q)
+
+	cfg := pim.DefaultConfig()
+	cfg.NumDPUs = 2
+	cfg.Tasklets = 2
+	cfg.RetryBudget = 2
+	sys, err := pim.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaultInjector(faultinject.New(1).SetRate(pim.SiteDPUTransient, 1))
+	_, _, err = RunVectorAdd(sys, a, b, 1, q)
+	if !errors.Is(err, pim.ErrFaultBudget) {
+		t.Fatalf("got %v, want ErrFaultBudget", err)
+	}
+	if !pim.IsFault(err) {
+		t.Fatal("budget exhaustion not classified as a fault")
+	}
+}
+
+func TestFaultStragglerInflatesModeledTime(t *testing.T) {
+	q := limb32.Nat{4294967291}
+	a, b := testVectors(4096, 1, q)
+
+	base := faultSys(t, 4)
+	repBase, err := timeOf(base, a, b, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := faultSys(t, 4)
+	slow.SetFaultInjector(faultinject.New(2).SetRate(pim.SiteDPUStraggler, 1))
+	repSlow, err := timeOf(slow, a, b, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := slow.FaultStats(); st.StragglerHits == 0 {
+		t.Fatalf("no straggler hits at rate 1: %+v", st)
+	}
+	if repSlow.KernelCycles <= repBase.KernelCycles {
+		t.Fatalf("straggler cycles %d not above baseline %d", repSlow.KernelCycles, repBase.KernelCycles)
+	}
+	// Results are unaffected — stragglers are slow, not wrong.
+}
+
+func timeOf(sys *pim.System, a, b []uint32, q limb32.Nat) (*pim.Report, error) {
+	_, rep, err := RunVectorAdd(sys, a, b, 1, q)
+	return rep, err
+}
+
+func TestFaultRunsAreReproducible(t *testing.T) {
+	q := limb32.Nat{4294967291}
+	a, b := testVectors(256, 1, q)
+
+	stats := func() pim.FaultStats {
+		sys := faultSys(t, 8)
+		sys.SetFaultInjector(faultinject.New(77).
+			SetRate(pim.SiteDPUTransient, 0.2).
+			SetRate(pim.SiteDPUDead, 0.05).
+			SetRate(pim.SiteDPUStraggler, 0.1))
+		for round := 0; round < 6; round++ {
+			if _, _, err := RunVectorAdd(sys, a, b, 1, q); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		return sys.FaultStats()
+	}
+	first, second := stats(), stats()
+	if first != second {
+		t.Fatalf("same seed, different fault streams:\n%+v\n%+v", first, second)
+	}
+}
+
+func TestFaultSumAndPolyMulSurviveFaults(t *testing.T) {
+	q := limb32.Nat{4294967291}
+
+	// Sum: 5 vectors, injected transients.
+	vecs := make([][]uint32, 5)
+	want := make([]uint32, 128)
+	for v := range vecs {
+		vecs[v] = make([]uint32, 128)
+		for i := range vecs[v] {
+			vecs[v][i] = uint32(v*1000+i) % (q[0] / 8)
+		}
+		for i := range want {
+			limb32.AddMod(limb32.Nat(want[i:i+1]), limb32.Nat(want[i:i+1]),
+				limb32.Nat(vecs[v][i:i+1]), q, nil)
+		}
+	}
+	sys := faultSys(t, 4)
+	sys.SetFaultInjector(faultinject.New(13).SetRate(pim.SiteDPUTransient, 0.3))
+	got, _, err := RunVectorSum(sys, vecs, 1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sum coeff %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// PolyMul: compare a faulty run against a clean one.
+	n := 32
+	a := make([]uint32, 4*n)
+	b := make([]uint32, 4*n)
+	for i := range a {
+		a[i] = uint32(i*7+3) % (q[0] / 4)
+		b[i] = uint32(i*11+5) % (q[0] / 4)
+	}
+	clean := faultSys(t, 4)
+	wantP, _, err := RunVectorPolyMul(clean, a, b, n, 1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := faultSys(t, 4)
+	faulty.SetFaultInjector(faultinject.New(21).
+		SetRate(pim.SiteDPUTransient, 0.25).SetRate(pim.SiteDPUDead, 0.1))
+	gotP, _, err := RunVectorPolyMul(faulty, a, b, n, 1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotP {
+		if gotP[i] != wantP[i] {
+			t.Fatalf("polymul word %d = %d, want %d", i, gotP[i], wantP[i])
+		}
+	}
+}

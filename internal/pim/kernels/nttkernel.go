@@ -217,7 +217,7 @@ func RunNTTPolyMul(sys *pim.System, plan *NTTPlan, a, b []uint32) ([]uint32, *pi
 	}
 
 	rep, err := sys.Launch(dpus, func(ctx *pim.TaskletCtx) error {
-		sh := shards[dpuIDOf(ctx)]
+		sh := shards[ctx.DPUID()]
 		cnt := sh.end - sh.start
 		if cnt == 0 {
 			return nil

@@ -1,0 +1,129 @@
+package kernels
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pim"
+)
+
+// Fault-tolerant sharded execution. The Run* drivers split their work
+// into shards and describe each shard with three closures — stage
+// (host→DPU copy-in), kernel (the tasklet program), gather (DPU→host
+// copy-out). runSharded places shards on live DPUs, launches, and
+// handles the fault model's per-DPU failures: transient faults retry
+// the shard (bounded rounds, exponential backoff), and a dead DPU's
+// shard is re-dispatched to a survivor — with its inputs re-staged,
+// since a dead DPU's MRAM is lost. Re-staging is also done on transient
+// retries: the host treats a faulted launch as leaving MRAM in an
+// undefined state, and the extra transfer is charged like any other
+// copy-in.
+//
+// With no injector attached every launch succeeds on the first round,
+// so the fault path costs one nil-injector check per DPU.
+
+// shardOps describes one driver's sharded work. All closures are keyed
+// by shard index; the DPU a shard lands on is chosen here and passed in.
+type shardOps struct {
+	stage  func(shard, dpu int) error
+	kernel func(shard int) pim.KernelFunc
+	gather func(shard, dpu int) error
+}
+
+// retryBackoff sleeps briefly before fault-retry round r (r ≥ 1),
+// doubling per round: the bounded exponential backoff of the host's
+// retry loop. Kept small — the simulator models time, it does not
+// spend it.
+func retryBackoff(r int) {
+	d := time.Duration(1<<uint(min(r-1, 4))) * 200 * time.Microsecond
+	time.Sleep(d)
+}
+
+// runSharded executes nShards shards across the system's live DPUs,
+// retrying and re-dispatching per the fault model, and returns the
+// merged launch report. Reports of sequential rounds (and of waves,
+// when deaths leave fewer live DPUs than shards) accumulate: kernel
+// cycles and seconds add up, because the rounds run back to back on the
+// simulated machine.
+func runSharded(sys *pim.System, nShards int, ops shardOps) (*pim.Report, error) {
+	pending := make([]int, nShards)
+	for i := range pending {
+		pending[i] = i
+	}
+	total := &pim.Report{}
+	budget := sys.RetryBudget()
+	for round := 0; len(pending) > 0; round++ {
+		if round > budget {
+			return nil, fmt.Errorf("%w: %d shard(s) still failing after %d round(s)",
+				pim.ErrFaultBudget, len(pending), round)
+		}
+		if round > 0 {
+			retryBackoff(round)
+		}
+		live := sys.LiveDPUIDs()
+		if len(live) == 0 {
+			return nil, pim.ErrNoLiveDPUs
+		}
+		// One wave per len(live) pending shards: shard pending[w+j] runs
+		// on live[j]. Normally a single wave — waves only multiply when
+		// DPU deaths leave fewer survivors than shards.
+		var next []int
+		for w := 0; w < len(pending); w += len(live) {
+			wave := pending[w:min(w+len(live), len(pending))]
+			ids := make([]int, len(wave))
+			for j, shard := range wave {
+				ids[j] = live[j]
+				if err := ops.stage(shard, ids[j]); err != nil {
+					return nil, err
+				}
+			}
+			byDPU := make(map[int]int, len(wave))
+			for j, shard := range wave {
+				byDPU[ids[j]] = shard
+			}
+			rep, errs := sys.LaunchOn(ids, func(dpuID int) pim.KernelFunc {
+				return ops.kernel(byDPU[dpuID])
+			})
+			mergeReport(total, rep)
+			for j, shard := range wave {
+				switch fe := errs[j].(type) {
+				case nil:
+					if err := ops.gather(shard, ids[j]); err != nil {
+						return nil, err
+					}
+				case *pim.FaultError:
+					if fe.Permanent {
+						sys.NoteRedispatch()
+					} else {
+						sys.NoteRetry()
+					}
+					next = append(next, shard)
+				default:
+					return nil, errs[j]
+				}
+			}
+		}
+		pending = next
+	}
+	return total, nil
+}
+
+// mergeReport folds one round's launch report into the run total.
+// Transfer seconds are cumulative on the System since the driver's
+// ResetTransferAccounting, so the latest round's figure replaces rather
+// than adds.
+func mergeReport(total, rep *pim.Report) {
+	total.KernelCycles += rep.KernelCycles
+	total.KernelSeconds += rep.KernelSeconds
+	total.TotalInstr += rep.TotalInstr
+	total.TotalDMACycles += rep.TotalDMACycles
+	total.Counts.Add(&rep.Counts)
+	if rep.ActiveDPUs > total.ActiveDPUs {
+		total.ActiveDPUs = rep.ActiveDPUs
+	}
+	if len(rep.PerDPUCycles) > 0 {
+		total.PerDPUCycles = rep.PerDPUCycles
+	}
+	total.CopyInSeconds = rep.CopyInSeconds
+	total.CopyOutSeconds = rep.CopyOutSeconds
+}

@@ -14,8 +14,9 @@ import (
 // cores" to the problem size (§4.3 observation 4).
 
 // RunVectorAdd computes out[i] = (a[i] + b[i]) mod q element-wise over two
-// flat vectors of W-limb coefficients, spread across the system's DPUs.
-// It returns the result vector and the launch report.
+// flat vectors of W-limb coefficients, spread across the system's live
+// DPUs with fault-tolerant dispatch (see runSharded). It returns the
+// result vector and the launch report.
 func RunVectorAdd(sys *pim.System, a, b []uint32, w int, q limb32.Nat) ([]uint32, *pim.Report, error) {
 	if len(a) != len(b) {
 		return nil, nil, errors.New("kernels: operand length mismatch")
@@ -28,51 +29,49 @@ func RunVectorAdd(sys *pim.System, a, b []uint32, w int, q limb32.Nat) ([]uint32
 
 	type shard struct{ start, end int }
 	shards := make([]shard, dpus)
-	sys.ResetTransferAccounting()
-	for d := 0; d < dpus; d++ {
-		s, e := pim.Partition(coeffs, dpus, d)
-		shards[d] = shard{s, e}
-		cw := (e - s) * w
-		if cw == 0 {
-			continue
-		}
-		if err := sys.CopyToDPU(d, 0, a[s*w:e*w]); err != nil {
-			return nil, nil, err
-		}
-		if err := sys.CopyToDPU(d, cw, b[s*w:e*w]); err != nil {
-			return nil, nil, err
-		}
-		if err := sys.DPUs[d].EnsureMRAM(3 * cw); err != nil {
-			return nil, nil, err
-		}
+	for i := 0; i < dpus; i++ {
+		s, e := pim.Partition(coeffs, dpus, i)
+		shards[i] = shard{s, e}
 	}
-
-	rep, err := sys.Launch(dpus, func(ctx *pim.TaskletCtx) error {
-		sh := shards[dpuIDOf(ctx)]
-		cnt := sh.end - sh.start
-		if cnt == 0 {
-			return nil
-		}
-		return VectorAdd(VecAddLayout{
-			W: w, Coeffs: cnt,
-			OffA: 0, OffB: cnt * w, OffOut: 2 * cnt * w,
-			Q: q,
-		})(ctx)
+	out := make([]uint32, len(a))
+	sys.ResetTransferAccounting()
+	rep, err := runSharded(sys, dpus, shardOps{
+		stage: func(i, d int) error {
+			sh := shards[i]
+			cw := (sh.end - sh.start) * w
+			if cw == 0 {
+				return nil
+			}
+			if err := sys.CopyToDPU(d, 0, a[sh.start*w:sh.end*w]); err != nil {
+				return err
+			}
+			if err := sys.CopyToDPU(d, cw, b[sh.start*w:sh.end*w]); err != nil {
+				return err
+			}
+			return sys.DPUs[d].EnsureMRAM(3 * cw)
+		},
+		kernel: func(i int) pim.KernelFunc {
+			cnt := shards[i].end - shards[i].start
+			if cnt == 0 {
+				return nopKernel
+			}
+			return VectorAdd(VecAddLayout{
+				W: w, Coeffs: cnt,
+				OffA: 0, OffB: cnt * w, OffOut: 2 * cnt * w,
+				Q: q,
+			})
+		},
+		gather: func(i, d int) error {
+			sh := shards[i]
+			cw := (sh.end - sh.start) * w
+			if cw == 0 {
+				return nil
+			}
+			return sys.CopyFromDPU(d, 2*cw, out[sh.start*w:sh.end*w])
+		},
 	})
 	if err != nil {
 		return nil, nil, err
-	}
-
-	out := make([]uint32, len(a))
-	for d := 0; d < dpus; d++ {
-		sh := shards[d]
-		cw := (sh.end - sh.start) * w
-		if cw == 0 {
-			continue
-		}
-		if err := sys.CopyFromDPU(d, 2*cw, out[sh.start*w:sh.end*w]); err != nil {
-			return nil, nil, err
-		}
 	}
 	rep.CopyOutSeconds = float64(int64(len(out)*4)) / sys.Config.DPUToHostBytesPerSec
 	return out, rep, nil
@@ -95,61 +94,61 @@ func RunVectorPolyMul(sys *pim.System, a, b []uint32, n, w int, q limb32.Nat) ([
 
 	type shard struct{ start, end int }
 	shards := make([]shard, dpus)
-	sys.ResetTransferAccounting()
-	for d := 0; d < dpus; d++ {
-		s, e := pim.Partition(pairs, dpus, d)
-		shards[d] = shard{s, e}
-		words := (e - s) * polyWords
-		if words == 0 {
-			continue
-		}
-		if err := sys.CopyToDPU(d, 0, a[s*polyWords:e*polyWords]); err != nil {
-			return nil, nil, err
-		}
-		if err := sys.CopyToDPU(d, words, b[s*polyWords:e*polyWords]); err != nil {
-			return nil, nil, err
-		}
-		if err := sys.DPUs[d].EnsureMRAM(3 * words); err != nil {
-			return nil, nil, err
-		}
+	for i := 0; i < dpus; i++ {
+		s, e := pim.Partition(pairs, dpus, i)
+		shards[i] = shard{s, e}
 	}
-
-	rep, err := sys.Launch(dpus, func(ctx *pim.TaskletCtx) error {
-		sh := shards[dpuIDOf(ctx)]
-		cnt := sh.end - sh.start
-		if cnt == 0 {
-			return nil
-		}
-		words := cnt * polyWords
-		return VectorPolyMul(PolyMulLayout{
-			W: w, N: n, Pairs: cnt,
-			OffA: 0, OffB: words, OffOut: 2 * words,
-			Q: q, BR: br,
-		})(ctx)
+	out := make([]uint32, len(a))
+	sys.ResetTransferAccounting()
+	rep, err := runSharded(sys, dpus, shardOps{
+		stage: func(i, d int) error {
+			sh := shards[i]
+			words := (sh.end - sh.start) * polyWords
+			if words == 0 {
+				return nil
+			}
+			if err := sys.CopyToDPU(d, 0, a[sh.start*polyWords:sh.end*polyWords]); err != nil {
+				return err
+			}
+			if err := sys.CopyToDPU(d, words, b[sh.start*polyWords:sh.end*polyWords]); err != nil {
+				return err
+			}
+			return sys.DPUs[d].EnsureMRAM(3 * words)
+		},
+		kernel: func(i int) pim.KernelFunc {
+			cnt := shards[i].end - shards[i].start
+			if cnt == 0 {
+				return nopKernel
+			}
+			words := cnt * polyWords
+			return VectorPolyMul(PolyMulLayout{
+				W: w, N: n, Pairs: cnt,
+				OffA: 0, OffB: words, OffOut: 2 * words,
+				Q: q, BR: br,
+			})
+		},
+		gather: func(i, d int) error {
+			sh := shards[i]
+			words := (sh.end - sh.start) * polyWords
+			if words == 0 {
+				return nil
+			}
+			return sys.CopyFromDPU(d, 2*words, out[sh.start*polyWords:sh.end*polyWords])
+		},
 	})
 	if err != nil {
 		return nil, nil, err
-	}
-
-	out := make([]uint32, len(a))
-	for d := 0; d < dpus; d++ {
-		sh := shards[d]
-		words := (sh.end - sh.start) * polyWords
-		if words == 0 {
-			continue
-		}
-		if err := sys.CopyFromDPU(d, 2*words, out[sh.start*polyWords:sh.end*polyWords]); err != nil {
-			return nil, nil, err
-		}
 	}
 	rep.CopyOutSeconds = float64(int64(len(out)*4)) / sys.Config.DPUToHostBytesPerSec
 	return out, rep, nil
 }
 
-// activeDPUsFor picks how many DPUs to use for `items` independent work
-// items: all of them, unless there are fewer items than DPUs.
+// activeDPUsFor picks how many shards to cut for `items` independent
+// work items: one per live DPU, unless there are fewer items than live
+// DPUs. (With every DPU dead it still returns 1; runSharded reports
+// pim.ErrNoLiveDPUs.)
 func activeDPUsFor(sys *pim.System, items int) int {
-	d := sys.Config.NumDPUs
+	d := sys.LiveDPUCount()
 	if items < d {
 		d = items
 	}
@@ -159,5 +158,5 @@ func activeDPUsFor(sys *pim.System, items int) int {
 	return d
 }
 
-// dpuIDOf extracts the DPU ID from a tasklet context.
-func dpuIDOf(ctx *pim.TaskletCtx) int { return ctx.DPUID() }
+// nopKernel is the tasklet program of an empty shard.
+func nopKernel(*pim.TaskletCtx) error { return nil }

@@ -79,50 +79,48 @@ func RunVectorSum(sys *pim.System, vecs [][]uint32, w int, q limb32.Nat) ([]uint
 
 	type shard struct{ start, end int }
 	shards := make([]shard, dpus)
-	sys.ResetTransferAccounting()
-	for d := 0; d < dpus; d++ {
-		s, e := pim.Partition(coeffs, dpus, d)
-		shards[d] = shard{s, e}
-		cw := (e - s) * w
-		if cw == 0 {
-			continue
-		}
-		for v := 0; v < M; v++ {
-			if err := sys.CopyToDPU(d, v*cw, vecs[v][s*w:e*w]); err != nil {
-				return nil, nil, err
-			}
-		}
-		if err := sys.DPUs[d].EnsureMRAM((M + 1) * cw); err != nil {
-			return nil, nil, err
-		}
+	for i := 0; i < dpus; i++ {
+		s, e := pim.Partition(coeffs, dpus, i)
+		shards[i] = shard{s, e}
 	}
-
-	rep, err := sys.Launch(dpus, func(ctx *pim.TaskletCtx) error {
-		sh := shards[dpuIDOf(ctx)]
-		cnt := sh.end - sh.start
-		if cnt == 0 {
-			return nil
-		}
-		return VectorSum(VecSumLayout{
-			W: w, Coeffs: cnt, M: M,
-			OffIn: 0, OffOut: M * cnt * w,
-			Q: q,
-		})(ctx)
+	out := make([]uint32, length)
+	sys.ResetTransferAccounting()
+	rep, err := runSharded(sys, dpus, shardOps{
+		stage: func(i, d int) error {
+			sh := shards[i]
+			cw := (sh.end - sh.start) * w
+			if cw == 0 {
+				return nil
+			}
+			for v := 0; v < M; v++ {
+				if err := sys.CopyToDPU(d, v*cw, vecs[v][sh.start*w:sh.end*w]); err != nil {
+					return err
+				}
+			}
+			return sys.DPUs[d].EnsureMRAM((M + 1) * cw)
+		},
+		kernel: func(i int) pim.KernelFunc {
+			cnt := shards[i].end - shards[i].start
+			if cnt == 0 {
+				return nopKernel
+			}
+			return VectorSum(VecSumLayout{
+				W: w, Coeffs: cnt, M: M,
+				OffIn: 0, OffOut: M * cnt * w,
+				Q: q,
+			})
+		},
+		gather: func(i, d int) error {
+			sh := shards[i]
+			cw := (sh.end - sh.start) * w
+			if cw == 0 {
+				return nil
+			}
+			return sys.CopyFromDPU(d, M*cw, out[sh.start*w:sh.end*w])
+		},
 	})
 	if err != nil {
 		return nil, nil, err
-	}
-
-	out := make([]uint32, length)
-	for d := 0; d < dpus; d++ {
-		sh := shards[d]
-		cw := (sh.end - sh.start) * w
-		if cw == 0 {
-			continue
-		}
-		if err := sys.CopyFromDPU(d, M*cw, out[sh.start*w:sh.end*w]); err != nil {
-			return nil, nil, err
-		}
 	}
 	rep.CopyOutSeconds = float64(int64(length*4)) / sys.Config.DPUToHostBytesPerSec
 	return out, rep, nil

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/limb32"
 )
 
@@ -15,6 +16,14 @@ type System struct {
 
 	copyInBytes  int64
 	copyOutBytes int64
+
+	// Fault model (see fault.go). faults is nil unless a chaos run
+	// attached an injector; launchSeq numbers launches so injection
+	// decisions are reproducible.
+	faults    *faultinject.Injector
+	launchSeq uint64
+	faultMu   sync.Mutex
+	stats     FaultStats
 }
 
 // NewSystem allocates a system; DPU MRAM is grown on demand.
@@ -95,43 +104,118 @@ func (r *Report) TotalSeconds() float64 {
 // Launch runs kernel on DPUs [0, activeDPUs) with the configured tasklet
 // count, in parallel host goroutines (the simulation is deterministic:
 // tasklets within a DPU run sequentially and DPUs do not share state).
+// The first per-DPU error — including injected faults — aborts the
+// launch; fault-tolerant callers use LaunchOn and handle per-DPU
+// failures individually.
 func (s *System) Launch(activeDPUs int, kernel KernelFunc) (*Report, error) {
 	if activeDPUs <= 0 || activeDPUs > len(s.DPUs) {
 		return nil, fmt.Errorf("pim: activeDPUs=%d out of range 1..%d", activeDPUs, len(s.DPUs))
 	}
-	T := s.Config.Tasklets
-
-	var wg sync.WaitGroup
-	errs := make([]error, activeDPUs)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < activeDPUs; i++ {
-		d := s.DPUs[i]
-		d.resetAccounting(T)
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(d *DPU, slot int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			for t := 0; t < T; t++ {
-				ctx := &TaskletCtx{dpu: d, cost: s.Config.Cost, TaskletID: t, NumTasklets: T}
-				if err := kernel(ctx); err != nil {
-					errs[slot] = fmt.Errorf("pim: DPU %d tasklet %d: %w", d.ID, t, err)
-					return
-				}
-			}
-		}(d, i)
+	ids := make([]int, activeDPUs)
+	for i := range ids {
+		ids[i] = i
 	}
-	wg.Wait()
+	rep, errs := s.LaunchOn(ids, func(int) KernelFunc { return kernel })
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	return rep, nil
+}
 
-	rep := &Report{ActiveDPUs: activeDPUs, PerDPUCycles: make([]int64, activeDPUs)}
-	for i := 0; i < activeDPUs; i++ {
-		d := s.DPUs[i]
+// LaunchOn runs kernel(id) on each listed DPU with the configured
+// tasklet count, in parallel host goroutines. It returns the launch
+// report plus one error slot per listed DPU (aligned with ids): slots
+// are nil on success, a *FaultError for injected or pre-existing DPU
+// failures, and an ordinary error when the kernel itself failed. The
+// report covers the DPUs that ran, so a partially faulted launch still
+// charges the cycles it consumed.
+//
+// Fault-injection decisions are made serially, before any kernel code
+// runs, keyed by (launch sequence, DPU ID) — so a seeded chaos run is
+// reproducible regardless of scheduling. A DPU hit by SiteDPUDead is
+// marked dead before its kernel would have run and stays dead for the
+// rest of the System's life.
+func (s *System) LaunchOn(ids []int, kernel func(dpuID int) KernelFunc) (*Report, []error) {
+	T := s.Config.Tasklets
+	errs := make([]error, len(ids))
+
+	// Serial fault-decision pass.
+	s.launchSeq++
+	seq := s.launchSeq
+	run := make([]bool, len(ids))
+	straggle := make([]bool, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= len(s.DPUs) {
+			errs[i] = fmt.Errorf("pim: DPU id %d out of range 0..%d", id, len(s.DPUs)-1)
+			continue
+		}
+		d := s.DPUs[id]
+		if d.dead {
+			errs[i] = &FaultError{DPU: id, Permanent: true}
+			continue
+		}
+		key := faultinject.Key(seq, uint64(id))
+		if s.faults.Hit(SiteDPUDead, key) {
+			d.dead = true
+			s.faultMu.Lock()
+			s.stats.DeadDPUs++
+			s.faultMu.Unlock()
+			errs[i] = &FaultError{DPU: id, Permanent: true}
+			continue
+		}
+		if s.faults.Hit(SiteDPUTransient, key) {
+			s.faultMu.Lock()
+			s.stats.TransientFaults++
+			s.faultMu.Unlock()
+			errs[i] = &FaultError{DPU: id}
+			continue
+		}
+		if s.faults.Hit(SiteDPUStraggler, key) {
+			straggle[i] = true
+			s.faultMu.Lock()
+			s.stats.StragglerHits++
+			s.faultMu.Unlock()
+		}
+		run[i] = true
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, id := range ids {
+		if !run[i] {
+			continue
+		}
+		d := s.DPUs[id]
+		d.resetAccounting(T)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(d *DPU, slot int, kern KernelFunc) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for t := 0; t < T; t++ {
+				ctx := &TaskletCtx{dpu: d, cost: s.Config.Cost, TaskletID: t, NumTasklets: T}
+				if err := kern(ctx); err != nil {
+					errs[slot] = fmt.Errorf("pim: DPU %d tasklet %d: %w", d.ID, t, err)
+					return
+				}
+			}
+		}(d, i, kernel(id))
+	}
+	wg.Wait()
+
+	rep := &Report{PerDPUCycles: make([]int64, len(ids))}
+	for i, id := range ids {
+		if !run[i] || errs[i] != nil {
+			continue
+		}
+		d := s.DPUs[id]
 		cyc := d.cycles(s.Config.Cost)
+		if straggle[i] {
+			cyc = int64(float64(cyc) * s.stragglerFactor())
+		}
+		rep.ActiveDPUs++
 		rep.PerDPUCycles[i] = cyc
 		if cyc > rep.KernelCycles {
 			rep.KernelCycles = cyc
@@ -147,7 +231,7 @@ func (s *System) Launch(activeDPUs int, kernel KernelFunc) (*Report, error) {
 	rep.KernelSeconds = float64(rep.KernelCycles)/s.Config.ClockHz + s.Config.LaunchOverheadSec
 	rep.CopyInSeconds = float64(s.copyInBytes) / s.Config.HostToDPUBytesPerSec
 	rep.CopyOutSeconds = float64(s.copyOutBytes) / s.Config.DPUToHostBytesPerSec
-	return rep, nil
+	return rep, errs
 }
 
 // Partition splits `items` work items across `workers` as evenly as
