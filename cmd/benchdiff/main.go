@@ -81,7 +81,7 @@ func main() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failed := false
+	regressed := regressions(base, cur, names, *threshold)
 	for _, name := range names {
 		b := base[name]
 		n, ok := cur[name]
@@ -93,7 +93,6 @@ func main() {
 		status := "ok"
 		if ratio > *threshold {
 			status = "REGRESSION"
-			failed = true
 		}
 		fmt.Printf("%-40s %.3fms -> %.3fms (%.2fx) %s\n", name, b/1e6, n/1e6, ratio, status)
 	}
@@ -107,9 +106,46 @@ func main() {
 	for _, name := range fresh2 {
 		fmt.Printf("%-40s new benchmark %.3fms (no baseline)\n", name, cur[name]/1e6)
 	}
-	if failed {
-		fmt.Printf("benchdiff: regression beyond %.0f%% threshold\n", (*threshold-1)*100)
+	if len(regressed) > 0 {
+		fmt.Print(summarize(regressed))
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%% threshold\n", len(regressed), (*threshold-1)*100)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: within threshold")
+}
+
+// regression is one benchmark whose new minimum exceeded the threshold.
+type regression struct {
+	name     string
+	old, new float64 // ns/op
+}
+
+// regressions collects the rows that fail the gate, sorted worst-first
+// so the biggest offender leads the summary.
+func regressions(base, cur map[string]float64, names []string, threshold float64) []regression {
+	var out []regression
+	for _, name := range names {
+		n, ok := cur[name]
+		if !ok {
+			continue
+		}
+		if b := base[name]; n/b > threshold {
+			out = append(out, regression{name: name, old: b, new: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].new/out[i].old > out[j].new/out[j].old })
+	return out
+}
+
+// summarize renders the regressed-rows block appended after the full
+// per-row listing: only the failures, with old/new times and the
+// percentage slowdown, so a long CI log still ends with the verdict.
+func summarize(regressed []regression) string {
+	var sb strings.Builder
+	sb.WriteString("\nRegressed rows:\n")
+	for _, r := range regressed {
+		sb.WriteString(fmt.Sprintf("  %-40s %.3fms -> %.3fms (+%.1f%%)\n",
+			r.name, r.old/1e6, r.new/1e6, (r.new/r.old-1)*100))
+	}
+	return sb.String()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -36,6 +37,27 @@ PASS
 	}
 	if got["BenchmarkRotateHoisted"] != 13464356 {
 		t.Errorf("rotate = %v", got["BenchmarkRotateHoisted"])
+	}
+}
+
+func TestRegressionsSortedWorstFirst(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkC": 100, "BenchmarkD": 100}
+	cur := map[string]float64{"BenchmarkA": 150, "BenchmarkB": 300, "BenchmarkC": 110} // D not measured
+	got := regressions(base, cur, []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkD"}, 1.25)
+	if len(got) != 2 {
+		t.Fatalf("got %d regressions, want 2 (A and B)", len(got))
+	}
+	if got[0].name != "BenchmarkB" || got[1].name != "BenchmarkA" {
+		t.Errorf("order = %s, %s; want worst-first BenchmarkB, BenchmarkA", got[0].name, got[1].name)
+	}
+}
+
+func TestSummarizeShowsOldNewPercent(t *testing.T) {
+	out := summarize([]regression{{name: "BenchmarkEvalMul", old: 1e6, new: 1.5e6}})
+	for _, want := range []string{"Regressed rows:", "BenchmarkEvalMul", "1.000ms -> 1.500ms", "+50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
 	}
 }
 

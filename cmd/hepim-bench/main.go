@@ -11,6 +11,7 @@
 //	hepim-bench -fig dcrt -backend dcrt-native         # restrict to one registry backend
 //	hepim-bench -fig batch        # measure batched rotations (hoisted vs serial) + decryption
 //	hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json   # emit the tracking JSON (dcrt + batch + kernel axes)
+//	hepim-bench -kernels          # CPU features + per-kernel vector dispatch, scalar vs vector ns/op
 //
 // Reproducible chaos runs (fault injection on the simulated PIM system):
 //
@@ -56,6 +57,8 @@ func main() {
 		"run a chaos workload on the pim backend with these fault rates (e.g. transient=0.1,dead=0.01,straggler=0.05)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault schedule for -faults")
 	faultDPUs := flag.Int("fault-dpus", 8, "number of simulated DPUs for -faults")
+	kernelsFlag := flag.Bool("kernels", false,
+		"print the host CPU features, the per-kernel vector dispatch, and measured scalar vs vector ns/op, then exit")
 	flag.Parse()
 
 	if *faultsFlag != "" {
@@ -91,6 +94,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
 			}
 		}()
+	}
+
+	if *kernelsFlag {
+		if err := kernelsRun(*csvFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *backendFlag != "" {
@@ -190,6 +201,40 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// kernelsRun measures and prints the per-kernel vector dispatch table:
+// what the host CPU supports, which path each hot kernel dispatches to
+// under the live HEPIM_VECTOR mode, and the measured scalar vs vector
+// cost of each.
+func kernelsRun(csv bool) error {
+	const n = 4096
+	info, err := bench.MeasureKernelDispatch(n)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Printf("cpu,%q\nmode,%s\nn,%d\n", info.CPU, info.Mode, info.N)
+		if info.EnvNote != "" {
+			fmt.Printf("note,%s\n", info.EnvNote)
+		}
+		fmt.Println("kernel,path,scalar_ns_per_op,vector_ns_per_op,speedup_x")
+		for _, k := range info.Kernels {
+			fmt.Printf("%s,%s,%d,%d,%.2f\n", k.Kernel, k.Path, k.ScalarNs, k.VectorNs, k.SpeedupX)
+		}
+		return nil
+	}
+	fmt.Printf("Kernel dispatch (n=%d)\n", info.N)
+	fmt.Printf("  cpu features: %s\n", info.CPU)
+	fmt.Printf("  vector mode:  %s\n", info.Mode)
+	if info.EnvNote != "" {
+		fmt.Printf("  note:         %s\n", info.EnvNote)
+	}
+	fmt.Printf("  %-20s %-8s %14s %14s %9s\n", "kernel", "path", "scalar ns/op", "vector ns/op", "speedup")
+	for _, k := range info.Kernels {
+		fmt.Printf("  %-20s %-8s %14d %14d %8.2fx\n", k.Kernel, k.Path, k.ScalarNs, k.VectorNs, k.SpeedupX)
+	}
+	return nil
 }
 
 // parseFaultRates decodes "transient=0.1,dead=0.01,straggler=0.05".

@@ -130,6 +130,59 @@
 // internal/ntt pin the bounds at the 60-bit prime ceiling with inputs
 // at 0, q−1, 2q−1 and 4q−1.
 //
+// # Vectorized kernels and runtime dispatch
+//
+// The hot scalar kernels above have hand-written Go-assembly
+// counterparts (internal/ntt, amd64): AVX-512 implementations of the
+// forward/inverse lazy butterfly passes, the pointwise Barrett and
+// Shoup products, the fused 128-bit digit accumulators
+// (MulAddPair128 / GaloisAccPair128) and the limb-loop primitives
+// (MulShoupLazyVec / MulPairAddVec), plus AVX2 tiers for the kernels
+// whose arithmetic fits 256-bit lanes (the butterfly passes and the
+// Shoup product). Dispatch is decided once at process start from CPUID
+// (internal/cpufeat) and consulted per call through internal/ntt's
+// dispatch table; the scalar kernels remain compiled-in on every
+// platform as the always-available oracle, and non-amd64 builds
+// (including NEON hosts, until an arm64 tier lands) run them
+// exclusively. The vector kernels honor the same lazy-bound contracts
+// as the scalar ones and are bit-identical to them — not merely
+// numerically close — on every input inside the documented domains.
+//
+// The dispatch decision is overridable without rebuilding: the
+// HEPIM_VECTOR environment variable (or ntt.SetVectorMode) forces
+// "off"/"scalar", "avx2", "avx512" or "auto", and unsupported or
+// unknown requests fall back to scalar with a note recorded in
+// ntt.EnvNote. CI runs the differential-race job and the allocation
+// gates twice — HEPIM_VECTOR=off and auto — so a divergence on either
+// path fails exactly one matrix leg. `hepim-bench -kernels` prints the
+// host's detected features, the live per-kernel dispatch, and measured
+// scalar vs vector ns/op; the same table is embedded in
+// BENCH_dcrt.json (schema v6, "dispatch" section).
+//
+// Verifying a new vector kernel, in order:
+//
+//  1. State the bound contract first: maximum input magnitude (q, 2q,
+//     4q, or any-uint64 for Shoup), output bound, and the reduction's
+//     validity domain (Barrett: x < q·2⁶⁴). The scalar kernel's doc
+//     comment is the contract; the vector kernel must match it exactly.
+//  2. Add the kernel to ntt's dispatch table with its scalar fallback
+//     and tier predicates, so forcing HEPIM_VECTOR=off|avx2|avx512
+//     exercises every path through the same entry point.
+//  3. Pin bit-identity against the scalar oracle in
+//     internal/ntt/vector_test.go under forEachVectorMode: adversarial
+//     lanes (0, 1, q−1, q, 2q−1, 2q, 4q−1, bound−1), non-lane-multiple
+//     tails, and every (m, step) geometry the pass dispatcher can
+//     select — small n values reach pass shapes that n=4096 never does.
+//  4. Extend FuzzForwardLazyVector (or add a sibling fuzz target) if
+//     the kernel transforms whole vectors; byte-driven inputs catch
+//     carry-chain bugs that structured tests miss.
+//  5. Keep it allocation-free — the alloc gate runs in both dispatch
+//     modes — and confirm `hepim-bench -kernels` reports the expected
+//     path and a speedup worth the assembly.
+//  6. Only then wire it into the limb loops (internal/dcrt), and
+//     re-run the full differential suite in both forced modes: the
+//     end-to-end EvalMul/rotation parity tests are the final word.
+//
 // Decryption is RNS-native on the same machinery: the phase c0 + c1·s
 // (+ c2·s²) accumulates on cached NTT forms and the exact t/q rounding
 // folds to mod t per limb (internal/dcrt.ScaleRounder.RoundModT), leaving
@@ -176,10 +229,11 @@
 // public API lives in hebfv/, the implementation under internal/ (see
 // DESIGN.md for the map) and the runnable entry points under cmd/ and
 // examples/. Evaluation-layer performance is
-// tracked by `hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json` (v5:
-// EvalMul incl. deferred Mul chains, batched-rotation, decryption, and
-// raw-kernel axes, measured through the hebfv backend registry and
-// restrictable with -backend) and gated in CI by cmd/benchdiff against
+// tracked by `hepim-bench -fig dcrt -dcrt-json BENCH_dcrt.json` (v6:
+// EvalMul incl. deferred Mul chains, batched-rotation, decryption and
+// raw-kernel axes plus the SIMD dispatch table, measured through the
+// hebfv backend registry and restrictable with -backend) and gated in
+// CI by cmd/benchdiff against
 // .github/bench-baseline.txt — a blocking job, now paired with an
 // allocation-regression gate over the steady-state kernels. To profile
 // the kernels from the CLI:

@@ -9,6 +9,7 @@ import (
 
 	"repro/hebfv"
 	"repro/internal/bfv"
+	"repro/internal/cpufeat"
 	"repro/internal/nt"
 	"repro/internal/ntt"
 	"repro/internal/sampling"
@@ -38,6 +39,13 @@ import (
 // deferred handle; only the final result materializes), with
 // speedup_vs_serial relating each deferred row to its materialized
 // dcrt-native pair.
+//
+// v6 adds the "dispatch" section: the host's detected SIMD features,
+// the live vector mode (HEPIM_VECTOR), and a per-kernel table of the
+// dispatch decision with measured scalar vs vector ns/op — so a
+// regression in either tier, or a host silently falling back to
+// scalar, is visible in the tracked JSON rather than only in wall
+// times.
 
 // DCRTPoint is one measured backend × ring-degree × depth combination.
 // NsPerOp is the time of one full depth-long chain of relinearized
@@ -58,13 +66,36 @@ type DCRTPoint struct {
 	SpeedupSerX float64 `json:"speedup_vs_serial,omitempty"`     // hoisted/rns rows vs their serial/bigint pair
 }
 
+// KernelDispatchRow is one kernel's live dispatch decision plus its
+// measured cost on the scalar oracle and on the dispatched vector path
+// (equal when the kernel runs scalar in the current mode).
+type KernelDispatchRow struct {
+	Kernel   string  `json:"kernel"`
+	Path     string  `json:"path"` // "scalar" | "avx2" | "avx512"
+	Note     string  `json:"note,omitempty"`
+	ScalarNs int64   `json:"scalar_ns_per_op"`
+	VectorNs int64   `json:"vector_ns_per_op"`
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// DispatchInfo is the v6 kernel-dispatch section: what the host can
+// run, what the process chose, and what each choice costs.
+type DispatchInfo struct {
+	CPU     string              `json:"cpu"`  // detected features, e.g. "avx2,avx512"
+	Mode    string              `json:"mode"` // live dispatch mode
+	EnvNote string              `json:"env_note,omitempty"`
+	N       int                 `json:"n"` // ring degree of the kernel sweep
+	Kernels []KernelDispatchRow `json:"kernels"`
+}
+
 // DCRTReport is the BENCH_dcrt.json schema.
 type DCRTReport struct {
-	Schema      string      `json:"schema"`
-	GeneratedAt string      `json:"generated_at"`
-	GoMaxProcs  int         `json:"gomaxprocs"`
-	Op          string      `json:"op"`
-	Points      []DCRTPoint `json:"points"`
+	Schema      string        `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Op          string        `json:"op"`
+	Dispatch    *DispatchInfo `json:"dispatch,omitempty"`
+	Points      []DCRTPoint   `json:"points"`
 }
 
 // evalMulBackends is the tracked backend set of the evalmul axis when
@@ -233,6 +264,120 @@ func MeasureKernels(n int) ([]DCRTPoint, error) {
 	return out, nil
 }
 
+// MeasureKernelDispatch measures every dispatched kernel twice at ring
+// degree n — once with the vector mode forced off (the scalar oracle)
+// and once on the live mode's path — and returns the v6 dispatch
+// section. The process-wide mode is restored before returning.
+func MeasureKernelDispatch(n int) (*DispatchInfo, error) {
+	primes, err := nt.NTTPrimes(60, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := ntt.GetTable(primes[0], n)
+	if err != nil {
+		return nil, err
+	}
+	r := tab.R
+	q := r.Q
+	rng := func(mul uint64, bound uint64) []uint64 {
+		v := make([]uint64, n)
+		for i := range v {
+			v[i] = (uint64(i)*mul + 17) % bound
+		}
+		return v
+	}
+	a := rng(0x9E3779B97F4A7C15, 4*q)
+	b := rng(0xBF58476D1CE4E5B9, 4*q)
+	dst := make([]uint64, n)
+	w := rng(12345, q)
+	ws := make([]uint64, n)
+	for i := range ws {
+		ws[i] = r.ShoupConst(w[i])
+	}
+	const nd = 3
+	k0 := make([][]uint64, nd)
+	k1 := make([][]uint64, nd)
+	digits := make([][]uint64, nd)
+	for d := 0; d < nd; d++ {
+		k0[d] = rng(uint64(7+d), q)
+		k1[d] = rng(uint64(11+d), q)
+		digits[d] = rng(uint64(13+d), 4*q)
+	}
+	acc0 := rng(3, q)
+	acc1 := rng(5, q)
+	idx := make([]uint32, n)
+	for j := range idx {
+		idx[j] = uint32((j * 7) % n)
+	}
+	// The transform rows self-feed: ForwardLazy tolerates its own < 4q
+	// outputs and Inverse's canonical outputs re-enter its own domain.
+	fwd := rng(1, q)
+	inv := rng(2, q)
+	kernels := map[string]func() error{
+		"ntt-forward":         func() error { tab.ForwardLazy(fwd); return nil },
+		"ntt-inverse":         func() error { tab.Inverse(inv); return nil },
+		"pointwise-mul":       func() error { tab.PointwiseMul(dst, a, b); return nil },
+		"pointwise-mul-shoup": func() error { ntt.MulShoupLazyVec(r, dst, a, w, ws); return nil },
+		"mul-pair-add":        func() error { ntt.MulPairAddVec(r, dst, a, b, b, a); return nil },
+		"acc-pair-128":        func() error { ntt.MulAddPair128(r, acc0, acc1, k0, k1, digits); return nil },
+		"galois-acc-128":      func() error { ntt.GaloisAccPair128(r, acc0, acc1, k0, k1, digits, idx); return nil },
+	}
+	scalars := map[string]func() error{
+		"ntt-forward":         func() error { tab.ForwardLazyScalar(fwd); return nil },
+		"ntt-inverse":         func() error { tab.InverseScalar(inv); return nil },
+		"pointwise-mul":       func() error { tab.PointwiseMulScalar(dst, a, b); return nil },
+		"pointwise-mul-shoup": nil, // mode flip below: the Vec helpers dispatch internally
+		"mul-pair-add":        nil,
+		"acc-pair-128":        func() error { ntt.MulAddPair128Scalar(r, acc0, acc1, k0, k1, digits); return nil },
+		"galois-acc-128":      func() error { ntt.GaloisAccPair128Scalar(r, acc0, acc1, k0, k1, digits, idx); return nil },
+	}
+	mode := ntt.VectorMode()
+	defer ntt.SetVectorMode(mode)
+	info := &DispatchInfo{
+		CPU:     cpufeat.Host().String(),
+		Mode:    mode,
+		EnvNote: ntt.EnvNote(),
+		N:       n,
+	}
+	for _, kp := range ntt.KernelPaths() {
+		fn := kernels[kp.Kernel]
+		if fn == nil {
+			continue
+		}
+		if err := ntt.SetVectorMode(mode); err != nil {
+			return nil, err
+		}
+		_, vecNs, err := timeOp(fn, false)
+		if err != nil {
+			return nil, err
+		}
+		sfn := scalars[kp.Kernel]
+		if sfn == nil {
+			// No pinned scalar entry point: force the mode off instead.
+			if err := ntt.SetVectorMode("off"); err != nil {
+				return nil, err
+			}
+			sfn = fn
+		}
+		_, scalNs, err := timeOp(sfn, false)
+		if err != nil {
+			return nil, err
+		}
+		row := KernelDispatchRow{
+			Kernel:   kp.Kernel,
+			Path:     kp.Path,
+			Note:     kp.Note,
+			ScalarNs: scalNs,
+			VectorNs: vecNs,
+		}
+		if vecNs > 0 {
+			row.SpeedupX = float64(scalNs) / float64(vecNs)
+		}
+		info.Kernels = append(info.Kernels, row)
+	}
+	return info, ntt.SetVectorMode(mode)
+}
+
 // MeasureDCRT measures EvalMul at depth 1 on the given registry
 // backends (all three tracked backends when the list is empty) for the
 // given ring degrees, plus chained depth-3 and depth-5 runs of the
@@ -252,7 +397,7 @@ func MeasureDCRT(degrees []int, backendNames []string) (*Figure, *DCRTReport, er
 			"PIM kernels defer; this repo's host path now has it, rescale included",
 	}
 	rep := &DCRTReport{
-		Schema:      "repro/dcrt-evalmul/v5",
+		Schema:      "repro/dcrt-evalmul/v6",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Op:          "EvalMul chain (tensor + relinearize per level); ns_per_op is per chain",
@@ -357,6 +502,11 @@ func MeasureDCRT(degrees []int, backendNames []string) (*Figure, *DCRTReport, er
 	} else {
 		return nil, nil, err
 	}
+	disp, err := MeasureKernelDispatch(nMax)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Dispatch = disp
 	return fig, rep, nil
 }
 

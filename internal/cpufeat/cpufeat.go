@@ -1,0 +1,59 @@
+// Package cpufeat detects, at process start, the SIMD instruction-set
+// extensions the vectorized kernels in internal/ntt can dispatch to.
+// Detection is self-contained (raw CPUID/XGETBV on amd64) so the module
+// needs no external dependency; non-amd64 architectures report no x86
+// features and arm64 reports NEON (always architecturally present),
+// which the dispatch layer treats as "detected but no kernels yet".
+//
+// The flags describe only what the hardware AND the operating system
+// support: AVX state must be OS-enabled via XSAVE (XCR0 bits 1–2) and
+// AVX-512 state via XCR0 bits 5–7, otherwise the corresponding flag is
+// reported false even if CPUID advertises the instructions.
+package cpufeat
+
+// Features is the detected SIMD capability set of the host.
+type Features struct {
+	// AVX2 means VEX-encoded 256-bit integer SIMD is usable
+	// (AVX2 + OS-enabled YMM state).
+	AVX2 bool
+	// AVX512 means the Skylake-X server bundle is usable:
+	// AVX-512 F+DQ+BW+VL with OS-enabled opmask/ZMM state. The NTT
+	// kernels need F (64-bit lane ops, masks), DQ (VPMULLQ) and VL;
+	// BW rides along on every server part that has the other three.
+	AVX512 bool
+	// NEON means the architecturally mandatory Advanced-SIMD unit of
+	// an arm64 host. Detection-only: no NEON kernels exist yet, so the
+	// dispatch layer reports it and still runs the scalar path.
+	NEON bool
+}
+
+var hostFeatures = detect()
+
+// Host returns the features detected at process start. The value is
+// computed once and immutable, so it is safe for concurrent use.
+func Host() Features { return hostFeatures }
+
+// String renders the detected set the way diagnostic tools print it,
+// e.g. "avx2,avx512" or "none".
+func (f Features) String() string {
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += ","
+		}
+		s += name
+	}
+	if f.AVX2 {
+		add("avx2")
+	}
+	if f.AVX512 {
+		add("avx512")
+	}
+	if f.NEON {
+		add("neon")
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

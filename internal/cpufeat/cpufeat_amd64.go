@@ -1,0 +1,50 @@
+//go:build amd64
+
+package cpufeat
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv() (eax, edx uint32)
+
+// CPUID bit positions (Intel SDM vol. 2A, CPUID leaf 01H/07H).
+const (
+	leaf1ECXOSXSAVE = 1 << 27
+	leaf1ECXAVX     = 1 << 28
+
+	leaf7EBXAVX2     = 1 << 5
+	leaf7EBXAVX512F  = 1 << 16
+	leaf7EBXAVX512DQ = 1 << 17
+	leaf7EBXAVX512BW = 1 << 30
+	leaf7EBXAVX512VL = 1 << 31
+
+	// XCR0 state-component bits the OS must have enabled.
+	xcr0SSE      = 1 << 1
+	xcr0AVX      = 1 << 2
+	xcr0Opmask   = 1 << 5
+	xcr0ZMMHi256 = 1 << 6
+	xcr0Hi16ZMM  = 1 << 7
+)
+
+func detect() Features {
+	var f Features
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&leaf1ECXOSXSAVE == 0 || ecx1&leaf1ECXAVX == 0 {
+		return f // no OS XSAVE support: no VEX/EVEX state at all
+	}
+	xlo, _ := xgetbv()
+	avxState := xlo&(xcr0SSE|xcr0AVX) == xcr0SSE|xcr0AVX
+	avx512State := avxState && xlo&(xcr0Opmask|xcr0ZMMHi256|xcr0Hi16ZMM) ==
+		xcr0Opmask|xcr0ZMMHi256|xcr0Hi16ZMM
+
+	_, ebx7, _, _ := cpuid(7, 0)
+	f.AVX2 = avxState && ebx7&leaf7EBXAVX2 != 0
+	const avx512Bundle = leaf7EBXAVX512F | leaf7EBXAVX512DQ | leaf7EBXAVX512BW | leaf7EBXAVX512VL
+	f.AVX512 = avx512State && f.AVX2 && ebx7&avx512Bundle == avx512Bundle
+	return f
+}

@@ -1,0 +1,8 @@
+//go:build arm64
+
+package cpufeat
+
+// Advanced SIMD (NEON) is architecturally mandatory on AArch64, so no
+// runtime probing is needed. No NEON kernels exist yet: the dispatch
+// layer reports the feature and keeps the scalar path.
+func detect() Features { return Features{NEON: true} }

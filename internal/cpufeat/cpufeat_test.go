@@ -1,0 +1,30 @@
+package cpufeat
+
+import "testing"
+
+func TestHostIsStable(t *testing.T) {
+	a, b := Host(), Host()
+	if a != b {
+		t.Fatalf("Host() not stable: %+v vs %+v", a, b)
+	}
+	t.Logf("detected: %s", a)
+}
+
+func TestAVX512ImpliesAVX2(t *testing.T) {
+	f := Host()
+	if f.AVX512 && !f.AVX2 {
+		t.Fatalf("AVX512 detected without AVX2: %+v", f)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Features{}).String(); got != "none" {
+		t.Fatalf("empty feature set = %q, want none", got)
+	}
+	if got := (Features{AVX2: true, AVX512: true}).String(); got != "avx2,avx512" {
+		t.Fatalf("avx2+avx512 = %q", got)
+	}
+	if got := (Features{NEON: true}).String(); got != "neon" {
+		t.Fatalf("neon = %q", got)
+	}
+}

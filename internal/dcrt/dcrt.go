@@ -431,14 +431,7 @@ func (c *Context) MulNTT(dst, a, b *Poly) {
 // lazy (< 2p), which every rescale consumer accepts. dst may alias.
 func (c *Context) MulShoupLazyNTT(dst, a, w, wS *Poly) {
 	parallelFor(c.K(), func(i int) {
-		r := c.Tabs[i].R
-		da, dw, ds, dd := a.Coeffs[i], w.Coeffs[i], wS.Coeffs[i], dst.Coeffs[i]
-		da = da[:len(dd)]
-		dw = dw[:len(dd)]
-		ds = ds[:len(dd)]
-		for j := range dd {
-			dd[j] = r.MulShoupLazy(da[j], dw[j], ds[j])
-		}
+		ntt.MulShoupLazyVec(c.Tabs[i].R, dst.Coeffs[i], a.Coeffs[i], w.Coeffs[i], wS.Coeffs[i])
 	})
 }
 
@@ -447,24 +440,9 @@ func (c *Context) MulShoupLazyNTT(dst, a, w, wS *Poly) {
 // against a repeat multiplicand. Outputs are lazy (< 2p). dst may alias.
 func (c *Context) MulPairAddShoupLazyNTT(dst, a0, w0, w0s, a1, w1, w1s *Poly) {
 	parallelFor(c.K(), func(i int) {
-		r := c.Tabs[i].R
-		twoP := 2 * r.Q
-		da0, dw0, ds0 := a0.Coeffs[i], w0.Coeffs[i], w0s.Coeffs[i]
-		da1, dw1, ds1 := a1.Coeffs[i], w1.Coeffs[i], w1s.Coeffs[i]
-		dd := dst.Coeffs[i]
-		da0 = da0[:len(dd)]
-		dw0 = dw0[:len(dd)]
-		ds0 = ds0[:len(dd)]
-		da1 = da1[:len(dd)]
-		dw1 = dw1[:len(dd)]
-		ds1 = ds1[:len(dd)]
-		for j := range dd {
-			s := r.MulShoupLazy(da0[j], dw0[j], ds0[j]) + r.MulShoupLazy(da1[j], dw1[j], ds1[j])
-			if s >= twoP {
-				s -= twoP
-			}
-			dd[j] = s
-		}
+		ntt.MulPairAddShoupLazyVec(c.Tabs[i].R, dst.Coeffs[i],
+			a0.Coeffs[i], w0.Coeffs[i], w0s.Coeffs[i],
+			a1.Coeffs[i], w1.Coeffs[i], w1s.Coeffs[i])
 	})
 }
 
@@ -497,34 +475,8 @@ func (c *Context) AddLazyNTT(dst, a, b *Poly) {
 // the ≤ 60-bit basis primes. dst may alias any operand.
 func (c *Context) MulPairAddNTT(dst, a0, b0, a1, b1 *Poly) {
 	parallelFor(c.K(), func(i int) {
-		r := c.Tabs[i].R
-		twoP := 2 * r.Q
-		da0, db0 := a0.Coeffs[i], b0.Coeffs[i]
-		da1, db1 := a1.Coeffs[i], b1.Coeffs[i]
-		dd := dst.Coeffs[i]
-		da0 = da0[:len(dd)]
-		db0 = db0[:len(dd)]
-		da1 = da1[:len(dd)]
-		db1 = db1[:len(dd)]
-		for j := range dd {
-			x0, y0, x1, y1 := da0[j], db0[j], da1[j], db1[j]
-			if x0 >= twoP {
-				x0 -= twoP
-			}
-			if y0 >= twoP {
-				y0 -= twoP
-			}
-			if x1 >= twoP {
-				x1 -= twoP
-			}
-			if y1 >= twoP {
-				y1 -= twoP
-			}
-			h0, l0 := bits.Mul64(x0, y0)
-			h1, l1 := bits.Mul64(x1, y1)
-			lo, cc := bits.Add64(l0, l1, 0)
-			dd[j] = r.ReduceWide(h0+h1+cc, lo)
-		}
+		ntt.MulPairAddVec(c.Tabs[i].R, dst.Coeffs[i],
+			a0.Coeffs[i], b0.Coeffs[i], a1.Coeffs[i], b1.Coeffs[i])
 	})
 }
 

@@ -94,6 +94,12 @@ func (r *Ring) reduce128(hi, lo uint64) uint64 {
 	return rem
 }
 
+// BarrettConsts exposes the two words of ⌊2¹²⁸/q⌋ (hi, lo) for kernels
+// that inline the 128-bit Barrett reduction — the vectorized pointwise
+// and accumulator paths in internal/ntt replicate reduce128 lane-wise
+// and need the same constants the scalar reduction uses.
+func (r *Ring) BarrettConsts() (hi, lo uint64) { return r.barrettHi, r.barrettLo }
+
 // ReduceWide returns (hi·2⁶⁴ + lo) mod q for a 128-bit value below
 // q·2⁶⁴ (see reduce128) — the folding primitive the RNS base-conversion
 // kernels use to bring a two-word remainder into a limb channel without

@@ -22,9 +22,16 @@ package ntt
 import (
 	"math/big"
 	"math/bits"
+	"runtime"
+	"unsafe"
 
 	"repro/internal/modring"
 )
+
+// accMaxDigits bounds the row-pointer arrays handed to the assembly
+// accumulators. Acc128Capacity caps real digit counts far below this
+// (3 for the paper shapes); larger fan-ins fall back to scalar.
+const accMaxDigits = 8
 
 // Acc128Capacity returns the number of a·b product terms (a ≤ maxA,
 // b ≤ maxB) that can be accumulated on top of a seed below 2⁶⁴ while
@@ -67,7 +74,56 @@ func MulPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64)
 	mulPair128(r, acc0, acc1, k0, k1, digits, false)
 }
 
+// MulAddPair128Scalar is MulAddPair128 pinned to the scalar kernel —
+// the differential-test oracle for the vectorized accumulator.
+func MulAddPair128Scalar(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64) {
+	mulPair128Scalar(r, acc0, acc1, k0, k1, digits, true)
+}
+
+// MulPair128Scalar is MulPair128 pinned to the scalar kernel.
+func MulPair128Scalar(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64) {
+	mulPair128Scalar(r, acc0, acc1, k0, k1, digits, false)
+}
+
 func mulPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, seed bool) {
+	n := len(acc0)
+	nd := len(digits)
+	if currentISA() == isaAVX512 && n >= 8 && nd >= 1 && nd <= accMaxDigits {
+		v := n &^ 7
+		var k0p, k1p, dp [accMaxDigits]uintptr
+		for d := 0; d < nd; d++ {
+			k0p[d] = uintptr(unsafe.Pointer(&k0[d][0]))
+			k1p[d] = uintptr(unsafe.Pointer(&k1[d][0]))
+			dp[d] = uintptr(unsafe.Pointer(&digits[d][0]))
+		}
+		s := 0
+		if seed {
+			s = 1
+		}
+		muHi, muLo := r.BarrettConsts()
+		accPair128AVX512(&acc0[0], &acc1[0], v, &k0p[0], &k1p[0], &dp[0], nd, s, r.Q, muHi, muLo)
+		// The rows stay reachable through the slice headers for the
+		// whole call, but make that explicit for the uintptr views.
+		runtime.KeepAlive(k0)
+		runtime.KeepAlive(k1)
+		runtime.KeepAlive(digits)
+		if v == n {
+			return
+		}
+		mulPair128ScalarFrom(r, acc0, acc1, k0, k1, digits, seed, v)
+		return
+	}
+	mulPair128Scalar(r, acc0, acc1, k0, k1, digits, seed)
+}
+
+func mulPair128Scalar(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, seed bool) {
+	mulPair128ScalarFrom(r, acc0, acc1, k0, k1, digits, seed, 0)
+}
+
+// mulPair128ScalarFrom runs the scalar accumulator over slots
+// [from, len(acc0)) — the full kernel at from == 0, the sub-lane tail
+// after a vector body otherwise.
+func mulPair128ScalarFrom(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, seed bool, from int) {
 	n := len(acc0)
 	acc1 = acc1[:n]
 	for d := range digits {
@@ -75,7 +131,7 @@ func mulPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64,
 		k0[d] = k0[d][:n]
 		k1[d] = k1[d][:n]
 	}
-	for j := 0; j < n; j++ {
+	for j := from; j < n; j++ {
 		var s0lo, s0hi, s1lo, s1hi uint64
 		if seed {
 			s0lo, s1lo = acc0[j], acc1[j]
@@ -105,13 +161,44 @@ func mulPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64,
 // component sums. Same bounds contract as MulAddPair128; allocation-free.
 func GaloisAccPair128(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, idx []uint32) {
 	n := len(acc0)
+	nd := len(digits)
+	if currentISA() == isaAVX512 && n >= 8 && nd >= 1 && nd <= accMaxDigits {
+		v := n &^ 7
+		var k0p, k1p, dp [accMaxDigits]uintptr
+		for d := 0; d < nd; d++ {
+			k0p[d] = uintptr(unsafe.Pointer(&k0[d][0]))
+			k1p[d] = uintptr(unsafe.Pointer(&k1[d][0]))
+			dp[d] = uintptr(unsafe.Pointer(&digits[d][0]))
+		}
+		muHi, muLo := r.BarrettConsts()
+		galoisAccPair128AVX512(&acc0[0], &acc1[0], v, &k0p[0], &k1p[0], &dp[0], nd, &idx[0], r.Q, muHi, muLo)
+		runtime.KeepAlive(k0)
+		runtime.KeepAlive(k1)
+		runtime.KeepAlive(digits)
+		if v == n {
+			return
+		}
+		galoisAccPair128ScalarFrom(r, acc0, acc1, k0, k1, digits, idx, v)
+		return
+	}
+	galoisAccPair128ScalarFrom(r, acc0, acc1, k0, k1, digits, idx, 0)
+}
+
+// GaloisAccPair128Scalar is GaloisAccPair128 pinned to the scalar
+// kernel — the differential-test oracle for the gather path.
+func GaloisAccPair128Scalar(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, idx []uint32) {
+	galoisAccPair128ScalarFrom(r, acc0, acc1, k0, k1, digits, idx, 0)
+}
+
+func galoisAccPair128ScalarFrom(r *modring.Ring, acc0, acc1 []uint64, k0, k1, digits [][]uint64, idx []uint32, from int) {
+	n := len(acc0)
 	acc1 = acc1[:n]
 	idx = idx[:n]
 	for d := range digits {
 		k0[d] = k0[d][:n]
 		k1[d] = k1[d][:n]
 	}
-	for j := 0; j < n; j++ {
+	for j := from; j < n; j++ {
 		ij := idx[j]
 		s0lo, s0hi := acc0[j], uint64(0)
 		s1lo, s1hi := acc1[j], uint64(0)

@@ -1,0 +1,106 @@
+//go:build amd64
+
+package ntt
+
+// haveVectorKernels gates "auto" dispatch: only amd64 ships assembly.
+const haveVectorKernels = true
+
+// The assembly kernels below are the vector halves of the dispatch
+// table (ntt_avx_amd64.s for the butterfly passes, mul_avx_amd64.s for
+// the pointwise and accumulator kernels). Every
+// function is a leaf (NOSPLIT) operating on full vectors only — the Go
+// wrappers run the scalar oracle on sub-lane tails — and reproduces the
+// scalar kernel's arithmetic exactly: same fold points, same lazy
+// representatives, same Barrett algorithm, so outputs are bit-identical
+// to the scalar path, not merely congruent.
+
+// fwdPassAVX512 runs one merged radix-4 forward butterfly pass (both
+// layers) over all m blocks; step must be a multiple of 8.
+//
+//go:noescape
+func fwdPassAVX512(a, psi, psiS *uint64, m, step int, q uint64)
+
+// fwdPassAVX2 is the 4-lane pass; step must be a multiple of 4.
+//
+//go:noescape
+func fwdPassAVX2(a, psi, psiS *uint64, m, step int, q uint64)
+
+// fwdTailAVX512 runs the final forward radix-4 pass (step == 1, blocks
+// of 4 contiguous values) via in-register transposes; m must be a
+// multiple of 8.
+//
+//go:noescape
+func fwdTailAVX512(a, psi, psiS *uint64, m int, q uint64)
+
+// invPassAVX512 runs one merged radix-4 inverse (GS) pass over all
+// m>>1 blocks; step must be a multiple of 8.
+//
+//go:noescape
+func invPassAVX512(a, psi, psiS *uint64, m, step int, q uint64)
+
+// invPassAVX2 is the 4-lane inverse pass; step must be a multiple of 4.
+//
+//go:noescape
+func invPassAVX2(a, psi, psiS *uint64, m, step int, q uint64)
+
+// invHeadAVX512 runs the leading inverse pass (step == 1) via
+// in-register transposes; m>>1 must be a multiple of 8.
+//
+//go:noescape
+func invHeadAVX512(a, psi, psiS *uint64, m int, q uint64)
+
+// invLast4AVX512 runs the merged final two inverse stages with the n⁻¹
+// scaling folded in (inverseCore case m == 2); step must be a multiple
+// of 8.
+//
+//go:noescape
+func invLast4AVX512(a *uint64, step int, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q uint64)
+
+// invLast4AVX2 is the 4-lane final-stage kernel; step a multiple of 4.
+//
+//go:noescape
+func invLast4AVX2(a *uint64, step int, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q uint64)
+
+// pwMulAVX512 is PointwiseMul's vector half: folds both operands below
+// 2q and reduces the full 128-bit product with the exact Barrett
+// algorithm of modring.reduce128. n must be a multiple of 8.
+//
+//go:noescape
+func pwMulAVX512(dst, a, b *uint64, n int, q, muHi, muLo uint64)
+
+// mulShoupLazyAVX512 sets dst[j] = MulShoupLazy(a[j], w[j], ws[j]);
+// n must be a multiple of 8.
+//
+//go:noescape
+func mulShoupLazyAVX512(dst, a, w, ws *uint64, n int, q uint64)
+
+// mulShoupLazyAVX2 is the 4-lane variant; n a multiple of 4.
+//
+//go:noescape
+func mulShoupLazyAVX2(dst, a, w, ws *uint64, n int, q uint64)
+
+// mulPairAddShoupLazyAVX512 sets dst[j] to the 2q-folded sum of two
+// lazy Shoup products; n must be a multiple of 8.
+//
+//go:noescape
+func mulPairAddShoupLazyAVX512(dst, a0, w0, w0s, a1, w1, w1s *uint64, n int, q uint64)
+
+// mulPairAddAVX512 sets dst[j] = (fold(a0)·fold(b0) + fold(a1)·fold(b1))
+// mod q via one 128-bit accumulation and Barrett fold; n a multiple of 8.
+//
+//go:noescape
+func mulPairAddAVX512(dst, a0, b0, a1, b1 *uint64, n int, q, muHi, muLo uint64)
+
+// accPair128AVX512 is the fused key-switching accumulator
+// (MulAddPair128/MulPair128): k0p/k1p/dp point to ndig data pointers
+// each (the rows' first elements); seed != 0 seeds the 128-bit sums
+// with the accumulators' prior contents. n must be a multiple of 8.
+//
+//go:noescape
+func accPair128AVX512(acc0, acc1 *uint64, n int, k0p, k1p, dp *uintptr, ndig, seed int, q, muHi, muLo uint64)
+
+// galoisAccPair128AVX512 is accPair128AVX512 with the digit rows
+// gathered through the uint32 slot permutation idx.
+//
+//go:noescape
+func galoisAccPair128AVX512(acc0, acc1 *uint64, n int, k0p, k1p, dp *uintptr, ndig int, idx *uint32, q, muHi, muLo uint64)

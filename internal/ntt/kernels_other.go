@@ -1,0 +1,46 @@
+//go:build !amd64
+
+package ntt
+
+// No assembly kernels off amd64: dispatch always resolves to the
+// scalar oracle (NEON on arm64 is detected but has no kernels yet).
+const haveVectorKernels = false
+
+// The stubs below are never reachable — bestISA/SetVectorMode refuse
+// every vector tier when haveVectorKernels is false — but keep the
+// dispatch call sites building on every GOARCH.
+
+func fwdPassAVX512(a, psi, psiS *uint64, m, step int, q uint64) { panic("ntt: no asm") }
+func fwdPassAVX2(a, psi, psiS *uint64, m, step int, q uint64)   { panic("ntt: no asm") }
+func fwdTailAVX512(a, psi, psiS *uint64, m int, q uint64)       { panic("ntt: no asm") }
+func invPassAVX512(a, psi, psiS *uint64, m, step int, q uint64) { panic("ntt: no asm") }
+func invPassAVX2(a, psi, psiS *uint64, m, step int, q uint64)   { panic("ntt: no asm") }
+func invHeadAVX512(a, psi, psiS *uint64, m int, q uint64)       { panic("ntt: no asm") }
+
+func invLast4AVX512(a *uint64, step int, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q uint64) {
+	panic("ntt: no asm")
+}
+
+func invLast4AVX2(a *uint64, step int, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q uint64) {
+	panic("ntt: no asm")
+}
+
+func pwMulAVX512(dst, a, b *uint64, n int, q, muHi, muLo uint64) { panic("ntt: no asm") }
+func mulShoupLazyAVX512(dst, a, w, ws *uint64, n int, q uint64)  { panic("ntt: no asm") }
+func mulShoupLazyAVX2(dst, a, w, ws *uint64, n int, q uint64)    { panic("ntt: no asm") }
+
+func mulPairAddShoupLazyAVX512(dst, a0, w0, w0s, a1, w1, w1s *uint64, n int, q uint64) {
+	panic("ntt: no asm")
+}
+
+func mulPairAddAVX512(dst, a0, b0, a1, b1 *uint64, n int, q, muHi, muLo uint64) {
+	panic("ntt: no asm")
+}
+
+func accPair128AVX512(acc0, acc1 *uint64, n int, k0p, k1p, dp *uintptr, ndig, seed int, q, muHi, muLo uint64) {
+	panic("ntt: no asm")
+}
+
+func galoisAccPair128AVX512(acc0, acc1 *uint64, n int, k0p, k1p, dp *uintptr, ndig int, idx *uint32, q, muHi, muLo uint64) {
+	panic("ntt: no asm")
+}

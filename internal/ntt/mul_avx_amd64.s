@@ -1,0 +1,485 @@
+//go:build amd64
+
+// Vectorized pointwise kernels: Barrett pointwise multiplication and
+// the Shoup-companion pointwise paths. See dispatch.go for the
+// dispatch contract; every kernel reproduces its scalar oracle's
+// arithmetic bit-for-bit (same folds, same reduction algorithm).
+//
+// AVX-512 register conventions shared by the macros below:
+//
+//	Z24 = q          Z25 = 2q
+//	Z26 = muLo       Z27 = muLo>>32    (⌊2¹²⁸/q⌋ low word + its top half)
+//	Z28 = muHi       Z29 = muHi>>32
+//	Z30 = 0xFFFFFFFF lane mask
+//	Z31 = 1 per lane
+//	Z0–Z11 are macro scratch; results land where each macro documents.
+//
+// The 64×64 multiplies are composed from VPMULUDQ 32×32 partial
+// products (no IFMA: the basis primes run to 60 bits, beyond the
+// 52-bit IFMA lanes), with VPMULLQ (AVX-512DQ) supplying low halves.
+
+#include "textflag.h"
+
+// MULHI_Z(X, Y, YH, XH, T1, T2, TT, DST): DST = ⌊X·Y/2⁶⁴⌋ per lane.
+// Y and YH = Y>>32 are inputs and preserved; X preserved; XH, T1, T2,
+// TT clobbered. Uses Z30 as the 32-bit lane mask.
+#define MULHI_Z(X, Y, YH, XH, T1, T2, TT, DST) \
+	VPSRLQ   $32, X, XH     \
+	VPMULUDQ Y, X, T1       \
+	VPMULUDQ Y, XH, TT      \
+	VPMULUDQ YH, XH, DST    \
+	VPMULUDQ YH, X, XH      \
+	VPSRLQ   $32, T1, T1    \
+	VPANDQ   Z30, TT, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPANDQ   Z30, XH, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPSRLQ   $32, T1, T1    \
+	VPSRLQ   $32, TT, TT    \
+	VPADDQ   TT, DST, DST   \
+	VPSRLQ   $32, XH, XH    \
+	VPADDQ   XH, DST, DST   \
+	VPADDQ   T1, DST, DST
+
+// MULFULL_Z: full 128-bit product of Z2·Z3 into HI=Z4, LO=Z5.
+// Clobbers Z0, Z1, Z6, Z7, Z8, Z9; Z2, Z3 preserved.
+#define MULFULL_Z \
+	VPSRLQ   $32, Z2, Z0  \
+	VPSRLQ   $32, Z3, Z1  \
+	VPMULUDQ Z3, Z2, Z6   \
+	VPMULUDQ Z3, Z0, Z7   \
+	VPMULUDQ Z1, Z2, Z8   \
+	VPMULUDQ Z1, Z0, Z4   \
+	VPMULLQ  Z3, Z2, Z5   \
+	VPSRLQ   $32, Z6, Z6  \
+	VPANDQ   Z30, Z7, Z9  \
+	VPADDQ   Z9, Z6, Z6   \
+	VPANDQ   Z30, Z8, Z9  \
+	VPADDQ   Z9, Z6, Z6   \
+	VPSRLQ   $32, Z6, Z6  \
+	VPSRLQ   $32, Z7, Z7  \
+	VPADDQ   Z7, Z4, Z4   \
+	VPSRLQ   $32, Z8, Z8  \
+	VPADDQ   Z8, Z4, Z4   \
+	VPADDQ   Z6, Z4, Z4
+
+// REDUCE128_Z: Z0 = (Z4·2⁶⁴ + Z5) mod q for values < q·2⁶⁴ — the exact
+// lane-wise replica of modring.reduce128 (quotient estimate from the
+// 128-bit Barrett constant, then ≤2 conditional subtractions; the
+// remainder fits one word because q < 2⁶²). Clobbers Z0–Z11, K1, K2.
+#define REDUCE128_Z \
+	MULHI_Z(Z4, Z26, Z27, Z0, Z1, Z2, Z3, Z6)  \ // c1hi = ⌊hi·muLo/2⁶⁴⌋
+	VPMULLQ  Z26, Z4, Z7                       \ // c1lo
+	MULHI_Z(Z5, Z28, Z29, Z0, Z1, Z2, Z3, Z8)  \ // c2hi = ⌊lo·muHi/2⁶⁴⌋
+	VPMULLQ  Z28, Z5, Z9                       \ // c2lo
+	MULHI_Z(Z5, Z26, Z27, Z0, Z1, Z2, Z3, Z10) \ // c3hi = ⌊lo·muLo/2⁶⁴⌋
+	VPADDQ   Z9, Z7, Z0                        \ // mid = c1lo + c2lo
+	VPCMPUQ  $1, Z7, Z0, K1                    \ // carry1 = mid < c1lo
+	VPADDQ   Z10, Z0, Z1                       \ // mid + c3hi
+	VPCMPUQ  $1, Z0, Z1, K2                    \ // carry2
+	VPMULLQ  Z28, Z4, Z2                       \ // t = hi·muHi (low)
+	VPADDQ   Z6, Z2, Z2                        \
+	VPADDQ   Z8, Z2, Z2                        \
+	VPADDQ   Z31, Z2, K1, Z2                   \
+	VPADDQ   Z31, Z2, K2, Z2                   \
+	VPMULLQ  Z24, Z2, Z2                       \ // t·q (low; remainder fits a word)
+	VPSUBQ   Z2, Z5, Z0                        \ // rem = lo − t·q
+	VPSUBQ   Z24, Z0, Z1                       \
+	VPMINUQ  Z1, Z0, Z0                        \
+	VPSUBQ   Z24, Z0, Z1                       \
+	VPMINUQ  Z1, Z0, Z0
+
+// FOLD2Q_Z(X, T): X = X − 2q if X ≥ 2q (unsigned min trick).
+#define FOLD2Q_Z(X, T) \
+	VPSUBQ  Z25, X, T \
+	VPMINUQ T, X, X
+
+// CONSTS_Z(qOff, muHiOff, muLoOff): load the shared constant registers
+// from the given frame offsets.
+#define CONSTS_Z(qOff, muHiOff, muLoOff) \
+	VPBROADCASTQ qOff(FP), Z24     \
+	VPADDQ       Z24, Z24, Z25     \
+	VPBROADCASTQ muLoOff(FP), Z26  \
+	VPSRLQ       $32, Z26, Z27     \
+	VPBROADCASTQ muHiOff(FP), Z28  \
+	VPSRLQ       $32, Z28, Z29     \
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30 \
+	VPSRLQ       $32, Z30, Z30     \
+	VPSRLQ       $31, Z30, Z31
+
+// func pwMulAVX512(dst, a, b *uint64, n int, q, muHi, muLo uint64)
+// dst[j] = fold(a[j])·fold(b[j]) mod q, n a multiple of 8.
+TEXT ·pwMulAVX512(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	CONSTS_Z(q+32, muHi+40, muLo+48)
+	SHRQ $3, CX
+	JZ   pwdone
+
+pwloop:
+	VMOVDQU64 (SI), Z2
+	VMOVDQU64 (DX), Z3
+	FOLD2Q_Z(Z2, Z0)
+	FOLD2Q_Z(Z3, Z0)
+	MULFULL_Z
+	REDUCE128_Z
+	VMOVDQU64 Z0, (DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  pwloop
+
+pwdone:
+	VZEROUPPER
+	RET
+
+// func mulShoupLazyAVX512(dst, a, w, ws *uint64, n int, q uint64)
+// dst[j] = a[j]·w[j] − ⌊a[j]·ws[j]/2⁶⁴⌋·q (lazy Shoup, < 2q for w < q).
+TEXT ·mulShoupLazyAVX512(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ w+16(FP), DX
+	MOVQ ws+24(FP), BX
+	MOVQ n+32(FP), CX
+	VPBROADCASTQ q+40(FP), Z24
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30
+	VPSRLQ       $32, Z30, Z30
+	SHRQ $3, CX
+	JZ   msldone
+
+mslloop:
+	VMOVDQU64 (SI), Z12 // x
+	VMOVDQU64 (DX), Z13 // w
+	VMOVDQU64 (BX), Z14 // ws
+	VPSRLQ    $32, Z14, Z15
+	MULHI_Z(Z12, Z14, Z15, Z0, Z1, Z2, Z3, Z4) // Z4 = qhat
+	VPMULLQ   Z13, Z12, Z5
+	VPMULLQ   Z24, Z4, Z4
+	VPSUBQ    Z4, Z5, Z5
+	VMOVDQU64 Z5, (DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, BX
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  mslloop
+
+msldone:
+	VZEROUPPER
+	RET
+
+// func mulPairAddShoupLazyAVX512(dst, a0, w0, w0s, a1, w1, w1s *uint64, n int, q uint64)
+// dst[j] = fold2q(shoupLazy(a0,w0) + shoupLazy(a1,w1)).
+TEXT ·mulPairAddShoupLazyAVX512(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ a0+8(FP), SI
+	MOVQ w0+16(FP), DX
+	MOVQ w0s+24(FP), BX
+	MOVQ a1+32(FP), R8
+	MOVQ w1+40(FP), R9
+	MOVQ w1s+48(FP), R10
+	MOVQ n+56(FP), CX
+	VPBROADCASTQ q+64(FP), Z24
+	VPADDQ       Z24, Z24, Z25
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30
+	VPSRLQ       $32, Z30, Z30
+	SHRQ $3, CX
+	JZ   mpsdone
+
+mpsloop:
+	VMOVDQU64 (SI), Z12
+	VMOVDQU64 (DX), Z13
+	VMOVDQU64 (BX), Z14
+	VPSRLQ    $32, Z14, Z15
+	MULHI_Z(Z12, Z14, Z15, Z0, Z1, Z2, Z3, Z4)
+	VPMULLQ   Z13, Z12, Z5
+	VPMULLQ   Z24, Z4, Z4
+	VPSUBQ    Z4, Z5, Z16 // s0
+	VMOVDQU64 (R8), Z12
+	VMOVDQU64 (R9), Z13
+	VMOVDQU64 (R10), Z14
+	VPSRLQ    $32, Z14, Z15
+	MULHI_Z(Z12, Z14, Z15, Z0, Z1, Z2, Z3, Z4)
+	VPMULLQ   Z13, Z12, Z5
+	VPMULLQ   Z24, Z4, Z4
+	VPSUBQ    Z4, Z5, Z5 // s1
+	VPADDQ    Z16, Z5, Z5
+	FOLD2Q_Z(Z5, Z0)
+	VMOVDQU64 Z5, (DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, BX
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  mpsloop
+
+mpsdone:
+	VZEROUPPER
+	RET
+
+// func mulPairAddAVX512(dst, a0, b0, a1, b1 *uint64, n int, q, muHi, muLo uint64)
+// dst[j] = (fold(a0)·fold(b0) + fold(a1)·fold(b1)) mod q — both
+// products accumulate in 128 bits and fold with one Barrett reduction,
+// exactly like dcrt.MulPairAddNTT's scalar loop.
+TEXT ·mulPairAddAVX512(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ a0+8(FP), SI
+	MOVQ b0+16(FP), DX
+	MOVQ a1+24(FP), BX
+	MOVQ b1+32(FP), R8
+	MOVQ n+40(FP), CX
+	CONSTS_Z(q+48, muHi+56, muLo+64)
+	SHRQ $3, CX
+	JZ   mpadone
+
+mpaloop:
+	VMOVDQU64 (SI), Z2
+	VMOVDQU64 (DX), Z3
+	FOLD2Q_Z(Z2, Z0)
+	FOLD2Q_Z(Z3, Z0)
+	MULFULL_Z            // HI=Z4, LO=Z5
+	VMOVDQU64 Z4, Z16
+	VMOVDQU64 Z5, Z17
+	VMOVDQU64 (BX), Z2
+	VMOVDQU64 (R8), Z3
+	FOLD2Q_Z(Z2, Z0)
+	FOLD2Q_Z(Z3, Z0)
+	MULFULL_Z
+	VPADDQ    Z17, Z5, Z5      // lo sum
+	VPCMPUQ   $1, Z17, Z5, K1  // carry: lo < l1
+	VPADDQ    Z16, Z4, Z4
+	VPADDQ    Z31, Z4, K1, Z4
+	REDUCE128_Z
+	VMOVDQU64 Z0, (DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, BX
+	ADDQ $64, R8
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  mpaloop
+
+mpadone:
+	VZEROUPPER
+	RET
+
+// ---------------------------------------------------------------------
+// AVX2 (4-lane, VEX) kernels. No VPMULLQ and no mask registers here:
+// low halves are composed from VPMULUDQ partials, which keeps only the
+// Shoup-style kernels profitable at 4 lanes (see dispatch.go).
+//
+// Register conventions: Y12 = q, Y13 = q>>32, Y14 = 32-bit lane mask.
+
+// MULHI_Y: as MULHI_Z with the VEX AND and the Y14 mask.
+#define MULHI_Y(X, Y, YH, XH, T1, T2, TT, DST) \
+	VPSRLQ   $32, X, XH     \
+	VPMULUDQ Y, X, T1       \
+	VPMULUDQ Y, XH, TT      \
+	VPMULUDQ YH, XH, DST    \
+	VPMULUDQ YH, X, XH      \
+	VPSRLQ   $32, T1, T1    \
+	VPAND    Y14, TT, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPAND    Y14, XH, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPSRLQ   $32, T1, T1    \
+	VPSRLQ   $32, TT, TT    \
+	VPADDQ   TT, DST, DST   \
+	VPSRLQ   $32, XH, XH    \
+	VPADDQ   XH, DST, DST   \
+	VPADDQ   T1, DST, DST
+
+// MULLO_Y(X, Y, YH, XH, T1, DST): DST = X·Y mod 2⁶⁴ per lane.
+// X, Y, YH preserved; XH, T1 clobbered.
+#define MULLO_Y(X, Y, YH, XH, T1, DST) \
+	VPSRLQ   $32, X, XH    \
+	VPMULUDQ Y, XH, T1     \
+	VPMULUDQ YH, X, DST    \
+	VPADDQ   T1, DST, DST  \
+	VPSLLQ   $32, DST, DST \
+	VPMULUDQ Y, X, T1      \
+	VPADDQ   T1, DST, DST
+
+// func mulShoupLazyAVX2(dst, a, w, ws *uint64, n int, q uint64)
+TEXT ·mulShoupLazyAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ w+16(FP), DX
+	MOVQ ws+24(FP), BX
+	MOVQ n+32(FP), CX
+	VPBROADCASTQ q+40(FP), Y12
+	VPSRLQ       $32, Y12, Y13
+	VPCMPEQD     Y14, Y14, Y14
+	VPSRLQ       $32, Y14, Y14
+	SHRQ $2, CX
+	JZ   msl2done
+
+msl2loop:
+	VMOVDQU (SI), Y0 // x
+	VMOVDQU (BX), Y1 // ws
+	VPSRLQ  $32, Y1, Y2
+	MULHI_Y(Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7) // Y7 = qhat
+	VMOVDQU (DX), Y1                        // w
+	VPSRLQ  $32, Y1, Y2
+	MULLO_Y(Y0, Y1, Y2, Y3, Y4, Y8)         // Y8 = x·w
+	MULLO_Y(Y7, Y12, Y13, Y3, Y4, Y9)       // Y9 = qhat·q
+	VPSUBQ  Y9, Y8, Y8
+	VMOVDQU Y8, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, BX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  msl2loop
+
+msl2done:
+	VZEROUPPER
+	RET
+
+// ---------------------------------------------------------------------
+// Fused 128-bit key-switching accumulators (AVX-512 only: the lazy
+// carry chains need mask registers). k0p/k1p/dp are arrays of ndig row
+// base pointers built by the Go wrappers; rows are read at the same
+// offset as the accumulators. The digit sums accumulate exactly as the
+// scalar kernel's (s_lo, carry, s_hi) chains do, and the final fold is
+// REDUCE128_Z — bit-identical to r.ReduceWide.
+
+// func accPair128AVX512(acc0, acc1 *uint64, n int, k0p, k1p, dp *uintptr, ndig, seed int, q, muHi, muLo uint64)
+// s0 = Z16 (lo), Z17 (hi); s1 = Z18, Z19. n must be a multiple of 8.
+TEXT ·accPair128AVX512(SB), NOSPLIT, $0-88
+	MOVQ acc0+0(FP), DI
+	MOVQ acc1+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ k0p+24(FP), R8
+	MOVQ k1p+32(FP), R9
+	MOVQ dp+40(FP), R10
+	MOVQ ndig+48(FP), R11
+	MOVQ seed+56(FP), R15
+	CONSTS_Z(q+64, muHi+72, muLo+80)
+	XORQ R12, R12 // byte offset into the rows
+	SHRQ $3, CX
+	JZ   accdone
+
+accouter:
+	VPXORQ Z16, Z16, Z16
+	VPXORQ Z17, Z17, Z17
+	VPXORQ Z18, Z18, Z18
+	VPXORQ Z19, Z19, Z19
+	TESTQ  R15, R15
+	JZ     accnoseed
+	VMOVDQU64 (DI), Z16
+	VMOVDQU64 (SI), Z18
+
+accnoseed:
+	XORQ BX, BX
+
+accdig:
+	MOVQ      (R10)(BX*8), R13
+	VMOVDQU64 (R13)(R12*1), Z3 // v = digits[d][j..j+7]
+	MOVQ      (R8)(BX*8), AX
+	VMOVDQU64 (AX)(R12*1), Z2  // k0 row
+	MULFULL_Z                  // Z4:Z5 = k0·v
+	VPADDQ  Z5, Z16, Z16
+	VPCMPUQ $1, Z5, Z16, K1 // carry out of the low-word add
+	VPADDQ  Z4, Z17, Z17
+	VPADDQ  Z31, Z17, K1, Z17
+	MOVQ      (R9)(BX*8), AX
+	VMOVDQU64 (AX)(R12*1), Z2 // k1 row (v still live in Z3)
+	MULFULL_Z
+	VPADDQ  Z5, Z18, Z18
+	VPCMPUQ $1, Z5, Z18, K1
+	VPADDQ  Z4, Z19, Z19
+	VPADDQ  Z31, Z19, K1, Z19
+	INCQ    BX
+	CMPQ    BX, R11
+	JL      accdig
+
+	VMOVDQA64 Z17, Z4
+	VMOVDQA64 Z16, Z5
+	REDUCE128_Z
+	VMOVDQU64 Z0, (DI)
+	VMOVDQA64 Z19, Z4
+	VMOVDQA64 Z18, Z5
+	REDUCE128_Z
+	VMOVDQU64 Z0, (SI)
+	ADDQ $64, DI
+	ADDQ $64, SI
+	ADDQ $64, R12
+	DECQ CX
+	JNZ  accouter
+
+accdone:
+	VZEROUPPER
+	RET
+
+// func galoisAccPair128AVX512(acc0, acc1 *uint64, n int, k0p, k1p, dp *uintptr, ndig int, idx *uint32, q, muHi, muLo uint64)
+// accPair128AVX512 (always seeded) with the digit rows gathered through
+// the uint32 permutation idx (VPGATHERDQ, mask reset per gather).
+TEXT ·galoisAccPair128AVX512(SB), NOSPLIT, $0-88
+	MOVQ acc0+0(FP), DI
+	MOVQ acc1+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ k0p+24(FP), R8
+	MOVQ k1p+32(FP), R9
+	MOVQ dp+40(FP), R10
+	MOVQ ndig+48(FP), R11
+	MOVQ idx+56(FP), R14
+	CONSTS_Z(q+64, muHi+72, muLo+80)
+	XORQ R12, R12
+	SHRQ $3, CX
+	JZ   gaccdone
+
+gaccouter:
+	VMOVDQU   (R14), Y10 // 8 gather indices
+	VMOVDQU64 (DI), Z16
+	VPXORQ    Z17, Z17, Z17
+	VMOVDQU64 (SI), Z18
+	VPXORQ    Z19, Z19, Z19
+	XORQ      BX, BX
+
+gaccdig:
+	MOVQ       (R10)(BX*8), R13
+	KXNORW     K1, K1, K1
+	VPGATHERDQ (R13)(Y10*8), K1, Z3 // v = digits[d][idx[j..j+7]]
+	MOVQ       (R8)(BX*8), AX
+	VMOVDQU64  (AX)(R12*1), Z2
+	MULFULL_Z
+	VPADDQ  Z5, Z16, Z16
+	VPCMPUQ $1, Z5, Z16, K1
+	VPADDQ  Z4, Z17, Z17
+	VPADDQ  Z31, Z17, K1, Z17
+	MOVQ      (R9)(BX*8), AX
+	VMOVDQU64 (AX)(R12*1), Z2
+	MULFULL_Z
+	VPADDQ  Z5, Z18, Z18
+	VPCMPUQ $1, Z5, Z18, K1
+	VPADDQ  Z4, Z19, Z19
+	VPADDQ  Z31, Z19, K1, Z19
+	INCQ    BX
+	CMPQ    BX, R11
+	JL      gaccdig
+
+	VMOVDQA64 Z17, Z4
+	VMOVDQA64 Z16, Z5
+	REDUCE128_Z
+	VMOVDQU64 Z0, (DI)
+	VMOVDQA64 Z19, Z4
+	VMOVDQA64 Z18, Z5
+	REDUCE128_Z
+	VMOVDQU64 Z0, (SI)
+	ADDQ $64, DI
+	ADDQ $64, SI
+	ADDQ $64, R12
+	ADDQ $32, R14
+	DECQ CX
+	JNZ  gaccouter
+
+gaccdone:
+	VZEROUPPER
+	RET

@@ -156,6 +156,18 @@ func bitrev(x uint, bits int) uint {
 // lazy transform.
 func (t *Table) Forward(a []uint64) {
 	t.ForwardLazy(a)
+	t.reduce4Q(a)
+}
+
+// ForwardScalar is Forward pinned to the scalar kernels, bypassing the
+// vector dispatch — the differential-test oracle.
+func (t *Table) ForwardScalar(a []uint64) {
+	t.ForwardLazyScalar(a)
+	t.reduce4Q(a)
+}
+
+// reduce4Q folds lazy transform outputs (< 4q) to canonical (< q).
+func (t *Table) reduce4Q(a []uint64) {
 	q := t.R.Q
 	twoQ := 2 * q
 	for i, v := range a {
@@ -184,36 +196,77 @@ func (t *Table) Forward(a []uint64) {
 // anyway (pointwise Barrett products, the 128-bit fused accumulators)
 // take the lazy form and save the reduction pass.
 func (t *Table) ForwardLazy(a []uint64) {
+	t.forwardLazy(a, currentISA())
+}
+
+// ForwardLazyScalar is ForwardLazy pinned to the scalar kernels — the
+// oracle the vector paths are differentially tested against.
+func (t *Table) ForwardLazyScalar(a []uint64) {
+	t.forwardLazy(a, isaScalar)
+}
+
+// forwardLazy runs the CT passes, dispatching each pass to the widest
+// kernel the requested tier supports: AVX-512 for step ≥ 8, the 4-lane
+// AVX2 kernel at step == 4 (also on AVX-512 hosts), the transpose-based
+// AVX-512 tail at step == 1, scalar otherwise. Pass geometry and
+// arithmetic are identical across tiers, so outputs are bit-identical.
+func (t *Table) forwardLazy(a []uint64, isa uint32) {
 	if len(a) != t.N {
 		panic("ntt: Forward length mismatch")
 	}
 	n := t.N
 	q := t.R.Q
-	twoQ := 2 * q
 	psi, psiS := t.psiRev, t.psiRevShoup
 	m := 1
 	step := n
 	if bits.TrailingZeros(uint(n))&1 == 1 {
 		// Odd log₂(n): one single-layer pass, then radix-4 the rest.
 		step >>= 1
-		w, ws := psi[1], psiS[1]
-		x := a[:step:step]
-		y := a[step : 2*step : 2*step]
-		for j := 0; j < step && j < len(x) && j < len(y); j++ {
-			u := x[j]
-			if u >= twoQ {
-				u -= twoQ
-			}
-			xv := y[j]
-			qh, _ := bits.Mul64(xv, ws)
-			v := xv*w - qh*q
-			x[j] = u + v
-			y[j] = u + twoQ - v
-		}
+		t.fwdSingleScalar(a, step)
 		m = 2
 	}
 	for ; m < n; m <<= 2 {
 		step >>= 2 // distance of the second merged layer; blocks span 4·step
+		switch {
+		case isa == isaAVX512 && step >= 8:
+			fwdPassAVX512(&a[0], &psi[0], &psiS[0], m, step, q)
+		case isa != isaScalar && step >= 4:
+			fwdPassAVX2(&a[0], &psi[0], &psiS[0], m, step, q)
+		case isa == isaAVX512 && step == 1 && m >= 8:
+			// m is 4^j or 2·4^j here, so m ≥ 8 implies m % 8 == 0.
+			fwdTailAVX512(&a[0], &psi[0], &psiS[0], m, q)
+		default:
+			t.fwdPassScalar(a, m, step)
+		}
+	}
+}
+
+// fwdSingleScalar is the odd-log₂(n) single-layer CT pass.
+func (t *Table) fwdSingleScalar(a []uint64, step int) {
+	q := t.R.Q
+	twoQ := 2 * q
+	w, ws := t.psiRev[1], t.psiRevShoup[1]
+	x := a[:step:step]
+	y := a[step : 2*step : 2*step]
+	for j := 0; j < step && j < len(x) && j < len(y); j++ {
+		u := x[j]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		xv := y[j]
+		qh, _ := bits.Mul64(xv, ws)
+		v := xv*w - qh*q
+		x[j] = u + v
+		y[j] = u + twoQ - v
+	}
+}
+
+// fwdPassScalar is one merged radix-4 CT pass over all m blocks.
+func (t *Table) fwdPassScalar(a []uint64, m, step int) {
+	q := t.R.Q
+	twoQ := 2 * q
+	psi, psiS := t.psiRev, t.psiRevShoup
+	{
 		for i := 0; i < m; i++ {
 			j1 := 4 * i * step
 			w1, w1s := psi[m+i], psiS[m+i]
@@ -264,7 +317,18 @@ func (t *Table) ForwardLazy(a []uint64) {
 // (Gentleman–Sande, decimation in frequency) and divides by N, fully
 // reducing the outputs below q.
 func (t *Table) Inverse(a []uint64) {
-	t.inverseCore(a)
+	t.inverseCore(a, currentISA())
+	t.reduce2Q(a)
+}
+
+// InverseScalar is Inverse pinned to the scalar kernels.
+func (t *Table) InverseScalar(a []uint64) {
+	t.inverseCore(a, isaScalar)
+	t.reduce2Q(a)
+}
+
+// reduce2Q folds lazy inverse outputs (< 2q) to canonical (< q).
+func (t *Table) reduce2Q(a []uint64) {
 	q := t.R.Q
 	for i, v := range a {
 		if v >= q {
@@ -280,7 +344,12 @@ func (t *Table) Inverse(a []uint64) {
 // scale-and-round division) accept the lazy form directly and save the
 // final reduction pass entirely.
 func (t *Table) InverseLazy(a []uint64) {
-	t.inverseCore(a)
+	t.inverseCore(a, currentISA())
+}
+
+// InverseLazyScalar is InverseLazy pinned to the scalar kernels.
+func (t *Table) InverseLazyScalar(a []uint64) {
+	t.inverseCore(a, isaScalar)
 }
 
 // inverseCore runs the GS butterfly layers, two per memory pass; values
@@ -288,18 +357,39 @@ func (t *Table) InverseLazy(a []uint64) {
 // folded into the last stage — its sum output multiplies by n⁻¹, its
 // difference output by the pre-combined lastW = ψ⁻¹·n⁻¹ — so no separate
 // scaling pass runs; outputs are lazily reduced (< 2q).
-func (t *Table) inverseCore(a []uint64) {
+func (t *Table) inverseCore(a []uint64, isa uint32) {
 	if len(a) != t.N {
 		panic("ntt: Inverse length mismatch")
 	}
 	n := t.N
 	q := t.R.Q
-	twoQ := 2 * q
 	psi, psiS := t.psiInvRev, t.psiInvShoup
 	step := 1
 	m := n >> 1
 	for ; m >= 4; m >>= 2 {
-		// Merged stages m (distance step) and m/2 (distance 2·step).
+		switch {
+		case isa == isaAVX512 && step >= 8:
+			invPassAVX512(&a[0], &psi[0], &psiS[0], m, step, q)
+		case isa != isaScalar && step >= 4:
+			invPassAVX2(&a[0], &psi[0], &psiS[0], m, step, q)
+		case isa == isaAVX512 && step == 1 && m>>1 >= 8:
+			// m>>1 is 4^j or 2·4^j, so ≥ 8 implies divisible by 8.
+			invHeadAVX512(&a[0], &psi[0], &psiS[0], m, q)
+		default:
+			t.invPassScalar(a, m, step)
+		}
+		step <<= 2
+	}
+	t.invFinishScalar(a, m, step, isa)
+}
+
+// invPassScalar is one merged radix-4 GS pass: stages m (distance step)
+// and m/2 (distance 2·step) over all m>>1 blocks.
+func (t *Table) invPassScalar(a []uint64, m, step int) {
+	q := t.R.Q
+	twoQ := 2 * q
+	psi, psiS := t.psiInvRev, t.psiInvShoup
+	{
 		half := m >> 1
 		for i := 0; i < half; i++ {
 			j1 := 4 * i * step
@@ -346,8 +436,16 @@ func (t *Table) inverseCore(a []uint64) {
 				q3[k] = d*wb - qh*q
 			}
 		}
-		step <<= 2
 	}
+}
+
+// invFinishScalar runs the final merged stages (m == 2 for even
+// log₂(n), m == 1 for odd) with the n⁻¹ scaling folded in, dispatching
+// the m == 2 case to the vector kernels when the tier allows.
+func (t *Table) invFinishScalar(a []uint64, m, step int, isa uint32) {
+	q := t.R.Q
+	twoQ := 2 * q
+	psi, psiS := t.psiInvRev, t.psiInvShoup
 	nInv, nInvS := t.nInv, t.nInvShoup
 	lw, lws := t.lastW, t.lastWShoup
 	switch m {
@@ -356,6 +454,14 @@ func (t *Table) inverseCore(a []uint64) {
 		// folded into the second one.
 		wa0, wa0s := psi[2], psiS[2]
 		wa1, wa1s := psi[3], psiS[3]
+		if isa == isaAVX512 && step >= 8 {
+			invLast4AVX512(&a[0], step, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q)
+			return
+		}
+		if isa != isaScalar && step >= 4 {
+			invLast4AVX2(&a[0], step, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q)
+			return
+		}
 		q0 := a[0:step:step]
 		q1 := a[step : 2*step : 2*step]
 		q2 := a[2*step : 3*step : 3*step]
@@ -411,6 +517,15 @@ func (t *Table) inverseCore(a []uint64) {
 // the reduction's q·2⁶⁴ validity window for every q < 2⁶². Outputs are
 // canonical (< q).
 func (t *Table) PointwiseMul(dst, a, b []uint64) {
+	t.pointwiseMul(dst, a, b, currentISA())
+}
+
+// PointwiseMulScalar is PointwiseMul pinned to the scalar kernel.
+func (t *Table) PointwiseMulScalar(dst, a, b []uint64) {
+	t.pointwiseMul(dst, a, b, isaScalar)
+}
+
+func (t *Table) pointwiseMul(dst, a, b []uint64, isa uint32) {
 	if len(dst) != t.N || len(a) != t.N || len(b) != t.N {
 		panic("ntt: PointwiseMul length mismatch")
 	}
@@ -418,7 +533,15 @@ func (t *Table) PointwiseMul(dst, a, b []uint64) {
 	twoQ := 2 * r.Q
 	a = a[:len(dst)]
 	b = b[:len(dst)]
-	for i := range dst {
+	i := 0
+	// The Barrett fold needs AVX-512 (mask-register carries); the AVX2
+	// tier keeps this kernel scalar — see KernelPaths.
+	if isa == isaAVX512 && len(dst) >= 8 {
+		i = len(dst) &^ 7
+		muHi, muLo := r.BarrettConsts()
+		pwMulAVX512(&dst[0], &a[0], &b[0], i, r.Q, muHi, muLo)
+	}
+	for ; i < len(dst); i++ {
 		x, y := a[i], b[i]
 		if x >= twoQ {
 			x -= twoQ

@@ -1,0 +1,828 @@
+//go:build amd64
+
+// Vectorized NTT butterfly passes (forward CT and inverse GS, two
+// layers merged per radix-4 pass, Harvey lazy reduction). Each kernel
+// mirrors one pass of the scalar transform in ntt.go bit-for-bit: same
+// fold points, same lazy representatives.
+//
+// AVX-512 register conventions (this file):
+//
+//	Z24 = q    Z25 = 2q    Z30 = 0xFFFFFFFF lane mask
+//	Z0–Z4 are SHOUPLZ_Z scratch; Z5–Z23, Z26–Z29 documented per kernel.
+//
+// AVX2 conventions: Y12 = q>>32, Y13 = q, Y14 = 2q, Y15 = lane mask;
+// Y4–Y10 are SHOUPLZ_Y scratch; twiddles broadcast from memory per use
+// (16 ymm registers cannot hold three twiddle triples and the working
+// set at once).
+
+#include "textflag.h"
+
+// MULHI_Z(X, Y, YH, XH, T1, T2, TT, DST): DST = ⌊X·Y/2⁶⁴⌋ per lane.
+// X, Y, YH = Y>>32 preserved; XH, T1, T2, TT clobbered; Z30 is the mask.
+#define MULHI_Z(X, Y, YH, XH, T1, T2, TT, DST) \
+	VPSRLQ   $32, X, XH     \
+	VPMULUDQ Y, X, T1       \
+	VPMULUDQ Y, XH, TT      \
+	VPMULUDQ YH, XH, DST    \
+	VPMULUDQ YH, X, XH      \
+	VPSRLQ   $32, T1, T1    \
+	VPANDQ   Z30, TT, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPANDQ   Z30, XH, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPSRLQ   $32, T1, T1    \
+	VPSRLQ   $32, TT, TT    \
+	VPADDQ   TT, DST, DST   \
+	VPSRLQ   $32, XH, XH    \
+	VPADDQ   XH, DST, DST   \
+	VPADDQ   T1, DST, DST
+
+// SHOUPLZ_Z(X, W, WS, WSH, DST): DST = X·W − ⌊X·WS/2⁶⁴⌋·q, the lazy
+// Shoup product (< 2q for W < q). Clobbers Z0–Z4; DST may equal X.
+#define SHOUPLZ_Z(X, W, WS, WSH, DST) \
+	MULHI_Z(X, WS, WSH, Z0, Z1, Z2, Z3, Z4) \
+	VPMULLQ W, X, DST   \
+	VPMULLQ Z24, Z4, Z4 \
+	VPSUBQ  Z4, DST, DST
+
+// FOLD2Q_Z(X, T): X -= 2q if X >= 2q.
+#define FOLD2Q_Z(X, T) \
+	VPSUBQ  Z25, X, T \
+	VPMINUQ T, X, X
+
+// TRANSP_IN: view 8 consecutive radix-4 blocks (Z12..Z15 as loaded,
+// 4 elements per block) as four 8-lane vectors Z12..Z15 = element 0..3
+// of each block. Clobbers Z16–Z19; needs idx0 in Z26, idx1 in Z27.
+#define TRANSP_IN \
+	VMOVDQA64  Z12, Z16          \
+	VPERMT2Q   Z13, Z26, Z16     \
+	VMOVDQA64  Z14, Z17          \
+	VPERMT2Q   Z15, Z26, Z17     \
+	VMOVDQA64  Z12, Z18          \
+	VPERMT2Q   Z13, Z27, Z18     \
+	VMOVDQA64  Z14, Z19          \
+	VPERMT2Q   Z15, Z27, Z19     \
+	VSHUFI64X2 $0x44, Z17, Z16, Z12 \
+	VSHUFI64X2 $0xEE, Z17, Z16, Z13 \
+	VSHUFI64X2 $0x44, Z19, Z18, Z14 \
+	VSHUFI64X2 $0xEE, Z19, Z18, Z15
+
+// TRANSP_OUT: inverse of TRANSP_IN, from Z12..Z15 into Z20..Z23 (the
+// four store vectors in memory order). Clobbers Z5–Z8, Z16–Z19 (loads
+// the interleave indices from rodata — the twiddle registers are dead
+// by the time a kernel runs this).
+#define TRANSP_OUT \
+	VMOVDQU64 idxA<>(SB), Z5  \
+	VMOVDQU64 idxB<>(SB), Z6  \
+	VMOVDQU64 idxC<>(SB), Z7  \
+	VMOVDQU64 idxD<>(SB), Z8  \
+	VMOVDQA64 Z12, Z16        \
+	VPERMT2Q  Z13, Z5, Z16    \
+	VMOVDQA64 Z14, Z17        \
+	VPERMT2Q  Z15, Z5, Z17    \
+	VMOVDQA64 Z12, Z18        \
+	VPERMT2Q  Z13, Z6, Z18    \
+	VMOVDQA64 Z14, Z19        \
+	VPERMT2Q  Z15, Z6, Z19    \
+	VMOVDQA64 Z16, Z20        \
+	VPERMT2Q  Z17, Z7, Z20    \
+	VMOVDQA64 Z16, Z21        \
+	VPERMT2Q  Z17, Z8, Z21    \
+	VMOVDQA64 Z18, Z22        \
+	VPERMT2Q  Z19, Z7, Z22    \
+	VMOVDQA64 Z18, Z23        \
+	VPERMT2Q  Z19, Z8, Z23
+
+// Interleave index tables for the step-1 kernels.
+DATA idx0<>+0(SB)/8, $0
+DATA idx0<>+8(SB)/8, $4
+DATA idx0<>+16(SB)/8, $8
+DATA idx0<>+24(SB)/8, $12
+DATA idx0<>+32(SB)/8, $1
+DATA idx0<>+40(SB)/8, $5
+DATA idx0<>+48(SB)/8, $9
+DATA idx0<>+56(SB)/8, $13
+GLOBL idx0<>(SB), RODATA, $64
+
+DATA idx1<>+0(SB)/8, $2
+DATA idx1<>+8(SB)/8, $6
+DATA idx1<>+16(SB)/8, $10
+DATA idx1<>+24(SB)/8, $14
+DATA idx1<>+32(SB)/8, $3
+DATA idx1<>+40(SB)/8, $7
+DATA idx1<>+48(SB)/8, $11
+DATA idx1<>+56(SB)/8, $15
+GLOBL idx1<>(SB), RODATA, $64
+
+DATA idxE<>+0(SB)/8, $0
+DATA idxE<>+8(SB)/8, $2
+DATA idxE<>+16(SB)/8, $4
+DATA idxE<>+24(SB)/8, $6
+DATA idxE<>+32(SB)/8, $8
+DATA idxE<>+40(SB)/8, $10
+DATA idxE<>+48(SB)/8, $12
+DATA idxE<>+56(SB)/8, $14
+GLOBL idxE<>(SB), RODATA, $64
+
+DATA idxO<>+0(SB)/8, $1
+DATA idxO<>+8(SB)/8, $3
+DATA idxO<>+16(SB)/8, $5
+DATA idxO<>+24(SB)/8, $7
+DATA idxO<>+32(SB)/8, $9
+DATA idxO<>+40(SB)/8, $11
+DATA idxO<>+48(SB)/8, $13
+DATA idxO<>+56(SB)/8, $15
+GLOBL idxO<>(SB), RODATA, $64
+
+DATA idxA<>+0(SB)/8, $0
+DATA idxA<>+8(SB)/8, $8
+DATA idxA<>+16(SB)/8, $1
+DATA idxA<>+24(SB)/8, $9
+DATA idxA<>+32(SB)/8, $2
+DATA idxA<>+40(SB)/8, $10
+DATA idxA<>+48(SB)/8, $3
+DATA idxA<>+56(SB)/8, $11
+GLOBL idxA<>(SB), RODATA, $64
+
+DATA idxB<>+0(SB)/8, $4
+DATA idxB<>+8(SB)/8, $12
+DATA idxB<>+16(SB)/8, $5
+DATA idxB<>+24(SB)/8, $13
+DATA idxB<>+32(SB)/8, $6
+DATA idxB<>+40(SB)/8, $14
+DATA idxB<>+48(SB)/8, $7
+DATA idxB<>+56(SB)/8, $15
+GLOBL idxB<>(SB), RODATA, $64
+
+DATA idxC<>+0(SB)/8, $0
+DATA idxC<>+8(SB)/8, $1
+DATA idxC<>+16(SB)/8, $8
+DATA idxC<>+24(SB)/8, $9
+DATA idxC<>+32(SB)/8, $2
+DATA idxC<>+40(SB)/8, $3
+DATA idxC<>+48(SB)/8, $10
+DATA idxC<>+56(SB)/8, $11
+GLOBL idxC<>(SB), RODATA, $64
+
+DATA idxD<>+0(SB)/8, $4
+DATA idxD<>+8(SB)/8, $5
+DATA idxD<>+16(SB)/8, $12
+DATA idxD<>+24(SB)/8, $13
+DATA idxD<>+32(SB)/8, $6
+DATA idxD<>+40(SB)/8, $7
+DATA idxD<>+48(SB)/8, $14
+DATA idxD<>+56(SB)/8, $15
+GLOBL idxD<>(SB), RODATA, $64
+
+// func fwdPassAVX512(a, psi, psiS *uint64, m, step int, q uint64)
+// One merged radix-4 CT pass over all m blocks; step % 8 == 0.
+// Twiddles: w1 = Z16..Z18, w2 = Z19..Z21, w3 = Z22,Z23,Z26.
+TEXT ·fwdPassAVX512(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), R11
+	MOVQ psi+8(FP), SI
+	MOVQ psiS+16(FP), DX
+	MOVQ m+24(FP), R10
+	MOVQ step+32(FP), R8
+	VPBROADCASTQ q+40(FP), Z24
+	VPADDQ       Z24, Z24, Z25
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30
+	VPSRLQ       $32, Z30, Z30
+	MOVQ R8, R9
+	SHLQ $3, R9  // step in bytes
+	MOVQ R8, R15
+	SHRQ $3, R15 // vectors per quarter
+	MOVQ R10, BX // twiddle index m+i
+	MOVQ R10, AX // blocks remaining
+
+fwd512block:
+	VPBROADCASTQ (SI)(BX*8), Z16
+	VPBROADCASTQ (DX)(BX*8), Z17
+	VPSRLQ       $32, Z17, Z18
+	LEAQ         (BX)(BX*1), CX
+	VPBROADCASTQ (SI)(CX*8), Z19
+	VPBROADCASTQ (DX)(CX*8), Z20
+	VPSRLQ       $32, Z20, Z21
+	VPBROADCASTQ 8(SI)(CX*8), Z22
+	VPBROADCASTQ 8(DX)(CX*8), Z23
+	VPSRLQ       $32, Z23, Z26
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	LEAQ (R13)(R9*1), R14
+	MOVQ R15, CX
+
+fwd512inner:
+	VMOVDQU64 (R11), Z12
+	VMOVDQU64 (R12), Z13
+	VMOVDQU64 (R13), Z14
+	VMOVDQU64 (R14), Z15
+	FOLD2Q_Z(Z12, Z0)
+	FOLD2Q_Z(Z13, Z0)
+	SHOUPLZ_Z(Z14, Z16, Z17, Z18, Z5) // v2
+	SHOUPLZ_Z(Z15, Z16, Z17, Z18, Z6) // v3
+	VPADDQ Z5, Z12, Z7                // y0
+	VPADDQ Z25, Z12, Z8
+	VPSUBQ Z5, Z8, Z8                 // y2
+	VPADDQ Z6, Z13, Z9                // y1
+	VPADDQ Z25, Z13, Z10
+	VPSUBQ Z6, Z10, Z10               // y3
+	FOLD2Q_Z(Z7, Z0)
+	FOLD2Q_Z(Z8, Z0)
+	SHOUPLZ_Z(Z9, Z19, Z20, Z21, Z5)  // u1
+	SHOUPLZ_Z(Z10, Z22, Z23, Z26, Z6) // u3
+	VPADDQ    Z5, Z7, Z12
+	VPADDQ    Z25, Z7, Z13
+	VPSUBQ    Z5, Z13, Z13
+	VPADDQ    Z6, Z8, Z14
+	VPADDQ    Z25, Z8, Z15
+	VPSUBQ    Z6, Z15, Z15
+	VMOVDQU64 Z12, (R11)
+	VMOVDQU64 Z13, (R12)
+	VMOVDQU64 Z14, (R13)
+	VMOVDQU64 Z15, (R14)
+	ADDQ $64, R11
+	ADDQ $64, R12
+	ADDQ $64, R13
+	ADDQ $64, R14
+	DECQ CX
+	JNZ  fwd512inner
+
+	MOVQ R14, R11 // next block starts after q3
+	INCQ BX
+	DECQ AX
+	JNZ  fwd512block
+	VZEROUPPER
+	RET
+
+// func invPassAVX512(a, psi, psiS *uint64, m, step int, q uint64)
+// One merged radix-4 GS pass over all m>>1 blocks; step % 8 == 0.
+// Twiddles: wa0 = Z16..Z18, wa1 = Z19..Z21, wb = Z22,Z23,Z26.
+TEXT ·invPassAVX512(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), R11
+	MOVQ psi+8(FP), SI
+	MOVQ psiS+16(FP), DX
+	MOVQ step+32(FP), R8
+	VPBROADCASTQ q+40(FP), Z24
+	VPADDQ       Z24, Z24, Z25
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30
+	VPSRLQ       $32, Z30, Z30
+	MOVQ R8, R9
+	SHLQ $3, R9
+	MOVQ R8, R15
+	SHRQ $3, R15
+	MOVQ m+24(FP), AX
+	MOVQ AX, BX  // wa index m+2i
+	SHRQ $1, AX  // half = blocks remaining
+	MOVQ AX, R10 // wb index half+i
+
+inv512block:
+	VPBROADCASTQ (SI)(BX*8), Z16
+	VPBROADCASTQ (DX)(BX*8), Z17
+	VPSRLQ       $32, Z17, Z18
+	VPBROADCASTQ 8(SI)(BX*8), Z19
+	VPBROADCASTQ 8(DX)(BX*8), Z20
+	VPSRLQ       $32, Z20, Z21
+	VPBROADCASTQ (SI)(R10*8), Z22
+	VPBROADCASTQ (DX)(R10*8), Z23
+	VPSRLQ       $32, Z23, Z26
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	LEAQ (R13)(R9*1), R14
+	MOVQ R15, CX
+
+inv512inner:
+	VMOVDQU64 (R11), Z12
+	VMOVDQU64 (R12), Z13
+	VMOVDQU64 (R13), Z14
+	VMOVDQU64 (R14), Z15
+	VPADDQ    Z13, Z12, Z5 // s0
+	FOLD2Q_Z(Z5, Z0)
+	VPADDQ Z25, Z12, Z6
+	VPSUBQ Z13, Z6, Z6               // d
+	SHOUPLZ_Z(Z6, Z16, Z17, Z18, Z6) // d0
+	VPADDQ Z15, Z14, Z7              // s1
+	FOLD2Q_Z(Z7, Z0)
+	VPADDQ Z25, Z14, Z8
+	VPSUBQ Z15, Z8, Z8               // d
+	SHOUPLZ_Z(Z8, Z19, Z20, Z21, Z8) // d1
+	VPADDQ Z7, Z5, Z12               // q0 = fold(s0+s1)
+	FOLD2Q_Z(Z12, Z0)
+	VPADDQ Z25, Z5, Z14
+	VPSUBQ Z7, Z14, Z14
+	SHOUPLZ_Z(Z14, Z22, Z23, Z26, Z14) // q2
+	VPADDQ Z8, Z6, Z13                 // q1 = fold(d0+d1)
+	FOLD2Q_Z(Z13, Z0)
+	VPADDQ Z25, Z6, Z15
+	VPSUBQ Z8, Z15, Z15
+	SHOUPLZ_Z(Z15, Z22, Z23, Z26, Z15) // q3
+	VMOVDQU64 Z12, (R11)
+	VMOVDQU64 Z13, (R12)
+	VMOVDQU64 Z14, (R13)
+	VMOVDQU64 Z15, (R14)
+	ADDQ $64, R11
+	ADDQ $64, R12
+	ADDQ $64, R13
+	ADDQ $64, R14
+	DECQ CX
+	JNZ  inv512inner
+
+	MOVQ R14, R11
+	ADDQ $2, BX
+	INCQ R10
+	DECQ AX
+	JNZ  inv512block
+	VZEROUPPER
+	RET
+
+// func fwdTailAVX512(a, psi, psiS *uint64, m int, q uint64)
+// Final CT pass (step == 1): 8 contiguous radix-4 blocks per iteration
+// via in-register transposes; m % 8 == 0. Twiddles become 8-lane
+// vectors: w1 contiguous from psi[m:], w2/w3 the even/odd lanes of
+// psi[2m:]. w1 = Z5..Z7, w2 = Z8..Z10, w3 = Z11, Z16, Z17.
+TEXT ·fwdTailAVX512(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), DI
+	MOVQ psi+8(FP), SI
+	MOVQ psiS+16(FP), DX
+	MOVQ m+24(FP), CX
+	VPBROADCASTQ q+32(FP), Z24
+	VPADDQ       Z24, Z24, Z25
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30
+	VPSRLQ       $32, Z30, Z30
+	LEAQ (SI)(CX*8), R8  // psi + m
+	LEAQ (DX)(CX*8), R9  // psiS + m
+	LEAQ (R8)(CX*8), R10 // psi + 2m
+	LEAQ (R9)(CX*8), R11 // psiS + 2m
+	SHRQ $3, CX
+	VMOVDQU64 idx0<>(SB), Z26
+	VMOVDQU64 idx1<>(SB), Z27
+	VMOVDQU64 idxE<>(SB), Z28
+	VMOVDQU64 idxO<>(SB), Z29
+
+fwdtailloop:
+	// Transpose FIRST: TRANSP_IN scratches Z16..Z19, which the twiddle
+	// extraction below also uses (w3 shoup lands in Z16/Z17).
+	VMOVDQU64 (DI), Z12
+	VMOVDQU64 64(DI), Z13
+	VMOVDQU64 128(DI), Z14
+	VMOVDQU64 192(DI), Z15
+	TRANSP_IN
+	VMOVDQU64 (R8), Z5 // w1
+	VMOVDQU64 (R9), Z6 // w1 shoup
+	VPSRLQ    $32, Z6, Z7
+	VMOVDQU64 (R10), Z18
+	VMOVDQU64 64(R10), Z19
+	VMOVDQA64 Z18, Z8
+	VPERMT2Q  Z19, Z28, Z8  // w2 = even lanes
+	VMOVDQA64 Z18, Z11
+	VPERMT2Q  Z19, Z29, Z11 // w3 = odd lanes
+	VMOVDQU64 (R11), Z18
+	VMOVDQU64 64(R11), Z19
+	VMOVDQA64 Z18, Z9
+	VPERMT2Q  Z19, Z28, Z9  // w2 shoup
+	VPSRLQ    $32, Z9, Z10
+	VMOVDQA64 Z18, Z16
+	VPERMT2Q  Z19, Z29, Z16 // w3 shoup
+	VPSRLQ    $32, Z16, Z17
+	FOLD2Q_Z(Z12, Z0)
+	FOLD2Q_Z(Z13, Z0)
+	SHOUPLZ_Z(Z14, Z5, Z6, Z7, Z18) // v2
+	SHOUPLZ_Z(Z15, Z5, Z6, Z7, Z19) // v3
+	VPADDQ Z18, Z12, Z20            // y0
+	VPADDQ Z25, Z12, Z21
+	VPSUBQ Z18, Z21, Z21            // y2
+	VPADDQ Z19, Z13, Z22            // y1
+	VPADDQ Z25, Z13, Z23
+	VPSUBQ Z19, Z23, Z23            // y3
+	FOLD2Q_Z(Z20, Z0)
+	FOLD2Q_Z(Z21, Z0)
+	SHOUPLZ_Z(Z22, Z8, Z9, Z10, Z18)  // u1
+	SHOUPLZ_Z(Z23, Z11, Z16, Z17, Z19) // u3
+	VPADDQ Z18, Z20, Z12
+	VPADDQ Z25, Z20, Z13
+	VPSUBQ Z18, Z13, Z13
+	VPADDQ Z19, Z21, Z14
+	VPADDQ Z25, Z21, Z15
+	VPSUBQ Z19, Z15, Z15
+	TRANSP_OUT
+	VMOVDQU64 Z20, (DI)
+	VMOVDQU64 Z21, 64(DI)
+	VMOVDQU64 Z22, 128(DI)
+	VMOVDQU64 Z23, 192(DI)
+	ADDQ $256, DI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $128, R10
+	ADDQ $128, R11
+	DECQ CX
+	JNZ  fwdtailloop
+	VZEROUPPER
+	RET
+
+// func invHeadAVX512(a, psi, psiS *uint64, m int, q uint64)
+// Leading GS pass (step == 1, m == n>>1): 8 contiguous blocks per
+// iteration; (m>>1) % 8 == 0. Twiddles: wa0/wa1 = even/odd lanes of
+// psi[m:], wb contiguous from psi[m>>1:]. wa0 = Z5..Z7, wa1 = Z8..Z10,
+// wb = Z11, Z20, Z21.
+TEXT ·invHeadAVX512(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), DI
+	MOVQ psi+8(FP), SI
+	MOVQ psiS+16(FP), DX
+	MOVQ m+24(FP), CX
+	VPBROADCASTQ q+32(FP), Z24
+	VPADDQ       Z24, Z24, Z25
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30
+	VPSRLQ       $32, Z30, Z30
+	LEAQ (SI)(CX*8), R8 // psi + m
+	LEAQ (DX)(CX*8), R9 // psiS + m
+	SHRQ $1, CX         // half
+	LEAQ (SI)(CX*8), R10 // psi + half
+	LEAQ (DX)(CX*8), R11 // psiS + half
+	SHRQ $3, CX
+	VMOVDQU64 idx0<>(SB), Z26
+	VMOVDQU64 idx1<>(SB), Z27
+	VMOVDQU64 idxE<>(SB), Z28
+	VMOVDQU64 idxO<>(SB), Z29
+
+invheadloop:
+	VMOVDQU64 (R8), Z18
+	VMOVDQU64 64(R8), Z19
+	VMOVDQA64 Z18, Z5
+	VPERMT2Q  Z19, Z28, Z5 // wa0 = even lanes
+	VMOVDQA64 Z18, Z8
+	VPERMT2Q  Z19, Z29, Z8 // wa1 = odd lanes
+	VMOVDQU64 (R9), Z18
+	VMOVDQU64 64(R9), Z19
+	VMOVDQA64 Z18, Z6
+	VPERMT2Q  Z19, Z28, Z6 // wa0 shoup
+	VPSRLQ    $32, Z6, Z7
+	VMOVDQA64 Z18, Z9
+	VPERMT2Q  Z19, Z29, Z9 // wa1 shoup
+	VPSRLQ    $32, Z9, Z10
+	VMOVDQU64 (R10), Z11   // wb
+	VMOVDQU64 (R11), Z20   // wb shoup
+	VPSRLQ    $32, Z20, Z21
+	VMOVDQU64 (DI), Z12
+	VMOVDQU64 64(DI), Z13
+	VMOVDQU64 128(DI), Z14
+	VMOVDQU64 192(DI), Z15
+	TRANSP_IN
+	VPADDQ Z13, Z12, Z16 // s0
+	FOLD2Q_Z(Z16, Z0)
+	VPADDQ Z25, Z12, Z18
+	VPSUBQ Z13, Z18, Z18            // d
+	SHOUPLZ_Z(Z18, Z5, Z6, Z7, Z18) // d0
+	VPADDQ Z15, Z14, Z17            // s1
+	FOLD2Q_Z(Z17, Z0)
+	VPADDQ Z25, Z14, Z19
+	VPSUBQ Z15, Z19, Z19             // d
+	SHOUPLZ_Z(Z19, Z8, Z9, Z10, Z19) // d1
+	VPADDQ Z17, Z16, Z12             // q0 = fold(s0+s1)
+	FOLD2Q_Z(Z12, Z0)
+	VPADDQ Z25, Z16, Z14
+	VPSUBQ Z17, Z14, Z14
+	SHOUPLZ_Z(Z14, Z11, Z20, Z21, Z14) // q2
+	VPADDQ Z19, Z18, Z13               // q1 = fold(d0+d1)
+	FOLD2Q_Z(Z13, Z0)
+	VPADDQ Z25, Z18, Z15
+	VPSUBQ Z19, Z15, Z15
+	SHOUPLZ_Z(Z15, Z11, Z20, Z21, Z15) // q3
+	TRANSP_OUT
+	VMOVDQU64 Z20, (DI)
+	VMOVDQU64 Z21, 64(DI)
+	VMOVDQU64 Z22, 128(DI)
+	VMOVDQU64 Z23, 192(DI)
+	ADDQ $256, DI
+	ADDQ $128, R8
+	ADDQ $128, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	DECQ CX
+	JNZ  invheadloop
+	VZEROUPPER
+	RET
+
+// func invLast4AVX512(a *uint64, step int, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q uint64)
+// Merged final two GS stages with n⁻¹ folded in (inverseCore case
+// m == 2); step % 8 == 0. Twiddles all broadcast: wa0 = Z16..Z18,
+// wa1 = Z19..Z21, nInv = Z22, Z23, Z26, lastW = Z27..Z29.
+TEXT ·invLast4AVX512(SB), NOSPLIT, $0-88
+	MOVQ a+0(FP), R11
+	MOVQ step+8(FP), R8
+	VPBROADCASTQ q+80(FP), Z24
+	VPADDQ       Z24, Z24, Z25
+	VPTERNLOGQ   $0xFF, Z30, Z30, Z30
+	VPSRLQ       $32, Z30, Z30
+	VPBROADCASTQ wa0+16(FP), Z16
+	VPBROADCASTQ wa0s+24(FP), Z17
+	VPSRLQ       $32, Z17, Z18
+	VPBROADCASTQ wa1+32(FP), Z19
+	VPBROADCASTQ wa1s+40(FP), Z20
+	VPSRLQ       $32, Z20, Z21
+	VPBROADCASTQ nInv+48(FP), Z22
+	VPBROADCASTQ nInvS+56(FP), Z23
+	VPSRLQ       $32, Z23, Z26
+	VPBROADCASTQ lw+64(FP), Z27
+	VPBROADCASTQ lws+72(FP), Z28
+	VPSRLQ       $32, Z28, Z29
+	MOVQ R8, R9
+	SHLQ $3, R9
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	LEAQ (R13)(R9*1), R14
+	MOVQ R8, CX
+	SHRQ $3, CX
+
+invlast512loop:
+	VMOVDQU64 (R11), Z12
+	VMOVDQU64 (R12), Z13
+	VMOVDQU64 (R13), Z14
+	VMOVDQU64 (R14), Z15
+	VPADDQ    Z13, Z12, Z5 // s0
+	FOLD2Q_Z(Z5, Z0)
+	VPADDQ Z25, Z12, Z6
+	VPSUBQ Z13, Z6, Z6               // d
+	SHOUPLZ_Z(Z6, Z16, Z17, Z18, Z6) // d0
+	VPADDQ Z15, Z14, Z7              // s1
+	FOLD2Q_Z(Z7, Z0)
+	VPADDQ Z25, Z14, Z8
+	VPSUBQ Z15, Z8, Z8               // d
+	SHOUPLZ_Z(Z8, Z19, Z20, Z21, Z8) // d1
+	VPADDQ Z7, Z5, Z9                // v = s0+s1 (lazy, < 4q is fine)
+	SHOUPLZ_Z(Z9, Z22, Z23, Z26, Z9) // q0 = v·n⁻¹
+	VMOVDQU64 Z9, (R11)
+	VPADDQ Z25, Z5, Z10
+	VPSUBQ Z7, Z10, Z10
+	SHOUPLZ_Z(Z10, Z27, Z28, Z29, Z10) // q2 = d·lastW
+	VMOVDQU64 Z10, (R13)
+	VPADDQ Z8, Z6, Z9
+	SHOUPLZ_Z(Z9, Z22, Z23, Z26, Z9) // q1
+	VMOVDQU64 Z9, (R12)
+	VPADDQ Z25, Z6, Z10
+	VPSUBQ Z8, Z10, Z10
+	SHOUPLZ_Z(Z10, Z27, Z28, Z29, Z10) // q3
+	VMOVDQU64 Z10, (R14)
+	ADDQ $64, R11
+	ADDQ $64, R12
+	ADDQ $64, R13
+	ADDQ $64, R14
+	DECQ CX
+	JNZ  invlast512loop
+	VZEROUPPER
+	RET
+
+// ---------------------------------------------------------------------
+// AVX2 variants (4 lanes). Twiddles are re-broadcast from the table
+// memory inside the loop — with 16 ymm registers there is no room to
+// keep three twiddle triples resident alongside the working set.
+
+// MULHI_Y: as MULHI_Z under VEX; Y15 is the lane mask.
+#define MULHI_Y(X, Y, YH, XH, T1, T2, TT, DST) \
+	VPSRLQ   $32, X, XH     \
+	VPMULUDQ Y, X, T1       \
+	VPMULUDQ Y, XH, TT      \
+	VPMULUDQ YH, XH, DST    \
+	VPMULUDQ YH, X, XH      \
+	VPSRLQ   $32, T1, T1    \
+	VPAND    Y15, TT, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPAND    Y15, XH, T2    \
+	VPADDQ   T2, T1, T1     \
+	VPSRLQ   $32, T1, T1    \
+	VPSRLQ   $32, TT, TT    \
+	VPADDQ   TT, DST, DST   \
+	VPSRLQ   $32, XH, XH    \
+	VPADDQ   XH, DST, DST   \
+	VPADDQ   T1, DST, DST
+
+// MULLO_Y(X, Y, YH, XH, T1, DST): DST = X·Y mod 2⁶⁴ (no VPMULLQ under
+// VEX). X, Y, YH preserved; DST must differ from X, Y, YH.
+#define MULLO_Y(X, Y, YH, XH, T1, DST) \
+	VPSRLQ   $32, X, XH    \
+	VPMULUDQ Y, XH, T1     \
+	VPMULUDQ YH, X, DST    \
+	VPADDQ   T1, DST, DST  \
+	VPSLLQ   $32, DST, DST \
+	VPMULUDQ Y, X, T1      \
+	VPADDQ   T1, DST, DST
+
+// SHOUPLZ_Y(X, WM, WSM, DST): lazy Shoup product with the twiddle and
+// its companion broadcast from the memory operands WM/WSM. Clobbers
+// Y4–Y10; DST must be outside Y4–Y10 and differ from X. Uses Y12
+// (q>>32), Y13 (q), Y15 (mask).
+#define SHOUPLZ_Y(X, WM, WSM, DST) \
+	VPBROADCASTQ WSM, Y4                      \
+	VPSRLQ       $32, Y4, Y5                  \
+	MULHI_Y(X, Y4, Y5, Y6, Y7, Y8, Y9, Y10)   \
+	VPBROADCASTQ WM, Y4                       \
+	VPSRLQ       $32, Y4, Y5                  \
+	MULLO_Y(X, Y4, Y5, Y6, Y7, DST)           \
+	MULLO_Y(Y10, Y13, Y12, Y6, Y7, Y4)        \
+	VPSUBQ       Y4, DST, DST
+
+// FOLD2Q_Y(X, T, U): X -= 2q if X >= 2q. No VPMINUQ or unsigned
+// compare under VEX, but none is needed: T = X − 2q wraps above 2⁶³
+// exactly when X < 2q (2q < 2⁶³ since q < 2⁶²), so T's sign bit IS the
+// keep-X condition. VPBLENDVB selects per byte on each byte's MSB, so
+// the qword sign is first smeared across the lane (VPSHUFD replicates
+// the high dwords, VPSRAD sign-extends them). Clobbers T, U.
+#define FOLD2Q_Y(X, T, U) \
+	VPSUBQ    Y14, X, T   \
+	VPSHUFD   $0xF5, T, U \
+	VPSRAD    $31, U, U   \
+	VPBLENDVB U, X, T, X
+
+// func fwdPassAVX2(a, psi, psiS *uint64, m, step int, q uint64)
+// One merged radix-4 CT pass over all m blocks; step % 4 == 0.
+TEXT ·fwdPassAVX2(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), R11
+	MOVQ psi+8(FP), SI
+	MOVQ psiS+16(FP), DX
+	MOVQ step+32(FP), R8
+	VPBROADCASTQ q+40(FP), Y13
+	VPSRLQ       $32, Y13, Y12
+	VPADDQ       Y13, Y13, Y14
+	VPCMPEQD     Y15, Y15, Y15
+	VPSRLQ       $32, Y15, Y15
+	MOVQ R8, R9
+	SHLQ $3, R9  // step in bytes
+	MOVQ R8, R15
+	SHRQ $2, R15 // vectors per quarter
+	MOVQ m+24(FP), AX
+	MOVQ AX, BX  // w1 index m+i
+
+fwd2block:
+	LEAQ (BX)(BX*1), R10 // w2/w3 index 2(m+i)
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	LEAQ (R13)(R9*1), R14
+	MOVQ R15, CX
+
+fwd2inner:
+	VMOVDQU (R11), Y0
+	VMOVDQU (R12), Y1
+	VMOVDQU (R13), Y2
+	VMOVDQU (R14), Y3
+	FOLD2Q_Y(Y0, Y4, Y5)
+	FOLD2Q_Y(Y1, Y4, Y5)
+	SHOUPLZ_Y(Y2, (SI)(BX*8), (DX)(BX*8), Y11) // v2
+	VPADDQ  Y11, Y0, Y2                        // y0
+	VPADDQ  Y14, Y0, Y0
+	VPSUBQ  Y11, Y0, Y0                        // y2
+	SHOUPLZ_Y(Y3, (SI)(BX*8), (DX)(BX*8), Y11) // v3
+	VPADDQ  Y11, Y1, Y3                        // y1
+	VPADDQ  Y14, Y1, Y1
+	VPSUBQ  Y11, Y1, Y1                        // y3
+	FOLD2Q_Y(Y2, Y4, Y5)
+	FOLD2Q_Y(Y0, Y4, Y5)
+	SHOUPLZ_Y(Y3, (SI)(R10*8), (DX)(R10*8), Y11) // u1 on w2
+	VPADDQ  Y11, Y2, Y3
+	VMOVDQU Y3, (R11)
+	VPADDQ  Y14, Y2, Y2
+	VPSUBQ  Y11, Y2, Y2
+	VMOVDQU Y2, (R12)
+	SHOUPLZ_Y(Y1, 8(SI)(R10*8), 8(DX)(R10*8), Y11) // u3 on w3
+	VPADDQ  Y11, Y0, Y3
+	VMOVDQU Y3, (R13)
+	VPADDQ  Y14, Y0, Y0
+	VPSUBQ  Y11, Y0, Y0
+	VMOVDQU Y0, (R14)
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	ADDQ $32, R14
+	DECQ CX
+	JNZ  fwd2inner
+
+	MOVQ R14, R11
+	INCQ BX
+	DECQ AX
+	JNZ  fwd2block
+	VZEROUPPER
+	RET
+
+// func invPassAVX2(a, psi, psiS *uint64, m, step int, q uint64)
+// One merged radix-4 GS pass over all m>>1 blocks; step % 4 == 0.
+TEXT ·invPassAVX2(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), R11
+	MOVQ psi+8(FP), SI
+	MOVQ psiS+16(FP), DX
+	MOVQ step+32(FP), R8
+	VPBROADCASTQ q+40(FP), Y13
+	VPSRLQ       $32, Y13, Y12
+	VPADDQ       Y13, Y13, Y14
+	VPCMPEQD     Y15, Y15, Y15
+	VPSRLQ       $32, Y15, Y15
+	MOVQ R8, R9
+	SHLQ $3, R9
+	MOVQ R8, R15
+	SHRQ $2, R15
+	MOVQ m+24(FP), AX
+	MOVQ AX, BX  // wa index m+2i
+	SHRQ $1, AX  // half = blocks remaining
+	MOVQ AX, R10 // wb index half+i
+
+inv2block:
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	LEAQ (R13)(R9*1), R14
+	MOVQ R15, CX
+
+inv2inner:
+	VMOVDQU (R11), Y0
+	VMOVDQU (R12), Y1
+	VMOVDQU (R13), Y2
+	VMOVDQU (R14), Y3
+	VPADDQ  Y14, Y0, Y11
+	VPSUBQ  Y1, Y11, Y11 // d = x0+2q-x1
+	VPADDQ  Y1, Y0, Y0
+	FOLD2Q_Y(Y0, Y4, Y5)                           // s0
+	SHOUPLZ_Y(Y11, (SI)(BX*8), (DX)(BX*8), Y1)     // d0 on wa0
+	VPADDQ  Y14, Y2, Y11
+	VPSUBQ  Y3, Y11, Y11
+	VPADDQ  Y3, Y2, Y2
+	FOLD2Q_Y(Y2, Y4, Y5)                           // s1
+	SHOUPLZ_Y(Y11, 8(SI)(BX*8), 8(DX)(BX*8), Y3)   // d1 on wa1
+	VPADDQ  Y14, Y0, Y11
+	VPSUBQ  Y2, Y11, Y11                           // d = s0+2q-s1
+	VPADDQ  Y2, Y0, Y0
+	FOLD2Q_Y(Y0, Y4, Y5)                           // q0
+	VMOVDQU Y0, (R11)
+	SHOUPLZ_Y(Y11, (SI)(R10*8), (DX)(R10*8), Y2)   // q2 on wb
+	VMOVDQU Y2, (R13)
+	VPADDQ  Y14, Y1, Y11
+	VPSUBQ  Y3, Y11, Y11
+	VPADDQ  Y3, Y1, Y1
+	FOLD2Q_Y(Y1, Y4, Y5)                           // q1
+	VMOVDQU Y1, (R12)
+	SHOUPLZ_Y(Y11, (SI)(R10*8), (DX)(R10*8), Y2)   // q3 on wb
+	VMOVDQU Y2, (R14)
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	ADDQ $32, R14
+	DECQ CX
+	JNZ  inv2inner
+
+	MOVQ R14, R11
+	ADDQ $2, BX
+	INCQ R10
+	DECQ AX
+	JNZ  inv2block
+	VZEROUPPER
+	RET
+
+// func invLast4AVX2(a *uint64, step int, wa0, wa0s, wa1, wa1s, nInv, nInvS, lw, lws, q uint64)
+// Merged final two GS stages with n⁻¹ folded in; step % 4 == 0. All
+// twiddles are scalar arguments, broadcast from the frame per use.
+TEXT ·invLast4AVX2(SB), NOSPLIT, $0-88
+	MOVQ a+0(FP), R11
+	MOVQ step+8(FP), R8
+	VPBROADCASTQ q+80(FP), Y13
+	VPSRLQ       $32, Y13, Y12
+	VPADDQ       Y13, Y13, Y14
+	VPCMPEQD     Y15, Y15, Y15
+	VPSRLQ       $32, Y15, Y15
+	MOVQ R8, R9
+	SHLQ $3, R9
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	LEAQ (R13)(R9*1), R14
+	MOVQ R8, CX
+	SHRQ $2, CX
+
+invlast2loop:
+	VMOVDQU (R11), Y0
+	VMOVDQU (R12), Y1
+	VMOVDQU (R13), Y2
+	VMOVDQU (R14), Y3
+	VPADDQ  Y14, Y0, Y11
+	VPSUBQ  Y1, Y11, Y11
+	VPADDQ  Y1, Y0, Y0
+	FOLD2Q_Y(Y0, Y4, Y5)                          // s0
+	SHOUPLZ_Y(Y11, wa0+16(FP), wa0s+24(FP), Y1)   // d0
+	VPADDQ  Y14, Y2, Y11
+	VPSUBQ  Y3, Y11, Y11
+	VPADDQ  Y3, Y2, Y2
+	FOLD2Q_Y(Y2, Y4, Y5)                          // s1
+	SHOUPLZ_Y(Y11, wa1+32(FP), wa1s+40(FP), Y3)   // d1
+	VPADDQ  Y14, Y0, Y11
+	VPSUBQ  Y2, Y11, Y11                          // d = s0+2q-s1
+	VPADDQ  Y2, Y0, Y0                            // v = s0+s1 (lazy)
+	SHOUPLZ_Y(Y11, lw+64(FP), lws+72(FP), Y2)     // q2 = d·lastW
+	VMOVDQU Y2, (R13)
+	SHOUPLZ_Y(Y0, nInv+48(FP), nInvS+56(FP), Y11) // q0 = v·n⁻¹
+	VMOVDQU Y11, (R11)
+	VPADDQ  Y14, Y1, Y11
+	VPSUBQ  Y3, Y11, Y11
+	VPADDQ  Y3, Y1, Y1
+	SHOUPLZ_Y(Y11, lw+64(FP), lws+72(FP), Y2)     // q3
+	VMOVDQU Y2, (R14)
+	SHOUPLZ_Y(Y1, nInv+48(FP), nInvS+56(FP), Y11) // q1
+	VMOVDQU Y11, (R12)
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	ADDQ $32, R14
+	DECQ CX
+	JNZ  invlast2loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,109 @@
+package ntt
+
+import (
+	"math/bits"
+
+	"repro/internal/modring"
+)
+
+// Package-level vectorized limb kernels for the double-CRT layer's
+// slot loops (internal/dcrt). Each folds the dispatch decision inside:
+// the vector body covers the lane-aligned prefix and the scalar oracle
+// finishes the tail, so callers pass whole limbs and never think about
+// lane widths. Outputs are bit-identical to the scalar loops they
+// replace (same folds, same reductions, same lazy representatives).
+
+// MulShoupLazyVec sets dst[j] = r.MulShoupLazy(a[j], w[j], ws[j]) for
+// all j — the lazy Shoup limb product (outputs < 2q for w < q). dst
+// may alias a.
+func MulShoupLazyVec(r *modring.Ring, dst, a, w, ws []uint64) {
+	n := len(dst)
+	a = a[:n]
+	w = w[:n]
+	ws = ws[:n]
+	i := 0
+	switch currentISA() {
+	case isaAVX512:
+		if n >= 8 {
+			i = n &^ 7
+			mulShoupLazyAVX512(&dst[0], &a[0], &w[0], &ws[0], i, r.Q)
+		}
+	case isaAVX2:
+		if n >= 4 {
+			i = n &^ 3
+			mulShoupLazyAVX2(&dst[0], &a[0], &w[0], &ws[0], i, r.Q)
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] = r.MulShoupLazy(a[i], w[i], ws[i])
+	}
+}
+
+// MulPairAddShoupLazyVec sets dst[j] to the 2q-folded sum of two lazy
+// Shoup products:
+//
+//	dst[j] = fold2q(MulShoupLazy(a0,w0,w0s) + MulShoupLazy(a1,w1,w1s))
+//
+// the fused two-term pattern of the double-CRT rescale and rotation
+// paths. Outputs stay below 2q; dst may alias any operand.
+func MulPairAddShoupLazyVec(r *modring.Ring, dst, a0, w0, w0s, a1, w1, w1s []uint64) {
+	n := len(dst)
+	a0 = a0[:n]
+	w0 = w0[:n]
+	w0s = w0s[:n]
+	a1 = a1[:n]
+	w1 = w1[:n]
+	w1s = w1s[:n]
+	i := 0
+	if currentISA() == isaAVX512 && n >= 8 {
+		i = n &^ 7
+		mulPairAddShoupLazyAVX512(&dst[0], &a0[0], &w0[0], &w0s[0], &a1[0], &w1[0], &w1s[0], i, r.Q)
+	}
+	twoQ := 2 * r.Q
+	for ; i < n; i++ {
+		s := r.MulShoupLazy(a0[i], w0[i], w0s[i]) + r.MulShoupLazy(a1[i], w1[i], w1s[i])
+		if s >= twoQ {
+			s -= twoQ
+		}
+		dst[i] = s
+	}
+}
+
+// MulPairAddVec sets dst[j] = (a0[j]·b0[j] + a1[j]·b1[j]) mod q with
+// one 128-bit accumulation and a single Barrett fold per slot — the
+// tensor cross-term kernel. Operands may be lazily reduced (< 4q);
+// each is folded below 2q first, keeping the two-product sum inside
+// the reduction's q·2⁶⁴ window for q < 2⁶¹. Outputs are canonical.
+func MulPairAddVec(r *modring.Ring, dst, a0, b0, a1, b1 []uint64) {
+	n := len(dst)
+	a0 = a0[:n]
+	b0 = b0[:n]
+	a1 = a1[:n]
+	b1 = b1[:n]
+	i := 0
+	if currentISA() == isaAVX512 && n >= 8 {
+		i = n &^ 7
+		muHi, muLo := r.BarrettConsts()
+		mulPairAddAVX512(&dst[0], &a0[0], &b0[0], &a1[0], &b1[0], i, r.Q, muHi, muLo)
+	}
+	twoQ := 2 * r.Q
+	for ; i < n; i++ {
+		x0, y0, x1, y1 := a0[i], b0[i], a1[i], b1[i]
+		if x0 >= twoQ {
+			x0 -= twoQ
+		}
+		if y0 >= twoQ {
+			y0 -= twoQ
+		}
+		if x1 >= twoQ {
+			x1 -= twoQ
+		}
+		if y1 >= twoQ {
+			y1 -= twoQ
+		}
+		h0, l0 := bits.Mul64(x0, y0)
+		h1, l1 := bits.Mul64(x1, y1)
+		lo, cc := bits.Add64(l0, l1, 0)
+		dst[i] = r.ReduceWide(h0+h1+cc, lo)
+	}
+}
