@@ -1,0 +1,286 @@
+// Command hebfv-loadgen drives a running hebfvd evaluation server with
+// a multi-tenant homomorphic workload and reports per-op latency
+// quantiles (p50/p99) and throughput, optionally emitting the tracked
+// BENCH_serve.json (see internal/bench).
+//
+// Each simulated tenant generates its own keys locally, onboards the
+// evaluation-only export, and submits add/mul/rotate requests over
+// pre-encrypted operands. With -check every response is compared
+// byte-for-byte against the same operation evaluated locally — the
+// end-to-end bit-identity guarantee of the served plane.
+//
+// Usage:
+//
+//	hebfv-loadgen -addr http://localhost:8443                # closed loop: 2 tenants x 2 workers, 3s
+//	hebfv-loadgen -tenants 4 -conc 4 -duration 10s -check
+//	hebfv-loadgen -mode open -rate 200                       # open loop: 200 req/s offered load
+//	hebfv-loadgen -sec 109 -json BENCH_serve.json            # emit the tracking report
+//	hebfv-loadgen -toy                                       # against hebfvd -toy, for smoke tests
+//
+// The parameter preset (-sec/-toy) must match the server's.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/hebfv"
+	"repro/internal/bench"
+)
+
+var ops = []string{"add", "mul", "rotate"}
+
+// tenant is one simulated key-owning client: its context (secret key
+// held locally), its onboarded fingerprint, its request bodies and the
+// locally evaluated expected responses.
+type tenant struct {
+	fingerprint string
+	bodies      map[string][]byte // op -> request body (concatenated ciphertext records)
+	expected    map[string][]byte // op -> expected response bytes
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8443", "hebfvd base URL")
+	sec := flag.Int("sec", 109, "security preset: 27, 54 or 109 bits (must match the server)")
+	toy := flag.Bool("toy", false, "insecure N=64 toy parameters (must match the server)")
+	tenants := flag.Int("tenants", 2, "simulated key-owning clients")
+	conc := flag.Int("conc", 2, "closed-loop workers per tenant")
+	duration := flag.Duration("duration", 3*time.Second, "measured run length")
+	mode := flag.String("mode", "closed", "load model: closed (conc workers back-to-back) | open (Poisson-less fixed rate)")
+	rate := flag.Float64("rate", 100, "open-loop offered load, requests/second across all tenants")
+	check := flag.Bool("check", false, "verify every response byte-for-byte against local evaluation")
+	seed := flag.Uint64("seed", 1, "deterministic key/plaintext seed base")
+	jsonPath := flag.String("json", "", "write the tracking report to this path (e.g. BENCH_serve.json)")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	ts := make([]*tenant, *tenants)
+	var n int
+	for i := range ts {
+		t, ringN, err := newTenant(client, *addr, *sec, *toy, *seed+uint64(i))
+		if err != nil {
+			log.Fatalf("hebfv-loadgen: tenant %d: %v", i, err)
+		}
+		ts[i], n = t, ringN
+	}
+	log.Printf("hebfv-loadgen: onboarded %d tenants (n=%d) at %s", len(ts), n, *addr)
+
+	var (
+		mu        sync.Mutex
+		latencies = map[string][]time.Duration{}
+		rejected  atomic.Int64
+		mismatch  atomic.Int64
+		failures  atomic.Int64
+	)
+	record := func(op string, d time.Duration) {
+		mu.Lock()
+		latencies[op] = append(latencies[op], d)
+		mu.Unlock()
+	}
+	// one request: post the op, stream the response, verify if asked.
+	shoot := func(t *tenant, op string) {
+		url := fmt.Sprintf("%s/v1/eval/%s?keyset=%s", *addr, op, t.fingerprint)
+		if op == "rotate" {
+			url += "&k=1"
+		}
+		start := time.Now()
+		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(t.bodies[op]))
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(start)
+		switch {
+		case err != nil || resp.StatusCode == http.StatusOK && len(body) == 0:
+			failures.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			rejected.Add(1) // backpressure, not failure: the quota worked
+		case resp.StatusCode != http.StatusOK:
+			failures.Add(1)
+			log.Printf("hebfv-loadgen: %s: HTTP %d: %s", op, resp.StatusCode, body)
+		default:
+			record(op, elapsed)
+			if *check && !bytes.Equal(body, t.expected[op]) {
+				mismatch.Add(1)
+			}
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	if *mode == "open" {
+		interval := time.Duration(float64(time.Second) / *rate)
+		slots := make(chan struct{}, 256) // bound the outstanding-request pile-up
+		for i := 0; time.Now().Before(deadline); i++ {
+			slots <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				shoot(ts[i%len(ts)], ops[i%len(ops)])
+			}(i)
+			time.Sleep(interval)
+		}
+	} else {
+		for ti, t := range ts {
+			for w := 0; w < *conc; w++ {
+				wg.Add(1)
+				go func(t *tenant, src *rand.Rand) {
+					defer wg.Done()
+					for time.Now().Before(deadline) {
+						shoot(t, ops[src.Intn(len(ops))])
+					}
+				}(t, rand.New(rand.NewSource(int64(*seed)+int64(ti*100+w))))
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &bench.ServeReport{
+		Schema:      "repro/serve-loadgen/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Backend:     hebfv.DefaultBackend,
+		N:           n,
+		Mode:        *mode,
+		Tenants:     *tenants,
+		Concurrency: *conc,
+		DurationSec: elapsed.Seconds(),
+		Rejections:  rejected.Load(),
+		Checked:     *check,
+		Mismatches:  mismatch.Load(),
+	}
+	if *mode == "open" {
+		rep.RatePerSec = *rate
+	}
+	for _, op := range ops {
+		p := bench.ServePointFrom(op, latencies[op], elapsed)
+		rep.TotalOps += p.Count
+		rep.Points = append(rep.Points, p)
+	}
+	if elapsed > 0 {
+		rep.TotalOpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+	}
+
+	fmt.Printf("%-8s %8s %10s %10s %10s %12s\n", "op", "count", "p50", "p99", "mean", "ops/sec")
+	for _, p := range rep.Points {
+		fmt.Printf("%-8s %8d %9dµs %9dµs %9dµs %12.1f\n",
+			p.Op, p.Count, p.P50Micros, p.P99Micros, p.MeanMicros, p.OpsPerSec)
+	}
+	fmt.Printf("total: %d ops in %.2fs (%.1f ops/sec), %d rejected (429/503), %d failures",
+		rep.TotalOps, elapsed.Seconds(), rep.TotalOpsPerSec, rejected.Load(), failures.Load())
+	if *check {
+		fmt.Printf(", %d mismatches", mismatch.Load())
+	}
+	fmt.Println()
+
+	if *jsonPath != "" {
+		if err := bench.WriteServeJSON(*jsonPath, rep); err != nil {
+			log.Fatalf("hebfv-loadgen: %v", err)
+		}
+		log.Printf("hebfv-loadgen: wrote %s", *jsonPath)
+	}
+	if failures.Load() > 0 || mismatch.Load() > 0 || rep.TotalOps == 0 {
+		os.Exit(1)
+	}
+}
+
+// newTenant builds one client: local keys, onboarded evaluation-only
+// export, pre-encrypted operands and locally evaluated expected
+// responses for every op.
+func newTenant(client *http.Client, addr string, sec int, toy bool, seed uint64) (*tenant, int, error) {
+	opts := []hebfv.Option{hebfv.WithSeed(seed), hebfv.WithRotations(1)}
+	if toy {
+		opts = append(opts, hebfv.WithInsecureToyParameters())
+	} else {
+		opts = append(opts, hebfv.WithSecurityLevel(sec))
+	}
+	ctx, err := hebfv.New(opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Onboard: the sha256 hint routes concurrent duplicate onboards into
+	// the server's singleflight; the body streams straight from the
+	// export.
+	fp := ctx.KeySetHash()
+	var keys bytes.Buffer
+	if err := ctx.ExportKeysTo(&keys, false); err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Post(fmt.Sprintf("%s/v1/keysets?sha256=%x", addr, fp[:]),
+		"application/octet-stream", &keys)
+	if err != nil {
+		return nil, 0, err
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("onboarding: HTTP %d: %s", resp.StatusCode, msg)
+	}
+
+	// Operands: two deterministic slot vectors, encrypted once and
+	// reused for every request of this tenant.
+	va := make([]uint64, ctx.Slots())
+	vb := make([]uint64, ctx.Slots())
+	for i := range va {
+		va[i] = (seed*31 + uint64(i)*7) % ctx.PlaintextModulus()
+		vb[i] = (seed*17 + uint64(i)*13) % ctx.PlaintextModulus()
+	}
+	cta, err := ctx.EncryptSlots(va)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctb, err := ctx.EncryptSlots(vb)
+	if err != nil {
+		return nil, 0, err
+	}
+	blobA, err := cta.MarshalBinary()
+	if err != nil {
+		return nil, 0, err
+	}
+	blobB, err := ctb.MarshalBinary()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	t := &tenant{
+		fingerprint: fmt.Sprintf("%x", fp[:]),
+		bodies: map[string][]byte{
+			"add":    append(append([]byte{}, blobA...), blobB...),
+			"mul":    append(append([]byte{}, blobA...), blobB...),
+			"rotate": blobA,
+		},
+		expected: map[string][]byte{},
+	}
+	// Local evaluation pins the expected response bytes: server-side
+	// coalesced batches are bit-identical to the single-op calls.
+	for op, eval := range map[string]func() (*hebfv.Ciphertext, error){
+		"add":    func() (*hebfv.Ciphertext, error) { return ctx.Add(cta, ctb) },
+		"mul":    func() (*hebfv.Ciphertext, error) { return ctx.Mul(cta, ctb) },
+		"rotate": func() (*hebfv.Ciphertext, error) { return ctx.RotateRows(cta, 1) },
+	} {
+		out, err := eval()
+		if err != nil {
+			return nil, 0, err
+		}
+		if t.expected[op], err = out.MarshalBinary(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return t, ctx.N(), nil
+}

@@ -225,6 +225,39 @@
 //	hepim-bench -faults transient=0.1,dead=0.01,straggler=0.05
 //	hepim-bench -faults dead=1 -fault-seed 11   # total DPU loss: exercises failover
 //
+// # Served evaluation plane
+//
+// The deployment model the paper assumes — clients hold keys, an
+// evaluation server computes on ciphertexts it can never decrypt — is
+// runnable: cmd/hebfvd serves the hebfv facade over HTTP, with the
+// reusable pieces in repro/hebfv/serve. A tenant is an onboarded
+// evaluation-only key set, identified by its SHA-256 fingerprint
+// (hebfv.Context.KeySetHash, equal on both ends of the wire); the
+// server keeps tenants in an LRU context cache under a byte budget
+// (singleflight construction, Context.Close on eviction), coalesces
+// concurrent single-op requests into the facade's batch pipelines
+// (AddMany / MulMany / RotateRowsEach) within a bounded window, and
+// streams ciphertext bodies in O(chunk) memory with exact
+// Content-Length from MarshaledBytes. Results are bit-identical to
+// local evaluation — coalescing is scheduling, never approximation.
+// Backpressure is typed: per-tenant quota exhaustion is HTTP 429,
+// global overload 503, corrupt blobs 400, unknown tenants 404, with
+// machine-readable error codes throughout (serve.HTTPStatus is the
+// contract). Topology: clients ↔ hebfvd over HTTP; hebfvd evaluates on
+// any registry backend (-backend pim runs the modeled PIM system
+// behind the same endpoints).
+//
+// Quickstart (two shells):
+//
+//	hebfvd -addr :8443                         # n=4096, dcrt-native
+//	hebfv-loadgen -addr http://localhost:8443 -check
+//
+// hebfv-loadgen onboards simulated tenants, drives add/mul/rotate in a
+// closed or open loop, verifies every response byte-for-byte against
+// local evaluation (-check), and reports p50/p99 latency and ops/sec;
+// `hebfv-loadgen -json BENCH_serve.json` emits the tracked serving
+// report (schema repro/serve-loadgen/v1, internal/bench).
+//
 // The root package holds the per-figure benchmarks (bench_test.go); the
 // public API lives in hebfv/, the implementation under internal/ (see
 // DESIGN.md for the map) and the runnable entry points under cmd/ and

@@ -86,6 +86,15 @@ type DeferredMultiplier interface {
 	MulManyNTT(as, bs []bfv.MulOperand) ([]*bfv.ProductNTT, error)
 }
 
+// batchApplier is the optional Engine upgrade for applying one Galois
+// key across many ciphertexts as a single batch pipeline (the
+// coalesced-rotation workload of the served front end: many tenants'
+// same-step rotations gathered into one flush). Engines without it fall
+// back to per-ciphertext ApplyGalois.
+type batchApplier interface {
+	RotateManyAll(cts []*bfv.Ciphertext, gks []*bfv.GaloisKey) ([][]*bfv.Ciphertext, error)
+}
+
 // KernelReporter is the optional Engine upgrade for modeled-hardware
 // backends that account their kernel launches (the "pim" backend).
 type KernelReporter interface {
@@ -279,6 +288,10 @@ func (e *evalEngine) MulManyNTT(as, bs []bfv.MulOperand) ([]*bfv.ProductNTT, err
 
 func (e *evalEngine) RotateAndSum(cts []*bfv.Ciphertext, gks []*bfv.GaloisKey) ([]*bfv.Ciphertext, error) {
 	return e.be.RotateAndSum(cts, gks)
+}
+
+func (e *evalEngine) RotateManyAll(cts []*bfv.Ciphertext, gks []*bfv.GaloisKey) ([][]*bfv.Ciphertext, error) {
+	return e.be.RotateManyAll(cts, gks)
 }
 
 func (e *evalEngine) MulMany(as, bs []*bfv.Ciphertext) ([]*bfv.Ciphertext, error) {

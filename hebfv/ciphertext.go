@@ -53,6 +53,21 @@ func (ct *Ciphertext) force() *bfv.Ciphertext {
 	return ct.ct
 }
 
+// components returns the handle's component (polynomial) count without
+// forcing it: deferred rotation and multiplication outputs both
+// materialize to the relinearized two-component form, so their size is
+// known before any base conversion runs. Serialization size accounting
+// (MarshaledBytes, the server's Content-Length hints) relies on this
+// being exact for both handle kinds.
+func (ct *Ciphertext) components() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.ct != nil {
+		return len(ct.ct.Polys)
+	}
+	return 2
+}
+
 // deferred returns the rotation handle while the ciphertext has not
 // been materialized, else nil.
 func (ct *Ciphertext) deferred() *bfv.RotatedNTT {
@@ -115,6 +130,9 @@ func (c *Context) wrapDeferredProd(prod *bfv.ProductNTT) *Ciphertext {
 // own validates that ct belongs to this context and returns its
 // materialized form.
 func (c *Context) own(ct *Ciphertext) (*bfv.Ciphertext, error) {
+	if err := c.requireOpen(); err != nil {
+		return nil, err
+	}
 	if ct == nil {
 		return nil, fmt.Errorf("%w: nil ciphertext", ErrNilHandle)
 	}
@@ -155,6 +173,9 @@ type Plaintext struct {
 
 // ownPlain validates that pt belongs to this context.
 func (c *Context) ownPlain(pt *Plaintext) (*bfv.Plaintext, error) {
+	if err := c.requireOpen(); err != nil {
+		return nil, err
+	}
 	if pt == nil {
 		return nil, fmt.Errorf("%w: nil plaintext", ErrNilHandle)
 	}

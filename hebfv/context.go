@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bfv"
 	"repro/internal/sampling"
@@ -47,6 +48,8 @@ type Context struct {
 
 	mu  sync.Mutex
 	gks map[uint64]*bfv.GaloisKey // Galois element -> key
+
+	closed atomic.Bool // set by Close; operations reject with ErrContextClosed
 }
 
 // New builds a Context from functional options: parameter preset
@@ -80,8 +83,16 @@ func New(opts ...Option) (*Context, error) {
 		params: params,
 		gks:    map[uint64]*bfv.GaloisKey{},
 	}
-	if cfg.keySet != nil {
-		if err := c.importKeys(cfg.keySet); err != nil {
+	if cfg.keySet != nil && cfg.keySetR != nil {
+		return nil, errors.New("hebfv: WithKeySet and WithKeySetFrom are mutually exclusive")
+	}
+	if cfg.keySet != nil || cfg.keySetR != nil {
+		if cfg.keySet != nil {
+			err = c.importKeys(cfg.keySet)
+		} else {
+			err = c.importKeysFrom(cfg.keySetR)
+		}
+		if err != nil {
 			return nil, err
 		}
 		if c.sk != nil {
@@ -204,11 +215,46 @@ func (c *Context) Slots() int {
 // batching.
 func (c *Context) RowSlots() int { return c.Slots() / 2 }
 
-// CiphertextBytes returns the byte size of a fresh ciphertext.
-func (c *Context) CiphertextBytes() int { return c.params.CiphertextBytes() }
+// CiphertextBytes returns the exact encoded size of a fresh ciphertext:
+// the number of bytes MarshalTo writes for a two-component handle,
+// versioned header included. Deferred (NTT-resident) rotation and
+// multiplication outputs materialize to the same two-component form, so
+// this size — and the per-handle Ciphertext.MarshaledBytes — is exact
+// for both handle kinds; servers use it for Content-Length and
+// streaming size hints.
+func (c *Context) CiphertextBytes() int { return c.ciphertextWireBytes(2) }
 
 // CanDecrypt reports whether this context holds the secret key.
 func (c *Context) CanDecrypt() bool { return c.dec != nil }
+
+// Close releases the context deterministically: the cached Galois keys
+// — the dominant per-tenant memory in a serving cache, a full digit
+// decomposition pair per rotation step — are dropped immediately, and
+// every subsequent operation fails with a typed ErrContextClosed. Close
+// is idempotent. It must not race in-flight operations: a serving cache
+// evicts a context only once its in-flight count reaches zero.
+// Engine-held scratch returns to the shared pools once the context
+// becomes unreachable.
+func (c *Context) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.mu.Lock()
+	c.gks = map[uint64]*bfv.GaloisKey{}
+	c.mu.Unlock()
+	return nil
+}
+
+// requireOpen rejects operations on a closed context. It is checked at
+// the entry points every operation funnels through: handle validation
+// (own / ownPlain), the slot codec (requireBatching), deserialization
+// and key export.
+func (c *Context) requireOpen() error {
+	if c.closed.Load() {
+		return ErrContextClosed
+	}
+	return nil
+}
 
 // String summarizes the context.
 func (c *Context) String() string {
@@ -269,6 +315,9 @@ func (c *Context) FailoverStats() (stats FailoverStats, ok bool) {
 // galoisKey returns the key for Galois element g, deriving and caching
 // it when the context holds the secret key.
 func (c *Context) galoisKey(g uint64) (*bfv.GaloisKey, error) {
+	if err := c.requireOpen(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if gk, ok := c.gks[g]; ok {
@@ -302,6 +351,9 @@ func (c *Context) galoisKeys(gs []uint64) ([]*bfv.GaloisKey, error) {
 
 // requireBatching returns the batch encoder or a descriptive error.
 func (c *Context) requireBatching() (*bfv.BatchEncoder, error) {
+	if err := c.requireOpen(); err != nil {
+		return nil, err
+	}
 	if c.encoder == nil {
 		return nil, fmt.Errorf("%w: the slot API needs t prime with t ≡ 1 mod 2N: %v", ErrNoBatching, c.batchErr)
 	}

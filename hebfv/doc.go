@@ -2,8 +2,8 @@
 // small, stable, scheme-level API over the internal layers (key
 // generation, encoding, encryption, double-CRT evaluation, the PIM
 // simulator). It is the surface every consumer builds on — the
-// benchmarks and examples in this repository today, and the served
-// (HTTP/gRPC) evaluation front end the roadmap names next. Everything
+// benchmarks and examples in this repository, and the served HTTP
+// evaluation plane (repro/hebfv/serve, cmd/hebfvd). Everything
 // under internal/ is private and may change freely; only this package
 // is a compatibility surface.
 //
@@ -27,6 +27,46 @@
 // server half of the paper's deployment model. Ciphertexts marshal with
 // the same versioned header (Ciphertext.MarshalBinary /
 // Context.UnmarshalCiphertext).
+//
+// # Streaming serialization
+//
+// The serialization API is streaming-first: Ciphertext.MarshalTo and
+// Context.ReadCiphertext move one ciphertext record across an
+// io.Writer/io.Reader in pooled fixed-size chunks — the encoder's
+// working set is O(chunk), never O(blob), so a served front end pipes
+// multi-100KiB ciphertexts straight between sockets without staging
+// them. ReadCiphertext consumes exactly one record, so a request body
+// can carry operands back to back. Context.ExportKeysTo and
+// WithKeySetFrom are the same streaming pair for key sets, and the
+// []byte forms (MarshalBinary, UnmarshalCiphertext, ExportKeys,
+// WithKeySet) are thin wrappers over the identical code paths — one
+// wire format, no double buffering. Ciphertext.MarshaledBytes and
+// Context.CiphertextBytes return the exact encoded size — for deferred
+// (NTT-resident) handles too, without forcing them — so servers can set
+// Content-Length before streaming.
+//
+// # Serving
+//
+// Package repro/hebfv/serve builds the HE-as-a-service evaluation
+// plane on this facade, and the deployment split is expressed entirely
+// in Context state:
+//
+//   - The client keeps the key-owning context: it encrypts, derives the
+//     rotation keys its workload needs (WithRotations, or by running it
+//     once), and onboards ExportKeysTo(w, false) — the evaluation-only
+//     key set.
+//   - The server restores evaluation-only contexts with WithKeySetFrom
+//     and identifies them by Context.KeySetHash — the SHA-256 of the
+//     evaluation-only export, identical on both sides of the wire, so
+//     client and server agree on the tenant fingerprint without a
+//     registration round trip.
+//   - A serving cache bounds resident tenants and calls Context.Close
+//     on eviction: the cached Galois keys drop immediately and every
+//     later operation fails with typed ErrContextClosed (Close is
+//     idempotent; evict only at zero in-flight requests).
+//
+// RotateRowsEach is the coalesced-rotation primitive of that plane:
+// many ciphertexts, one step, one Galois key, one batch dispatch.
 //
 // # Slot-level operations
 //

@@ -24,6 +24,8 @@ import (
 //     that does not support CRT batching.
 //   - ErrNilHandle / ErrForeignHandle: a nil ciphertext/plaintext
 //     handle, or one owned by a different Context.
+//   - ErrContextClosed: the context was released with Close — a serving
+//     cache evicted it — and no longer accepts operations.
 //
 // No panic escapes the public API on malformed input: entry points
 // recover internal panics and surface them as wrapped ErrBackendFailed
@@ -35,6 +37,7 @@ var (
 	ErrNoBatching    = errors.New("hebfv: plaintext modulus does not support batching")
 	ErrNilHandle     = errors.New("hebfv: nil handle")
 	ErrForeignHandle = errors.New("hebfv: handle belongs to a different context")
+	ErrContextClosed = errors.New("hebfv: context is closed")
 )
 
 // guard is deferred by public entry points: a panic below the API

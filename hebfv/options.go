@@ -3,6 +3,7 @@ package hebfv
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/pim"
 )
@@ -18,6 +19,7 @@ type config struct {
 	seed      *uint64
 	pimDPUs   int
 	keySet    []byte
+	keySetR   io.Reader
 
 	pimFaultSeed  uint64
 	pimFaultRates map[string]float64 // injection site -> probability
@@ -163,6 +165,21 @@ func WithKeySet(data []byte) Option {
 			return errors.New("hebfv: empty key set")
 		}
 		c.keySet = data
+		return nil
+	}
+}
+
+// WithKeySetFrom is WithKeySet's streaming form: the key material is
+// read from r during New — exactly one ExportKeysTo record, consumed in
+// O(chunk) memory — so a server restoring many tenants' evaluation-only
+// contexts never stages whole key-set blobs. The stream is not read
+// past the record's end. Mutually exclusive with WithKeySet.
+func WithKeySetFrom(r io.Reader) Option {
+	return func(c *config) error {
+		if r == nil {
+			return errors.New("hebfv: nil key-set reader")
+		}
+		c.keySetR = r
 		return nil
 	}
 }

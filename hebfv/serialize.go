@@ -2,6 +2,7 @@ package hebfv
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -21,6 +22,14 @@ import (
 // facade blobs are the internal formats plus a self-describing,
 // versioned parameter guard, and the round trip is testable against the
 // internal layer directly.
+//
+// The primary entry points are streaming: Ciphertext.MarshalTo /
+// Context.ReadCiphertext and Context.ExportKeysTo / WithKeySetFrom move
+// records across io.Writer/io.Reader boundaries in O(chunk) memory, so
+// a served front end never stages a multi-MB ciphertext as one buffer.
+// The []byte forms (MarshalBinary, UnmarshalCiphertext, ExportKeys,
+// WithKeySet) are thin wrappers over the same code paths — one format,
+// no double buffering underneath.
 //
 // Kinds:
 //
@@ -47,6 +56,13 @@ type serialHeader struct {
 	T        uint64
 	BaseBits uint32
 }
+
+// serialHeaderBytes is the encoded size of the magic plus serialHeader.
+const serialHeaderBytes = 4 + 1 + 1 + 4 + 4 + 8 + 4
+
+// internalCiphertextHeaderBytes is the fixed prefix of the internal
+// ciphertext record: magic "BFVc" | u32 polyCount | u32 N | u32 W.
+const internalCiphertextHeaderBytes = 4 + 4 + 4 + 4
 
 func (c *Context) writeHeader(w io.Writer, kind uint8) error {
 	if _, err := w.Write(serialMagic[:]); err != nil {
@@ -88,26 +104,59 @@ func (c *Context) readHeader(r io.Reader, wantKind uint8) error {
 	return nil
 }
 
-// MarshalBinary serializes the ciphertext (forcing a deferred rotation
-// output first) with the versioned facade header.
-func (ct *Ciphertext) MarshalBinary() (_ []byte, err error) {
+// ciphertextWireBytes is the exact encoded size of a ciphertext with the
+// given component count under this context's parameters.
+func (c *Context) ciphertextWireBytes(components int) int {
+	return serialHeaderBytes + internalCiphertextHeaderBytes +
+		components*c.params.N*c.params.Q.W*4
+}
+
+// MarshalTo streams the ciphertext — versioned facade header plus the
+// internal record — to w in fixed-size chunks: the encoder's working
+// set is O(chunk) regardless of the ciphertext size, so serving paths
+// can pipe multi-MB ciphertexts straight into a socket. A deferred
+// (NTT-resident) handle is forced first; the bytes written are exactly
+// MarshaledBytes.
+func (ct *Ciphertext) MarshalTo(w io.Writer) (err error) {
 	defer guard(&err)
 	raw := ct.force()
-	var buf bytes.Buffer
-	if err := ct.ctx.writeHeader(&buf, kindCiphertext); err != nil {
-		return nil, err
+	if err := ct.ctx.writeHeader(w, kindCiphertext); err != nil {
+		return err
 	}
-	if err := raw.Serialize(&buf); err != nil {
+	return raw.Serialize(w)
+}
+
+// MarshaledBytes returns the exact encoded size of this handle —
+// MarshalTo writes exactly this many bytes. Deferred (NTT-resident)
+// rotation and multiplication outputs are sized without forcing them:
+// both materialize to the relinearized two-component form, so the size
+// hint is exact for either handle kind. Use it for Content-Length
+// headers and streaming buffers.
+func (ct *Ciphertext) MarshaledBytes() int {
+	return ct.ctx.ciphertextWireBytes(ct.components())
+}
+
+// MarshalBinary serializes the ciphertext as one buffer. It is a thin
+// wrapper over MarshalTo, pre-sized by MarshaledBytes.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(ct.MarshaledBytes())
+	if err := ct.MarshalTo(&buf); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-// UnmarshalCiphertext deserializes a ciphertext blob into a handle
-// bound to this context, validating the parameter guard.
-func (c *Context) UnmarshalCiphertext(data []byte) (_ *Ciphertext, err error) {
+// ReadCiphertext streams one ciphertext record from r into a handle
+// bound to this context, validating the parameter guard. It consumes
+// exactly the record's bytes, so records can be read back to back off
+// one stream (a request body carrying two operands, say). Decoding is
+// hardened: any structural violation is a typed ErrCorruptBlob.
+func (c *Context) ReadCiphertext(r io.Reader) (_ *Ciphertext, err error) {
 	defer guardBlob(&err)
-	r := bytes.NewReader(data)
+	if err := c.requireOpen(); err != nil {
+		return nil, err
+	}
 	if err := c.readHeader(r, kindCiphertext); err != nil {
 		return nil, err
 	}
@@ -115,28 +164,45 @@ func (c *Context) UnmarshalCiphertext(data []byte) (_ *Ciphertext, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptBlob, err)
 	}
+	return c.wrap(ct), nil
+}
+
+// UnmarshalCiphertext deserializes a ciphertext blob. It is a thin
+// wrapper over ReadCiphertext that additionally rejects trailing bytes
+// — a blob is exactly one record.
+func (c *Context) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+	r := bytes.NewReader(data)
+	ct, err := c.ReadCiphertext(r)
+	if err != nil {
+		return nil, err
+	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after ciphertext", ErrCorruptBlob, r.Len())
 	}
-	return c.wrap(ct), nil
+	return ct, nil
 }
 
 const keySetHasSecret = 1
 
-// ExportKeys serializes the context's key material — the public and
+// ExportKeysTo streams the context's key material — the public and
 // relinearization keys, every Galois key cached so far, and (when
-// includeSecret is set) the secret key — as one versioned blob a new
-// context restores with WithKeySet. Exporting without the secret yields
-// an evaluation-only key set: the server half of the deployment model.
+// includeSecret is set) the secret key — as one versioned record a new
+// context restores with WithKeySet / WithKeySetFrom. Exporting without
+// the secret yields an evaluation-only key set: the server half of the
+// deployment model.
 //
 // Galois keys are exported in element order; derive the keys a
 // restored evaluation-only context will need (WithRotations /
 // WithColumnRotation, or by running the workload once) before
-// exporting.
-func (c *Context) ExportKeys(includeSecret bool) (_ []byte, err error) {
+// exporting. The encoding is deterministic for a fixed key state, which
+// is what makes KeySetHash a stable fingerprint.
+func (c *Context) ExportKeysTo(w io.Writer, includeSecret bool) (err error) {
 	defer guard(&err)
+	if err := c.requireOpen(); err != nil {
+		return err
+	}
 	if includeSecret && c.sk == nil {
-		return nil, fmt.Errorf("%w: nothing to export", ErrNoSecretKey)
+		return fmt.Errorf("%w: nothing to export", ErrNoSecretKey)
 	}
 	c.mu.Lock()
 	gs := make([]uint64, 0, len(c.gks))
@@ -150,45 +216,88 @@ func (c *Context) ExportKeys(includeSecret bool) (_ []byte, err error) {
 	}
 	c.mu.Unlock()
 
-	var buf bytes.Buffer
-	if err := c.writeHeader(&buf, kindKeySet); err != nil {
-		return nil, err
+	if err := c.writeHeader(w, kindKeySet); err != nil {
+		return err
 	}
-	flags := byte(0)
+	flags := []byte{0}
 	if includeSecret {
-		flags |= keySetHasSecret
+		flags[0] |= keySetHasSecret
 	}
-	buf.WriteByte(flags)
+	if _, err := w.Write(flags); err != nil {
+		return err
+	}
 	if includeSecret {
-		if err := c.sk.Serialize(&buf); err != nil {
-			return nil, err
+		if err := c.sk.Serialize(w); err != nil {
+			return err
 		}
 	}
-	if err := c.pk.Serialize(&buf); err != nil {
-		return nil, err
+	if err := c.pk.Serialize(w); err != nil {
+		return err
 	}
-	if err := c.rlk.Serialize(&buf); err != nil {
-		return nil, err
+	if err := c.rlk.Serialize(w); err != nil {
+		return err
 	}
-	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(gks))); err != nil {
-		return nil, err
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(gks))); err != nil {
+		return err
 	}
 	for _, gk := range gks {
-		if err := gk.Serialize(&buf); err != nil {
-			return nil, err
+		if err := gk.Serialize(w); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// ExportKeys serializes the key material as one buffer — a thin wrapper
+// over ExportKeysTo.
+func (c *Context) ExportKeys(includeSecret bool) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.ExportKeysTo(&buf, includeSecret); err != nil {
+		return nil, err
+	}
 	return buf.Bytes(), nil
+}
+
+// KeySetHash returns the context's stable identity: the SHA-256 of its
+// evaluation-only key-set encoding (ExportKeysTo with includeSecret
+// false). Two contexts holding the same public material — a client and
+// the evaluation-only server context restored from its export — hash
+// identically, so the hash is the tenant key a serving cache looks
+// contexts up by. The fingerprint covers exactly the Galois keys cached
+// at call time: derive the workload's rotation keys before
+// fingerprinting, and fingerprint the blob you export, not a context
+// that has since derived more keys. A closed context returns the zero
+// hash.
+func (c *Context) KeySetHash() [32]byte {
+	h := sha256.New()
+	if err := c.ExportKeysTo(h, false); err != nil {
+		return [32]byte{}
+	}
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
 }
 
 // maxKeySetGaloisKeys bounds the Galois-key count when decoding.
 const maxKeySetGaloisKeys = 1 << 16
 
 // importKeys restores key material from an ExportKeys blob (New with
-// WithKeySet).
-func (c *Context) importKeys(data []byte) (err error) {
-	defer guardBlob(&err)
+// WithKeySet), rejecting trailing bytes.
+func (c *Context) importKeys(data []byte) error {
 	r := bytes.NewReader(data)
+	if err := c.importKeysFrom(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after key set", ErrCorruptBlob, r.Len())
+	}
+	return nil
+}
+
+// importKeysFrom streams key material from an ExportKeysTo record (New
+// with WithKeySetFrom). It consumes exactly the record's bytes.
+func (c *Context) importKeysFrom(r io.Reader) (err error) {
+	defer guardBlob(&err)
 	if err := c.readHeader(r, kindKeySet); err != nil {
 		return err
 	}
@@ -226,9 +335,6 @@ func (c *Context) importKeys(data []byte) (err error) {
 			return fmt.Errorf("%w: key set Galois key %d: %v", ErrCorruptBlob, i, err)
 		}
 		c.gks[gk.G] = gk
-	}
-	if r.Len() != 0 {
-		return fmt.Errorf("%w: %d trailing bytes after key set", ErrCorruptBlob, r.Len())
 	}
 	return nil
 }

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/hebfv"
+)
+
+// OpKind names the homomorphic operations the coalescer batches.
+type OpKind int
+
+const (
+	OpAdd OpKind = iota
+	OpMul
+	OpRotateRows
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpRotateRows:
+		return "rotate"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Coalescer gathers concurrent single-op submissions into batch
+// pipeline calls on the hebfv facade: Adds into AddMany, Muls into
+// MulMany (the backend's NTT-resident batch pipeline), and same-step
+// row rotations into RotateRowsEach. Requests group per (context, op
+// kind, rotation step) — homomorphic operations never mix tenants, a
+// rotation batch shares one Galois key — and a group flushes when it
+// reaches MaxBatch or when its oldest member has waited Window.
+//
+// Coalescing trades a bounded queueing delay (≤ Window) for batch
+// efficiency: one digit-decomposition setup, one worker-pool dispatch
+// and one scratch reservation serve the whole group. Results are
+// bit-identical to the single-op calls — batching in this codebase is
+// a scheduling construct, never an approximation.
+type Coalescer struct {
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending map[groupKey]*group
+
+	ops, batches int64
+	maxObserved  int
+}
+
+type groupKey struct {
+	ctx  *hebfv.Context
+	kind OpKind
+	step int // rotation step; 0 for add/mul
+}
+
+// group is one open batch: operands accumulate until flush, then every
+// waiter reads its slot of outs.
+type group struct {
+	key    groupKey
+	as, bs []*hebfv.Ciphertext
+	done   chan struct{}
+	outs   []*hebfv.Ciphertext
+	err    error
+}
+
+// NewCoalescer builds a coalescer flushing groups at maxBatch ops (≥ 1)
+// or after window, whichever comes first. window 0 still coalesces
+// whatever arrives within one scheduler pass — the timer fires
+// immediately but submissions already queued join the batch.
+func NewCoalescer(window time.Duration, maxBatch int) *Coalescer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &Coalescer{
+		window:   window,
+		maxBatch: maxBatch,
+		pending:  map[groupKey]*group{},
+	}
+}
+
+// Add submits a + b and blocks until its batch flushes.
+func (co *Coalescer) Add(ctx *hebfv.Context, a, b *hebfv.Ciphertext) (*hebfv.Ciphertext, error) {
+	return co.submit(groupKey{ctx: ctx, kind: OpAdd}, a, b)
+}
+
+// Mul submits the relinearized product a·b and blocks until its batch
+// flushes.
+func (co *Coalescer) Mul(ctx *hebfv.Context, a, b *hebfv.Ciphertext) (*hebfv.Ciphertext, error) {
+	return co.submit(groupKey{ctx: ctx, kind: OpMul}, a, b)
+}
+
+// RotateRows submits a row rotation by k steps and blocks until its
+// batch flushes. Only same-step submissions share a batch (they share
+// the Galois key).
+func (co *Coalescer) RotateRows(ctx *hebfv.Context, a *hebfv.Ciphertext, k int) (*hebfv.Ciphertext, error) {
+	return co.submit(groupKey{ctx: ctx, kind: OpRotateRows, step: k}, a, nil)
+}
+
+func (co *Coalescer) submit(key groupKey, a, b *hebfv.Ciphertext) (*hebfv.Ciphertext, error) {
+	co.mu.Lock()
+	g, ok := co.pending[key]
+	if !ok {
+		g = &group{key: key, done: make(chan struct{})}
+		co.pending[key] = g
+		// The window timer flushes the group unless MaxBatch got there
+		// first (flushLocked removes it from pending, making the timer's
+		// lookup miss).
+		time.AfterFunc(co.window, func() {
+			co.mu.Lock()
+			if co.pending[key] == g {
+				co.flushLocked(g)
+			}
+			co.mu.Unlock()
+		})
+	}
+	idx := len(g.as)
+	g.as = append(g.as, a)
+	g.bs = append(g.bs, b)
+	co.ops++
+	if len(g.as) >= co.maxBatch {
+		co.flushLocked(g)
+	}
+	co.mu.Unlock()
+
+	<-g.done
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.outs[idx], nil
+}
+
+// flushLocked detaches the group and runs its batch call on a fresh
+// goroutine (the caller holds co.mu; evaluation must not).
+func (co *Coalescer) flushLocked(g *group) {
+	delete(co.pending, g.key)
+	co.batches++
+	if len(g.as) > co.maxObserved {
+		co.maxObserved = len(g.as)
+	}
+	go func() {
+		defer close(g.done)
+		switch g.key.kind {
+		case OpAdd:
+			g.outs, g.err = g.key.ctx.AddMany(g.as, g.bs)
+		case OpMul:
+			g.outs, g.err = g.key.ctx.MulMany(g.as, g.bs)
+		case OpRotateRows:
+			g.outs, g.err = g.key.ctx.RotateRowsEach(g.as, g.key.step)
+		default:
+			g.err = fmt.Errorf("serve: unknown op kind %v", g.key.kind)
+		}
+	}()
+}
+
+// CoalescerStats is a point-in-time snapshot of the batching counters.
+type CoalescerStats struct {
+	Ops      int64   `json:"ops"`
+	Batches  int64   `json:"batches"`
+	MaxBatch int     `json:"max_batch_observed"`
+	AvgBatch float64 `json:"avg_batch"`
+}
+
+// Stats snapshots the counters.
+func (co *Coalescer) Stats() CoalescerStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	s := CoalescerStats{Ops: co.ops, Batches: co.batches, MaxBatch: co.maxObserved}
+	if co.batches > 0 {
+		s.AvgBatch = float64(co.ops) / float64(co.batches)
+	}
+	return s
+}

@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/hebfv"
+)
+
+// newClient builds a key-owning toy client context with the rotation
+// key for step 1 derived (so its evaluation-only export serves rotate
+// requests).
+func newClient(t *testing.T, seed uint64) *hebfv.Context {
+	t.Helper()
+	ctx, err := hebfv.New(hebfv.WithInsecureToyParameters(), hebfv.WithSeed(seed), hebfv.WithRotations(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	opts.ContextOptions = append(opts.ContextOptions, hebfv.WithInsecureToyParameters())
+	s := NewServer(opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// onboard posts the client's evaluation-only key set and returns the
+// fingerprint in request form.
+func onboard(t *testing.T, base string, ctx *hebfv.Context, hint bool) string {
+	t.Helper()
+	blob, err := ctx.ExportKeys(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := ctx.KeySetHash()
+	url := base + "/v1/keysets"
+	if hint {
+		url = fmt.Sprintf("%s?sha256=%x", url, fp[:])
+	}
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("onboarding: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var got struct {
+		KeySet string `json:"keyset"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("onboarding response %q: %v", body, err)
+	}
+	if want := fmt.Sprintf("%x", fp[:]); got.KeySet != want {
+		t.Fatalf("server fingerprint %s, client computed %s", got.KeySet, want)
+	}
+	return got.KeySet
+}
+
+func evalReq(t *testing.T, base, op, fp string, extra string, body []byte) *http.Response {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/eval/%s?keyset=%s%s", base, op, fp, extra)
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// errCode decodes the typed error body.
+func errCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var e struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	return e.Code
+}
+
+// TestServeEndToEnd runs the full deployment loop: onboard, evaluate
+// add/mul/rotate over HTTP, decrypt locally — and pins the responses
+// byte-identical to local evaluation (coalesced batches are scheduling,
+// not approximation).
+func TestServeEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	ctx := newClient(t, 42)
+	fp := onboard(t, hs.URL, ctx, true)
+
+	va := make([]uint64, ctx.Slots())
+	vb := make([]uint64, ctx.Slots())
+	for i := range va {
+		va[i], vb[i] = uint64(i), uint64(2*i+1)
+	}
+	cta, err := ctx.EncryptSlots(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctb, err := ctx.EncryptSlots(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobA, _ := cta.MarshalBinary()
+	blobB, _ := ctb.MarshalBinary()
+	pair := append(append([]byte{}, blobA...), blobB...)
+
+	row := ctx.RowSlots()
+	mod := ctx.PlaintextModulus()
+	expect := func(op string) ([]uint64, *hebfv.Ciphertext) {
+		switch op {
+		case "add":
+			want := make([]uint64, len(va))
+			for i := range want {
+				want[i] = (va[i] + vb[i]) % mod
+			}
+			local, err := ctx.Add(cta, ctb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return want, local
+		case "mul":
+			want := make([]uint64, len(va))
+			for i := range want {
+				want[i] = va[i] * vb[i] % mod
+			}
+			local, err := ctx.Mul(cta, ctb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return want, local
+		default: // rotate by 1: slot (r, c) <- slot (r, (c+1) mod row)
+			want := make([]uint64, len(va))
+			for r := 0; r < 2; r++ {
+				for c := 0; c < row; c++ {
+					want[r*row+c] = va[r*row+(c+1)%row]
+				}
+			}
+			local, err := ctx.RotateRows(cta, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return want, local
+		}
+	}
+
+	for _, op := range []string{"add", "mul", "rotate"} {
+		body, extra := pair, ""
+		if op == "rotate" {
+			body, extra = blobA, "&k=1"
+		}
+		resp := evalReq(t, hs.URL, op, fp, extra, body)
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d (%v): %s", op, resp.StatusCode, err, payload)
+		}
+		if cl := resp.ContentLength; cl != int64(len(payload)) {
+			t.Errorf("%s: Content-Length %d, body %d bytes", op, cl, len(payload))
+		}
+		want, local := expect(op)
+		localBlob, err := local.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, localBlob) {
+			t.Errorf("%s: served response is not bit-identical to local evaluation", op)
+		}
+		out, err := ctx.UnmarshalCiphertext(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ctx.DecryptSlots(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: slot %d = %d, want %d", op, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestServeTypedRejections pins the error contract: corrupt blobs 400,
+// unknown fingerprints 404, semantically impossible requests (a
+// rotation step with no Galois key on an evaluation-only context) 422 —
+// each with its machine-readable code — and the server keeps serving
+// valid requests afterwards.
+func TestServeTypedRejections(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	ctx := newClient(t, 7)
+	fp := onboard(t, hs.URL, ctx, false)
+	ct, err := ctx.EncryptValue(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := ct.MarshalBinary()
+	pair := append(append([]byte{}, blob...), blob...)
+
+	// Corrupt body: flip a byte inside the header region.
+	bad := append([]byte{}, pair...)
+	bad[2] ^= 0xFF
+	if resp := evalReq(t, hs.URL, "add", fp, "", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt blob: HTTP %d, want 400", resp.StatusCode)
+	} else if code := errCode(t, resp); code != "corrupt_blob" {
+		t.Fatalf("corrupt blob code %q", code)
+	}
+	// Truncated body.
+	if resp := evalReq(t, hs.URL, "add", fp, "", pair[:len(pair)/2]); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated blob: HTTP %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	// Foreign fingerprint: never onboarded.
+	foreign := newClient(t, 8)
+	ffp := fmt.Sprintf("%x", foreign.KeySetHash())
+	if resp := evalReq(t, hs.URL, "add", ffp, "", pair); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key set: HTTP %d, want 404", resp.StatusCode)
+	} else if code := errCode(t, resp); code != "unknown_keyset" {
+		t.Fatalf("unknown key set code %q", code)
+	}
+	// Rotation step with no exported Galois key: the evaluation-only
+	// server context cannot derive it — typed 422.
+	if resp := evalReq(t, hs.URL, "rotate", fp, "&k=3", blob); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("underivable rotation: HTTP %d, want 422", resp.StatusCode)
+	} else if code := errCode(t, resp); code != "no_secret_key" {
+		t.Fatalf("underivable rotation code %q", code)
+	}
+	// A key set containing the secret key is refused at onboarding.
+	skBlob, err := ctx.ExportKeys(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/keysets", "application/octet-stream", bytes.NewReader(skBlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("secret-key onboarding: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The rejections poisoned nothing: a valid request still round-trips.
+	resp2 := evalReq(t, hs.URL, "add", fp, "", pair)
+	payload, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("valid request after rejections: HTTP %d (%v)", resp2.StatusCode, err)
+	}
+	out, err := ctx.UnmarshalCiphertext(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ctx.DecryptValue(out); err != nil || v != 10 {
+		t.Fatalf("decrypted %d (%v), want 10", v, err)
+	}
+}
+
+// TestServeQuota429 pins the backpressure contract: with a per-tenant
+// quota of 1 and a coalescing window long enough to hold requests in
+// flight, a concurrent burst sees typed 429s — and the server serves
+// normally afterwards (no pool poisoning).
+func TestServeQuota429(t *testing.T) {
+	_, hs := newTestServer(t, Options{
+		TenantInflight: 1,
+		Window:         150 * time.Millisecond,
+		MaxBatch:       1024, // only the window flushes: requests hold slots for the full window
+	})
+	ctx := newClient(t, 11)
+	fp := onboard(t, hs.URL, ctx, false)
+	ct, err := ctx.EncryptValue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := ct.MarshalBinary()
+	pair := append(append([]byte{}, blob...), blob...)
+
+	const burst = 4
+	codes := make(chan int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := evalReq(t, hs.URL, "add", fp, "", pair)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+		time.Sleep(10 * time.Millisecond) // stagger inside the window
+	}
+	wg.Wait()
+	close(codes)
+	var ok200, got429 int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			got429++
+		default:
+			t.Fatalf("unexpected status %d in burst", c)
+		}
+	}
+	if ok200 == 0 || got429 == 0 {
+		t.Fatalf("burst saw %d OKs and %d 429s; want both backpressure and progress", ok200, got429)
+	}
+	// Quota slots released: a sequential request succeeds.
+	resp := evalReq(t, hs.URL, "add", fp, "", pair)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after burst: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestCacheEvictionCloses pins the cache lifecycle: LRU eviction under
+// the byte budget closes unpinned contexts immediately, defers closing
+// pinned ones to the last release, and evicted fingerprints turn into
+// typed misses.
+func TestCacheEvictionCloses(t *testing.T) {
+	cache := NewContextCache(100)
+	ids := make([][32]byte, 3)
+	ctxs := make([]*hebfv.Context, 3)
+	for i := range ids {
+		client := newClient(t, uint64(20+i))
+		blob, err := client.ExportKeys(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxs[i], err = hebfv.New(hebfv.WithInsecureToyParameters(), hebfv.WithKeySet(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = client.KeySetHash()
+	}
+	if !cache.Add(ids[0], ctxs[0], 80) {
+		t.Fatal("first Add rejected")
+	}
+	// Second insert blows the budget: entry 0 (LRU) evicts, refs 0 → closed.
+	cache.Add(ids[1], ctxs[1], 80)
+	if _, _, err := cache.Acquire(ids[0]); !errors.Is(err, ErrUnknownKeySet) {
+		t.Fatalf("evicted entry Acquire: %v, want ErrUnknownKeySet", err)
+	}
+	if err := ctxs[0].ExportKeysTo(io.Discard, false); !errors.Is(err, hebfv.ErrContextClosed) {
+		t.Fatalf("evicted unpinned context not closed: %v", err)
+	}
+	// Pin entry 1, then evict it: the close defers to the release.
+	pinned, release, err := cache.Acquire(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Add(ids[2], ctxs[2], 80)
+	if _, _, err := cache.Acquire(ids[1]); !errors.Is(err, ErrUnknownKeySet) {
+		t.Fatalf("doomed entry still acquirable: %v", err)
+	}
+	if err := pinned.ExportKeysTo(io.Discard, false); err != nil {
+		t.Fatalf("doomed-but-pinned context closed early: %v", err)
+	}
+	release()
+	if err := pinned.ExportKeysTo(io.Discard, false); !errors.Is(err, hebfv.ErrContextClosed) {
+		t.Fatalf("doomed context not closed at last release: %v", err)
+	}
+	if st := cache.Stats(); st.Evictions != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v; want 2 evictions, 1 entry", st)
+	}
+}
+
+// TestCacheSingleflight pins the construction contract: concurrent
+// onboards of one fingerprint run the build exactly once.
+func TestCacheSingleflight(t *testing.T) {
+	client := newClient(t, 33)
+	blob, err := client.ExportKeys(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := client.KeySetHash()
+	cache := NewContextCache(0)
+	var builds sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, release, _, err := cache.AcquireOrBuild(id, func() (*hebfv.Context, int64, error) {
+				builds.Store(i, true)
+				time.Sleep(20 * time.Millisecond) // hold the flight open for the racers
+				ctx, err := hebfv.New(hebfv.WithInsecureToyParameters(), hebfv.WithKeySet(blob))
+				return ctx, int64(len(blob)), err
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			release()
+		}(i)
+	}
+	wg.Wait()
+	count := 0
+	builds.Range(func(_, _ any) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("%d builds ran for one fingerprint; want 1 (singleflight)", count)
+	}
+	if st := cache.Stats(); st.Builds != 1 {
+		t.Fatalf("stats count %d builds; want 1", st.Builds)
+	}
+}
+
+// TestCoalescerBatching pins the batching semantics: concurrent
+// same-kind submissions on one context land in one flush, and every
+// waiter gets its own slot's result.
+func TestCoalescerBatching(t *testing.T) {
+	ctx := newClient(t, 44)
+	co := NewCoalescer(100*time.Millisecond, 64)
+	const k = 4
+	cts := make([]*hebfv.Ciphertext, k)
+	for i := range cts {
+		var err error
+		if cts[i], err = ctx.EncryptValue(uint64(10 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one, err := ctx.EncryptValue(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]uint64, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := co.Add(ctx, cts[i], one)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			v, err := ctx.DecryptValue(out)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range results {
+		if v != uint64(11+i) {
+			t.Errorf("waiter %d got %d, want %d (slot mix-up?)", i, v, 11+i)
+		}
+	}
+	st := co.Stats()
+	if st.Ops != k {
+		t.Fatalf("stats count %d ops, want %d", st.Ops, k)
+	}
+	if st.Batches >= k {
+		t.Fatalf("%d batches for %d concurrent ops: nothing coalesced", st.Batches, k)
+	}
+}

@@ -1,6 +1,10 @@
 package hebfv
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/bfv"
+)
 
 // Slot-level rotations. Under CRT batching the N plaintext slots form a
 // 2 × (N/2) matrix, and the ring's Galois automorphisms act on it as
@@ -245,6 +249,52 @@ func (c *Context) RotateRowsAndSum(cts []*Ciphertext, ks []int) (_ []*Ciphertext
 		wrapped[i] = c.wrap(ct)
 	}
 	return wrapped, nil
+}
+
+// RotateRowsEach rotates every input ciphertext's rows left by the same
+// k steps — the coalesced-rotation workload of the served front end,
+// where concurrent tenants' same-step requests are gathered and flushed
+// as one batch. On engines exposing a batch rotation pipeline the whole
+// slice shares one dispatch; otherwise the rotations apply serially.
+// Each output is bit-identical to RotateRows(cts[i], k).
+func (c *Context) RotateRowsEach(cts []*Ciphertext, k int) (_ []*Ciphertext, err error) {
+	defer guard(&err)
+	if _, err := c.requireBatching(); err != nil {
+		return nil, err
+	}
+	raw, err := c.ownAll(cts)
+	if err != nil {
+		return nil, err
+	}
+	g := c.rowStepElement(k)
+	if g == 1 {
+		out := make([]*Ciphertext, len(cts))
+		copy(out, cts) // rotation by a multiple of the row length
+		return out, nil
+	}
+	gk, err := c.galoisKey(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Ciphertext, len(raw))
+	if ba, ok := c.eng.(batchApplier); ok {
+		rows, err := ba.RotateManyAll(raw, []*bfv.GaloisKey{gk})
+		if err != nil {
+			return nil, err
+		}
+		for i, row := range rows {
+			out[i] = c.wrap(row[0])
+		}
+		return out, nil
+	}
+	for i, r := range raw {
+		rot, err := c.eng.ApplyGalois(r, gk)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c.wrap(rot)
+	}
+	return out, nil
 }
 
 // rowStepElements maps rotation steps to Galois elements. Steps that

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// Serve perf tracking: the hebfv-loadgen command drives a running
+// hebfvd evaluation server and emits BENCH_serve.json — the served
+// evaluation plane's latency/throughput trajectory, recorded from the
+// PR that introduced it onward.
+//
+// v1 measures per-op request latency quantiles (p50/p99) and
+// throughput under a closed- or open-loop load, with byte-level
+// response verification against locally evaluated expectations
+// (mismatches must be zero: batching and coalescing on the server are
+// scheduling constructs, never approximations).
+
+// ServePoint is one operation's measured row.
+type ServePoint struct {
+	Op         string  `json:"op"` // "add" | "mul" | "rotate"
+	Count      int     `json:"count"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Micros  int64   `json:"p50_us"`
+	P99Micros  int64   `json:"p99_us"`
+	MeanMicros int64   `json:"mean_us"`
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	Schema      string  `json:"schema"`
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Backend     string  `json:"backend"`
+	N           int     `json:"n"`
+	Mode        string  `json:"mode"` // "closed" | "open"
+	Tenants     int     `json:"tenants"`
+	Concurrency int     `json:"concurrency"` // workers per tenant (closed loop)
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+
+	TotalOps       int     `json:"total_ops"`
+	TotalOpsPerSec float64 `json:"total_ops_per_sec"`
+	Rejections     int64   `json:"rejections"` // 429/503 backpressure responses
+	Checked        bool    `json:"checked"`    // responses compared byte-for-byte
+	Mismatches     int64   `json:"mismatches"` // must stay 0
+
+	Points []ServePoint `json:"points"`
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the latency sample,
+// sorting it in place. Zero-length samples yield 0.
+func Quantile(sample []time.Duration, q float64) time.Duration {
+	if len(sample) == 0 {
+		return 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	idx := int(q * float64(len(sample)-1))
+	return sample[idx]
+}
+
+// ServePointFrom summarizes one op's latency sample (sorted in place)
+// over the run's wall-clock duration.
+func ServePointFrom(op string, sample []time.Duration, elapsed time.Duration) ServePoint {
+	p := ServePoint{Op: op, Count: len(sample)}
+	if len(sample) == 0 {
+		return p
+	}
+	var sum time.Duration
+	for _, d := range sample {
+		sum += d
+	}
+	p.P50Micros = Quantile(sample, 0.50).Microseconds()
+	p.P99Micros = Quantile(sample, 0.99).Microseconds()
+	p.MeanMicros = (sum / time.Duration(len(sample))).Microseconds()
+	if elapsed > 0 {
+		p.OpsPerSec = float64(len(sample)) / elapsed.Seconds()
+	}
+	return p
+}
+
+// WriteServeJSON writes the report to path (the conventional name is
+// BENCH_serve.json at the repo root).
+func WriteServeJSON(path string, rep *ServeReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/limb32"
 	"repro/internal/poly"
@@ -25,14 +26,53 @@ var (
 
 const maxSerializedPolys = 16 // sanity bound when decoding
 
+// Polynomial limbs cross io.Writer/io.Reader boundaries through a fixed
+// pooled chunk buffer instead of binary.Write/binary.Read, which would
+// stage the whole limb vector in one transient allocation. A served
+// front end streams multi-hundred-KiB ciphertexts per request, so the
+// encode/decode working set must stay O(chunk), not O(blob). The wire
+// layout is unchanged: the little-endian u32 limb sequence.
+
+const polyChunkWords = 8 << 10 // 32 KiB chunks
+
+var polyChunkPool = sync.Pool{New: func() any {
+	b := make([]byte, polyChunkWords*4)
+	return &b
+}}
+
 func writePoly(w io.Writer, p *poly.Poly) error {
-	return binary.Write(w, binary.LittleEndian, p.C)
+	bp := polyChunkPool.Get().(*[]byte)
+	defer polyChunkPool.Put(bp)
+	buf := *bp
+	c := p.C
+	for len(c) > 0 {
+		k := min(len(c), polyChunkWords)
+		for i, v := range c[:k] {
+			binary.LittleEndian.PutUint32(buf[i*4:], v)
+		}
+		if _, err := w.Write(buf[:k*4]); err != nil {
+			return err
+		}
+		c = c[k:]
+	}
+	return nil
 }
 
 func readPoly(r io.Reader, n, width int) (*poly.Poly, error) {
 	p := poly.NewPoly(n, width)
-	if err := binary.Read(r, binary.LittleEndian, p.C); err != nil {
-		return nil, err
+	bp := polyChunkPool.Get().(*[]byte)
+	defer polyChunkPool.Put(bp)
+	buf := *bp
+	c := p.C
+	for len(c) > 0 {
+		k := min(len(c), polyChunkWords)
+		if _, err := io.ReadFull(r, buf[:k*4]); err != nil {
+			return nil, err
+		}
+		for i := range c[:k] {
+			c[i] = binary.LittleEndian.Uint32(buf[i*4:])
+		}
+		c = c[k:]
 	}
 	return p, nil
 }
