@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// Serve-latency gate: diff two hebfv-loadgen JSON reports
+// (bench.ServeReport) and fail on throughput or tail-latency
+// regressions. Throughput regresses when baseline/new ops/sec exceeds
+// the ops threshold (total and per-op); latency regresses when
+// new/baseline p99 exceeds the p99 threshold (per-op). Ops present on
+// only one side are reported but never fail the gate, mirroring the
+// benchmark diff's add/retire tolerance. Zero-count rows (an op the
+// run never exercised) are skipped entirely.
+
+// loadServeReport reads and sanity-checks one loadgen report.
+func loadServeReport(path string) (*bench.ServeReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "repro/serve-loadgen/") {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, rep.Schema)
+	}
+	if rep.TotalOps == 0 || rep.TotalOpsPerSec <= 0 {
+		return nil, fmt.Errorf("%s: empty run (total_ops=%d)", path, rep.TotalOps)
+	}
+	return &rep, nil
+}
+
+// serveRegression is one failed serve-gate row.
+type serveRegression struct {
+	row    string
+	metric string
+	ratio  float64 // how far beyond the threshold's nominal direction
+}
+
+// serveDiff compares the two reports and returns the rendered listing
+// plus the regressed rows.
+func serveDiff(base, cur *bench.ServeReport, opsFactor, p99Factor float64) (string, []serveRegression) {
+	var sb strings.Builder
+	var regressed []serveRegression
+
+	row := func(label string, baseOps, curOps float64, baseP99, curP99 int64) {
+		status := "ok"
+		if baseOps > 0 && curOps > 0 && baseOps/curOps > opsFactor {
+			status = "REGRESSION"
+			regressed = append(regressed, serveRegression{
+				row: label, metric: "ops/sec", ratio: baseOps / curOps,
+			})
+		}
+		if baseP99 > 0 && curP99 > 0 && float64(curP99)/float64(baseP99) > p99Factor {
+			if status == "ok" {
+				status = "REGRESSION"
+			}
+			regressed = append(regressed, serveRegression{
+				row: label, metric: "p99", ratio: float64(curP99) / float64(baseP99),
+			})
+		}
+		sb.WriteString(fmt.Sprintf("%-12s %10.1f -> %10.1f ops/s  p99 %8dus -> %8dus  %s\n",
+			label, baseOps, curOps, baseP99, curP99, status))
+	}
+
+	row("total", base.TotalOpsPerSec, cur.TotalOpsPerSec, 0, 0)
+
+	basePts := map[string]bench.ServePoint{}
+	for _, p := range base.Points {
+		if p.Count > 0 {
+			basePts[p.Op] = p
+		}
+	}
+	curPts := map[string]bench.ServePoint{}
+	for _, p := range cur.Points {
+		if p.Count > 0 {
+			curPts[p.Op] = p
+		}
+	}
+	ops := make([]string, 0, len(basePts))
+	for op := range basePts {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		b := basePts[op]
+		c, ok := curPts[op]
+		if !ok {
+			sb.WriteString(fmt.Sprintf("%-12s baseline %.1f ops/s, not measured (skipped)\n", op, b.OpsPerSec))
+			continue
+		}
+		row(op, b.OpsPerSec, c.OpsPerSec, b.P99Micros, c.P99Micros)
+	}
+	newOps := make([]string, 0, len(curPts))
+	for op := range curPts {
+		if _, ok := basePts[op]; !ok {
+			newOps = append(newOps, op)
+		}
+	}
+	sort.Strings(newOps)
+	for _, op := range newOps {
+		sb.WriteString(fmt.Sprintf("%-12s new op %.1f ops/s (no baseline)\n", op, curPts[op].OpsPerSec))
+	}
+	return sb.String(), regressed
+}
+
+// serveGate is the -serve-baseline/-serve-new entry point. It returns
+// the process exit code.
+func serveGate(baselinePath, newPath string, opsFactor, p99Factor float64) int {
+	base, err := loadServeReport(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := loadServeReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	if cur.Checked && cur.Mismatches != 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: new run reports %d response mismatches (must be 0)\n", cur.Mismatches)
+		return 1
+	}
+	listing, regressed := serveDiff(base, cur, opsFactor, p99Factor)
+	fmt.Print(listing)
+	if len(regressed) > 0 {
+		fmt.Println("\nRegressed rows:")
+		for _, r := range regressed {
+			fmt.Printf("  %-12s %s %.2fx beyond baseline\n", r.row, r.metric, r.ratio)
+		}
+		fmt.Printf("benchdiff: %d serve regression(s) (ops/sec floor %.2fx, p99 ceiling %.2fx)\n",
+			len(regressed), opsFactor, p99Factor)
+		return 1
+	}
+	fmt.Println("benchdiff: serve metrics within thresholds")
+	return 0
+}

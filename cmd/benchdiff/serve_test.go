@@ -1,0 +1,152 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func serveReport(totalOps float64, pts ...bench.ServePoint) *bench.ServeReport {
+	total := 0
+	for _, p := range pts {
+		total += p.Count
+	}
+	if total == 0 {
+		total = 1
+	}
+	return &bench.ServeReport{
+		Schema:         "repro/serve-loadgen/v1",
+		TotalOps:       total,
+		TotalOpsPerSec: totalOps,
+		Points:         pts,
+	}
+}
+
+func TestServeDiffWithinThresholds(t *testing.T) {
+	base := serveReport(100,
+		bench.ServePoint{Op: "add", Count: 50, OpsPerSec: 60, P99Micros: 1000},
+		bench.ServePoint{Op: "mul", Count: 50, OpsPerSec: 40, P99Micros: 5000},
+	)
+	cur := serveReport(90,
+		bench.ServePoint{Op: "add", Count: 45, OpsPerSec: 55, P99Micros: 1200},
+		bench.ServePoint{Op: "mul", Count: 45, OpsPerSec: 35, P99Micros: 6000},
+	)
+	listing, regressed := serveDiff(base, cur, 1.5, 1.5)
+	if len(regressed) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regressed)
+	}
+	for _, want := range []string{"total", "add", "mul", "ok"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func TestServeDiffFlagsThroughputDrop(t *testing.T) {
+	base := serveReport(100, bench.ServePoint{Op: "add", Count: 10, OpsPerSec: 100, P99Micros: 1000})
+	cur := serveReport(40, bench.ServePoint{Op: "add", Count: 10, OpsPerSec: 40, P99Micros: 1000})
+	_, regressed := serveDiff(base, cur, 1.5, 1.5)
+	if len(regressed) != 2 {
+		t.Fatalf("got %d regressions, want 2 (total + add ops/sec): %+v", len(regressed), regressed)
+	}
+	for _, r := range regressed {
+		if r.metric != "ops/sec" {
+			t.Errorf("regression metric = %q, want ops/sec", r.metric)
+		}
+		if r.ratio < 2.4 || r.ratio > 2.6 {
+			t.Errorf("ratio = %.2f, want ~2.5", r.ratio)
+		}
+	}
+}
+
+func TestServeDiffFlagsTailLatency(t *testing.T) {
+	base := serveReport(100, bench.ServePoint{Op: "mul", Count: 10, OpsPerSec: 100, P99Micros: 1000})
+	cur := serveReport(100, bench.ServePoint{Op: "mul", Count: 10, OpsPerSec: 100, P99Micros: 4000})
+	_, regressed := serveDiff(base, cur, 1.5, 1.5)
+	if len(regressed) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regressed), regressed)
+	}
+	if regressed[0].metric != "p99" || regressed[0].row != "mul" {
+		t.Errorf("regression = %+v, want mul p99", regressed[0])
+	}
+}
+
+func TestServeDiffOneSidedOpsNeverFail(t *testing.T) {
+	base := serveReport(100,
+		bench.ServePoint{Op: "add", Count: 10, OpsPerSec: 100, P99Micros: 1000},
+		bench.ServePoint{Op: "rotate", Count: 10, OpsPerSec: 100, P99Micros: 1000},
+	)
+	cur := serveReport(100,
+		bench.ServePoint{Op: "add", Count: 10, OpsPerSec: 100, P99Micros: 1000},
+		bench.ServePoint{Op: "sum", Count: 10, OpsPerSec: 1, P99Micros: 999999},
+	)
+	listing, regressed := serveDiff(base, cur, 1.5, 1.5)
+	if len(regressed) != 0 {
+		t.Fatalf("one-sided ops regressed: %+v", regressed)
+	}
+	if !strings.Contains(listing, "not measured (skipped)") {
+		t.Errorf("listing missing skip note for retired op:\n%s", listing)
+	}
+	if !strings.Contains(listing, "new op") {
+		t.Errorf("listing missing new-op note:\n%s", listing)
+	}
+}
+
+func TestServeDiffSkipsZeroCountRows(t *testing.T) {
+	base := serveReport(100,
+		bench.ServePoint{Op: "add", Count: 10, OpsPerSec: 100, P99Micros: 1000},
+		bench.ServePoint{Op: "mul", Count: 0, OpsPerSec: 0, P99Micros: 0},
+	)
+	cur := serveReport(100,
+		bench.ServePoint{Op: "add", Count: 10, OpsPerSec: 100, P99Micros: 1000},
+		bench.ServePoint{Op: "mul", Count: 0, OpsPerSec: 0, P99Micros: 0},
+	)
+	listing, regressed := serveDiff(base, cur, 1.5, 1.5)
+	if len(regressed) != 0 {
+		t.Fatalf("zero-count rows regressed: %+v", regressed)
+	}
+	if strings.Contains(listing, "mul") {
+		t.Errorf("zero-count row should be absent from listing:\n%s", listing)
+	}
+}
+
+func TestLoadServeReportRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong-schema.json": `{"schema":"repro/other/v1","total_ops":5,"total_ops_per_sec":1}`,
+		"empty-run.json":    `{"schema":"repro/serve-loadgen/v1","total_ops":0,"total_ops_per_sec":0}`,
+		"not-json.json":     `{{{`,
+	}
+	for name, content := range cases {
+		p := writeTemp(t, name, content)
+		if _, err := loadServeReport(p); err == nil {
+			t.Errorf("%s: loadServeReport accepted bad input", name)
+		}
+	}
+	if _, err := loadServeReport(writeTemp(t, "ok.json",
+		`{"schema":"repro/serve-loadgen/v1","total_ops":5,"total_ops_per_sec":2.5}`)); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+}
+
+func TestServeGateExitCodes(t *testing.T) {
+	good := `{"schema":"repro/serve-loadgen/v1","total_ops":10,"total_ops_per_sec":100,
+		"points":[{"op":"add","count":10,"ops_per_sec":100,"p50_us":10,"p99_us":100,"mean_us":20}]}`
+	slow := `{"schema":"repro/serve-loadgen/v1","total_ops":10,"total_ops_per_sec":10,
+		"points":[{"op":"add","count":10,"ops_per_sec":10,"p50_us":10,"p99_us":100,"mean_us":20}]}`
+	mismatched := `{"schema":"repro/serve-loadgen/v1","total_ops":10,"total_ops_per_sec":100,
+		"checked":true,"mismatches":3}`
+	base := writeTemp(t, "base.json", good)
+	if code := serveGate(base, writeTemp(t, "same.json", good), 1.5, 1.5); code != 0 {
+		t.Errorf("identical reports: exit %d, want 0", code)
+	}
+	if code := serveGate(base, writeTemp(t, "slow.json", slow), 1.5, 1.5); code != 1 {
+		t.Errorf("10x throughput drop: exit %d, want 1", code)
+	}
+	if code := serveGate(base, writeTemp(t, "bad.json", mismatched), 1.5, 1.5); code != 1 {
+		t.Errorf("response mismatches: exit %d, want 1", code)
+	}
+	if code := serveGate("does-not-exist.json", base, 1.5, 1.5); code != 2 {
+		t.Errorf("missing baseline: exit %d, want 2", code)
+	}
+}

@@ -46,9 +46,10 @@ import (
 )
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|dcrt|batch|all")
+	figFlag := flag.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|2c|width|tasklets|transfers|energy|ablation|dcrt|batch|pim-scale|all")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonFlag := flag.String("dcrt-json", "", "write the measured evaluation-layer report (EvalMul + batched-rotation + kernel axes) to this path (e.g. BENCH_dcrt.json)")
+	pimJSONFlag := flag.String("pim-json", "", "with -fig pim-scale: write the DPU-sweep report to this path (e.g. BENCH_pim.json)")
 	backendFlag := flag.String("backend", "",
 		fmt.Sprintf("restrict -fig dcrt/batch to one hebfv backend %v; empty = the tracked set", hebfv.Backends()))
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measured workload to this file (go tool pprof)")
@@ -122,6 +123,29 @@ func main() {
 				"far too slow for the n=1024/4096 measurement figures; exercise it via the examples (e.g. examples/privatemean)")
 			os.Exit(1)
 		}
+	}
+
+	// The pim-scale sweep runs the async execution plane for real across
+	// DPU counts up to the paper machine — metered, oracle-checked, and
+	// independent of the calibrated models, so it bypasses the suite.
+	if *figFlag == "pim-scale" {
+		fig, rep, err := bench.MeasurePIMScale(nil, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+			os.Exit(1)
+		}
+		if *pimJSONFlag != "" {
+			if err := bench.WritePIMScaleJSON(*pimJSONFlag, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "hepim-bench:", err)
+				os.Exit(1)
+			}
+		}
+		if *csvFlag {
+			fmt.Print(bench.CSV(fig))
+		} else {
+			fmt.Print(bench.Render(fig))
+		}
+		return
 	}
 
 	// The dcrt and batch figures measure this process's real evaluator

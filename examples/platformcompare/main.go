@@ -8,7 +8,13 @@
 //   - multiplication: the missing 32-bit multiplier lets the GPU and the
 //     NTT-based SEAL overtake PIM (Key Takeaway 2).
 //
-//     go run ./examples/platformcompare
+// It then runs the sharded async execution plane (internal/pimsched)
+// across a DPU-count sweep and prints how batched ciphertext addition
+// scales from 1 DPU to the paper machine's full 2,524-DPU footprint:
+// metered kernel cycles, host↔DPU transfer bytes, the pipelined
+// makespan, and the speedup over the single-DPU point.
+//
+//	go run ./examples/platformcompare
 package main
 
 import (
@@ -42,4 +48,27 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println(bench.Render(abl))
+
+	// DPU scaling on the sharded async execution plane: the same
+	// batched addition, metered end to end (kernel cycles + modeled
+	// host↔DPU transfers with copy-in/launch overlap) as the topology
+	// grows from one DPU to the full machine.
+	_, rep, err := bench.MeasurePIMScale(nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DPU scaling, batched ciphertext addition (pipelined makespan):")
+	fmt.Printf("%6s %6s %8s %14s %12s %12s %10s\n",
+		"n", "dpus", "ranks", "kernel cycles", "xfer bytes", "makespan", "speedup")
+	base := map[int]float64{} // n -> 1-DPU pipelined makespan
+	for _, p := range rep.Points {
+		if p.DPUs == 1 {
+			base[p.N] = p.OverlapSeconds
+		}
+	}
+	for _, p := range rep.Points {
+		fmt.Printf("%6d %6d %8d %14d %12d %11.3fms %9.1fx\n",
+			p.N, p.DPUs, p.Ranks, p.KernelCycles, p.BytesIn+p.BytesOut,
+			p.OverlapSeconds*1e3, base[p.N]/p.OverlapSeconds)
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/hepim"
 	"repro/internal/pim"
+	"repro/internal/pimsched"
 )
 
 // Pluggable evaluation backends. A Backend turns a parameter set and
@@ -18,7 +19,7 @@ import (
 // constructor (New(WithBackend(name)) for contexts, NewEngine for
 // lower-level harnesses like the benchmark suite).
 //
-// Four backends are built in:
+// Five backends are built in:
 //
 //   - "dcrt-native": the double-CRT (RNS + NTT) backend with RNS-native
 //     rescaling, NTT-resident ciphertexts, and hoisted rotations — the
@@ -30,8 +31,17 @@ import (
 //     cost model (its instruction stream is what the simulator meters)
 //     and the correctness oracle; every backend is bit-identical to it.
 //   - "pim": the simulated UPMEM PIM server (internal/hepim) — kernels
-//     run on the cycle-level simulator and the engine reports modeled
-//     kernel time (see Context.PIMReport).
+//     run on the cycle-level simulator through the async multi-DPU
+//     execution plane (internal/pimsched) and the engine reports
+//     modeled kernel time and the sharded cycle/transfer/energy
+//     breakdown (see Context.PIMReport and Context.PIMBreakdown).
+//   - "auto": the heterogeneous scheduler — holds both the dcrt-native
+//     host engine and the pim engine and routes each *batched*
+//     operation to whichever side's cost estimate is lower (measured
+//     host wall time vs the PIM plane's modeled makespan); singleton
+//     operations always run on the host. Every routing decision is
+//     recorded (see Context.AutoStats), and results are bit-identical
+//     no matter where an operation lands.
 //
 // The Engine and Backend interfaces name internal types, so they are
 // implementable only inside this repository — which is the point: the
@@ -109,14 +119,34 @@ type faultReporter interface {
 	FaultStats() pim.FaultStats
 }
 
+// breakdownReporter is the optional Engine upgrade for backends on the
+// async execution plane: the aggregated sharded cycle/transfer/energy
+// breakdown, surfaced through Context.PIMBreakdown.
+type breakdownReporter interface {
+	Breakdown() *pimsched.Report
+}
+
 // Config carries everything a backend needs to construct its engine.
 type Config struct {
 	Params *bfv.Parameters
 	Relin  *bfv.RelinKey // may be nil when Mul is not used
 
-	// PIMDPUs overrides the simulated DPU count for the "pim" backend
-	// (0 = the paper machine's 2,524). Other backends ignore it.
+	// PIMDPUs overrides the simulated DPU count for the "pim" and
+	// "auto" backends (0 = the paper machine's 2,524). Other backends
+	// ignore it.
 	PIMDPUs int
+
+	// PIMRanks/PIMDPUsPerRank pin the rank×DPU topology of the async
+	// execution plane (both zero = the largest whole-rank topology that
+	// fits the DPU count). When set without PIMDPUs, the simulated
+	// system is sized to the topology.
+	PIMRanks       int
+	PIMDPUsPerRank int
+
+	// PIMNoOverlap disables the async plane's staging/compute
+	// pipelining, so modeled makespans equal the serial sums. Results
+	// are unaffected.
+	PIMNoOverlap bool
 
 	// PIMFaultSeed/PIMFaultRates arm the "pim" backend's deterministic
 	// fault injector: rates maps injection sites (pim.SiteDPUTransient,
@@ -204,23 +234,42 @@ func init() {
 		return newEvalEngine(bfv.NewSchoolbookEvaluator(cfg.Params, cfg.Relin)), nil
 	}})
 	RegisterBackend(backendFunc{"pim", func(cfg Config) (Engine, error) {
-		sys := pim.DefaultConfig()
-		if cfg.PIMDPUs > 0 {
-			sys.NumDPUs = cfg.PIMDPUs
-		}
-		srv, err := hepim.NewServer(sys, cfg.Params, cfg.Relin)
-		if err != nil {
-			return nil, err
-		}
-		if len(cfg.PIMFaultRates) > 0 {
-			in := faultinject.New(cfg.PIMFaultSeed)
-			for site, p := range cfg.PIMFaultRates {
-				in.SetRate(site, p)
-			}
-			srv.Sys.SetFaultInjector(in)
-		}
-		return &pimEngine{srv: srv}, nil
+		return newPIMEngine(cfg)
 	}})
+	RegisterBackend(backendFunc{"auto", func(cfg Config) (Engine, error) {
+		return newAutoEngine(cfg)
+	}})
+}
+
+// newPIMEngine builds the simulated PIM server engine — shared by the
+// "pim" backend and the "auto" backend's PIM side. The topology is
+// explicit when the config pins one, otherwise the largest whole-rank
+// shape fitting the DPU count; an explicit topology without an explicit
+// DPU count sizes the system to the topology.
+func newPIMEngine(cfg Config) (*pimEngine, error) {
+	sys := pim.DefaultConfig()
+	if cfg.PIMDPUs > 0 {
+		sys.NumDPUs = cfg.PIMDPUs
+	}
+	topo := pimsched.FitTopology(sys.NumDPUs)
+	if cfg.PIMRanks > 0 && cfg.PIMDPUsPerRank > 0 {
+		topo = pimsched.Topology{Ranks: cfg.PIMRanks, DPUsPerRank: cfg.PIMDPUsPerRank}
+		if cfg.PIMDPUs == 0 {
+			sys.NumDPUs = topo.NumDPUs()
+		}
+	}
+	srv, err := hepim.NewServerWithTopology(sys, cfg.Params, cfg.Relin, topo, !cfg.PIMNoOverlap)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.PIMFaultRates) > 0 {
+		in := faultinject.New(cfg.PIMFaultSeed)
+		for site, p := range cfg.PIMFaultRates {
+			in.SetRate(site, p)
+		}
+		srv.Sys.SetFaultInjector(in)
+	}
+	return &pimEngine{srv: srv}, nil
 }
 
 // evalEngine adapts a host bfv.Evaluator (any of the three host
@@ -440,4 +489,10 @@ func (e *pimEngine) FaultStats() pim.FaultStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.srv.Sys.FaultStats()
+}
+
+func (e *pimEngine) Breakdown() *pimsched.Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.srv.Breakdown()
 }

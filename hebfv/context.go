@@ -122,11 +122,14 @@ func New(opts ...Option) (*Context, error) {
 		c.backend = DefaultBackend
 	}
 	if c.eng, err = NewEngine(c.backend, Config{
-		Params:        params,
-		Relin:         c.rlk,
-		PIMDPUs:       cfg.pimDPUs,
-		PIMFaultSeed:  cfg.pimFaultSeed,
-		PIMFaultRates: cfg.pimFaultRates,
+		Params:         params,
+		Relin:          c.rlk,
+		PIMDPUs:        cfg.pimDPUs,
+		PIMRanks:       cfg.pimRanks,
+		PIMDPUsPerRank: cfg.pimDPUsPerRank,
+		PIMNoOverlap:   cfg.pimNoOverlap,
+		PIMFaultSeed:   cfg.pimFaultSeed,
+		PIMFaultRates:  cfg.pimFaultRates,
 	}); err != nil {
 		return nil, err
 	}
@@ -300,6 +303,82 @@ func (c *Context) PIMStats() (stats PIMStats, ok bool) {
 		Retries:         fs.Retries,
 		Redispatches:    fs.Redispatches,
 	}, true
+}
+
+// PIMBreakdown is the aggregated sharded execution breakdown of the
+// async PIM plane (see Context.PIMBreakdown): where the modeled time
+// went — kernels, host→DPU staging, DPU→host gathering — across the
+// rank×DPU topology, with both the pipelined makespan and the
+// no-overlap serial time so overlap's benefit is a measured ratio.
+type PIMBreakdown struct {
+	Ranks       int  // topology: ranks scheduled over
+	DPUsPerRank int  // topology: DPUs per rank
+	Overlap     bool // staging/compute pipelining enabled
+
+	Launches int // rank-granularity kernel launches issued
+	Shards   int // placeable work units executed
+
+	KernelCycles   int64   // summed per-launch critical-path cycles
+	KernelSeconds  float64 // modeled kernel time incl. launch overhead
+	CopyInSeconds  float64 // modeled host→DPU staging time
+	CopyOutSeconds float64 // modeled DPU→host gathering time
+	BytesIn        int64   // host→DPU bytes transferred
+	BytesOut       int64   // DPU→host bytes transferred
+
+	MakespanSeconds float64 // pipelined end-to-end modeled time
+	SerialSeconds   float64 // no-overlap end-to-end modeled time
+
+	EnergyKernelJoules   float64 // DPU dynamic + DMA + static energy
+	EnergyTransferJoules float64 // host↔DPU interface energy
+
+	Retried   int // shard re-launches after transient faults
+	Resharded int // shards re-placed off dead DPUs onto survivors
+}
+
+// PIMBreakdown returns the accumulated sharded cycle/transfer/energy
+// breakdown of a backend on the async PIM execution plane ("pim", or
+// "auto" for its PIM-routed share); ok is false for host-only
+// backends. All-zero fields with ok true mean no operation has reached
+// the PIM plane yet.
+func (c *Context) PIMBreakdown() (bd PIMBreakdown, ok bool) {
+	br, isBR := c.eng.(breakdownReporter)
+	if !isBR {
+		return PIMBreakdown{}, false
+	}
+	rep := br.Breakdown()
+	if rep == nil {
+		return PIMBreakdown{}, false
+	}
+	return PIMBreakdown{
+		Ranks:                rep.Topology.Ranks,
+		DPUsPerRank:          rep.Topology.DPUsPerRank,
+		Overlap:              rep.Overlap,
+		Launches:             rep.Launches,
+		Shards:               rep.Shards,
+		KernelCycles:         rep.KernelCycles,
+		KernelSeconds:        rep.KernelSeconds,
+		CopyInSeconds:        rep.CopyInSeconds,
+		CopyOutSeconds:       rep.CopyOutSeconds,
+		BytesIn:              rep.BytesIn,
+		BytesOut:             rep.BytesOut,
+		MakespanSeconds:      rep.MakespanSeconds,
+		SerialSeconds:        rep.SerialSeconds,
+		EnergyKernelJoules:   rep.EnergyKernelJoules,
+		EnergyTransferJoules: rep.EnergyTransferJoules,
+		Retried:              rep.Retried,
+		Resharded:            rep.Resharded,
+	}, true
+}
+
+// AutoStats returns the "auto" backend's routing decision surface —
+// how many batched operations each side ran and the cost estimates
+// behind the recent decisions; ok is false on every other backend.
+func (c *Context) AutoStats() (stats AutoStats, ok bool) {
+	ar, isAR := c.eng.(autoReporter)
+	if !isAR {
+		return AutoStats{}, false
+	}
+	return ar.AutoStats(), true
 }
 
 // FailoverStats reports the backend-failover state; ok is false when

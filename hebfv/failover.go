@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bfv"
 	"repro/internal/pim"
+	"repro/internal/pimsched"
 )
 
 // Backend failover: graceful degradation for modeled-hardware backends.
@@ -242,4 +243,11 @@ func (e *failoverEngine) FaultStats() pim.FaultStats {
 		return fr.FaultStats()
 	}
 	return pim.FaultStats{}
+}
+
+func (e *failoverEngine) Breakdown() *pimsched.Report {
+	if br, ok := e.primary.(breakdownReporter); ok {
+		return br.Breakdown()
+	}
+	return nil
 }

@@ -21,6 +21,10 @@ type config struct {
 	keySet    []byte
 	keySetR   io.Reader
 
+	pimRanks       int  // explicit rank×DPU topology; 0 = derive
+	pimDPUsPerRank int  //
+	pimNoOverlap   bool // disable the async plane's pipelining
+
 	pimFaultSeed  uint64
 	pimFaultRates map[string]float64 // injection site -> probability
 }
@@ -117,6 +121,40 @@ func WithPIMDPUs(n int) Option {
 			return errors.New("hebfv: DPU count must be positive")
 		}
 		c.pimDPUs = n
+		return nil
+	}
+}
+
+// WithPIMTopology pins the rank×DPU shape of the "pim" and "auto"
+// backends' async execution plane. Without it the backend derives the
+// largest whole-rank topology that fits the simulated DPU count (see
+// WithPIMDPUs); with it, and without an explicit DPU count, the
+// simulated system is sized to ranks×dpusPerRank. Topology matters for
+// the modeled times, never the results: transfers parallelize within a
+// rank and serialize on the host bus across ranks, and staging/compute
+// overlap happens at rank granularity, so the sharded breakdown
+// (Context.PIMBreakdown) changes shape while ciphertexts stay
+// bit-identical. Other backends ignore the option.
+func WithPIMTopology(ranks, dpusPerRank int) Option {
+	return func(c *config) error {
+		if ranks <= 0 || dpusPerRank <= 0 {
+			return fmt.Errorf("hebfv: PIM topology %d×%d must be positive", ranks, dpusPerRank)
+		}
+		c.pimRanks, c.pimDPUsPerRank = ranks, dpusPerRank
+		return nil
+	}
+}
+
+// WithPIMOverlap toggles the async execution plane's double-buffering:
+// with overlap on (the default) one rank's copy-in overlaps another
+// rank's kernel, and the modeled makespan is the pipelined completion
+// time; with it off every chunk runs stage→launch→gather back to back
+// and the makespan equals the serial sum. Results are bit-identical
+// either way — only Context.PIMBreakdown's modeled times move. Other
+// backends ignore the option.
+func WithPIMOverlap(on bool) Option {
+	return func(c *config) error {
+		c.pimNoOverlap = !on
 		return nil
 	}
 }

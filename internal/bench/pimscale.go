@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"os"
+
+	"repro/internal/limb32"
+	"repro/internal/pim"
+	"repro/internal/pim/kernels"
+	"repro/internal/pimsched"
+	"repro/internal/poly"
+	"repro/internal/sampling"
+)
+
+// The PIM-at-scale sweep: batched ciphertext addition executed for real
+// on the async multi-DPU execution plane (internal/pimsched) across a
+// DPU-count sweep up to the paper machine's scale. Unlike the Fig. 1/2
+// figures — which extrapolate calibrated cost models — every point here
+// runs the actual kernels over actual data on the simulator, checks the
+// results bit-for-bit against a host oracle, and reports the metered
+// transfer/compute split plus both modeled end-to-end times (pipelined
+// makespan vs no-overlap serial), so the benefit of overlapping staging
+// with compute is a measured quantity at every scale.
+
+// PIMScaleSchema versions BENCH_pim.json.
+const PIMScaleSchema = "repro/pim-scale/v1"
+
+// DefaultPIMScaleDPUs is the tracked DPU sweep: single DPU, one rank,
+// and whole-rank scales up to the paper machine (2,524 functional DPUs
+// → 39 whole ranks; 2,560 = the 40-rank ceiling).
+var DefaultPIMScaleDPUs = []int{1, 64, 256, 1024, 2048, 2560}
+
+// PIMScalePoint is one (ring degree, DPU count) cell of the sweep.
+type PIMScalePoint struct {
+	N     int `json:"n"`     // ring degree
+	Width int `json:"width"` // limb width of the modulus
+	DPUs  int `json:"dpus"`  // requested DPU count
+
+	Ranks       int `json:"ranks"` // scheduled topology (whole ranks)
+	DPUsPerRank int `json:"dpus_per_rank"`
+	Coeffs      int `json:"coeffs"` // coefficients in the workload
+	Shards      int `json:"shards"`
+	Launches    int `json:"launches"` // rank-granularity LaunchOn calls
+
+	KernelCycles   int64   `json:"kernel_cycles"`
+	KernelSeconds  float64 `json:"kernel_seconds"`
+	CopyInSeconds  float64 `json:"copy_in_seconds"`
+	CopyOutSeconds float64 `json:"copy_out_seconds"`
+	BytesIn        int64   `json:"bytes_in"`
+	BytesOut       int64   `json:"bytes_out"`
+
+	// The two end-to-end modeled times: the pipelined makespan of the
+	// overlap-enabled run and the makespan of the overlap-disabled run
+	// (== the serial sum of per-chunk phases). Their ratio is the
+	// overlap speedup.
+	OverlapSeconds float64 `json:"overlap_seconds"`
+	SerialSeconds  float64 `json:"serial_seconds"`
+	OverlapSpeedup float64 `json:"overlap_speedup"`
+
+	EnergyKernelJoules   float64 `json:"energy_kernel_joules"`
+	EnergyTransferJoules float64 `json:"energy_transfer_joules"`
+
+	// BitIdentical reports both runs matched the host oracle word for
+	// word — the sweep's correctness gate.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// PIMScaleReport is the BENCH_pim.json payload.
+type PIMScaleReport struct {
+	Schema  string          `json:"schema"`
+	CtPairs int             `json:"ct_pairs"` // ciphertext pairs per workload
+	Points  []PIMScalePoint `json:"points"`
+}
+
+// paperModulus54 is the 54-bit (width 2) paper modulus.
+func paperModulus54() (*poly.Modulus, error) {
+	q, _ := new(big.Int).SetString("18014398509481951", 10)
+	return poly.NewModulus(q)
+}
+
+// pimScaleCase is one ring-degree/modulus row of the sweep, the paper's
+// n=2048 (54-bit) and n=4096 (109-bit) operating points.
+type pimScaleCase struct {
+	n   int
+	mod *poly.Modulus
+}
+
+func pimScaleCases() ([]pimScaleCase, error) {
+	m54, err := paperModulus54()
+	if err != nil {
+		return nil, err
+	}
+	m109, err := paperModulus109()
+	if err != nil {
+		return nil, err
+	}
+	return []pimScaleCase{{2048, m54}, {4096, m109}}, nil
+}
+
+// addOracleVec computes the element-wise modular sum on the host — the
+// bit-identity reference for every sweep point.
+func addOracleVec(a, b []uint32, w int, q limb32.Nat) []uint32 {
+	out := make([]uint32, len(a))
+	for c := 0; c < len(a)/w; c++ {
+		limb32.AddMod(limb32.Nat(out[c*w:(c+1)*w]),
+			limb32.Nat(a[c*w:(c+1)*w]), limb32.Nat(b[c*w:(c+1)*w]), q, nil)
+	}
+	return out
+}
+
+// runPIMScalePoint executes the workload twice on fresh systems —
+// overlap on and off — over a whole-rank topology fitting dpus.
+func runPIMScalePoint(cs pimScaleCase, dpus, ctPairs int, a, b, want []uint32) (PIMScalePoint, error) {
+	topo := pimsched.FitTopology(dpus)
+	run := func(overlap bool) ([]uint32, *pimsched.Report, error) {
+		cfg := pim.DefaultConfig()
+		cfg.NumDPUs = topo.NumDPUs()
+		sys, err := pim.NewSystem(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		sched, err := pimsched.New(sys, topo, overlap)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kernels.RunVectorAddSched(sched, a, b, cs.mod.W, cs.mod.Q)
+	}
+	outOn, repOn, err := run(true)
+	if err != nil {
+		return PIMScalePoint{}, err
+	}
+	outOff, repOff, err := run(false)
+	if err != nil {
+		return PIMScalePoint{}, err
+	}
+	identical := true
+	for i := range want {
+		if outOn[i] != want[i] || outOff[i] != want[i] {
+			identical = false
+			break
+		}
+	}
+	return PIMScalePoint{
+		N: cs.n, Width: cs.mod.W, DPUs: dpus,
+		Ranks:       topo.Ranks,
+		DPUsPerRank: topo.DPUsPerRank,
+		Coeffs:      len(a) / cs.mod.W,
+		Shards:      repOn.Shards,
+		Launches:    repOn.Launches,
+
+		KernelCycles:   repOn.KernelCycles,
+		KernelSeconds:  repOn.KernelSeconds,
+		CopyInSeconds:  repOn.CopyInSeconds,
+		CopyOutSeconds: repOn.CopyOutSeconds,
+		BytesIn:        repOn.BytesIn,
+		BytesOut:       repOn.BytesOut,
+
+		OverlapSeconds: repOn.MakespanSeconds,
+		SerialSeconds:  repOff.MakespanSeconds,
+		OverlapSpeedup: repOff.MakespanSeconds / repOn.MakespanSeconds,
+
+		EnergyKernelJoules:   repOn.EnergyKernelJoules,
+		EnergyTransferJoules: repOn.EnergyTransferJoules,
+
+		BitIdentical: identical,
+	}, nil
+}
+
+// MeasurePIMScale runs the DPU sweep: ctPairs ciphertext additions (two
+// n-coefficient polynomials each) executed through the async execution
+// plane at every DPU count, with overlap on and off. Every point is
+// checked bit-for-bit against the host oracle.
+func MeasurePIMScale(dpuCounts []int, ctPairs int) (*Figure, *PIMScaleReport, error) {
+	if len(dpuCounts) == 0 {
+		dpuCounts = DefaultPIMScaleDPUs
+	}
+	if ctPairs <= 0 {
+		ctPairs = 32
+	}
+	cases, err := pimScaleCases()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &PIMScaleReport{Schema: PIMScaleSchema, CtPairs: ctPairs}
+	fig := &Figure{
+		ID:     "pim-scale",
+		Title:  fmt.Sprintf("Sharded async execution: %d-ciphertext addition across DPU counts", ctPairs),
+		XLabel: "n / DPUs",
+		Unit:   "ms",
+		PaperNote: "metered on the async execution plane (overlap vs serial); " +
+			"every point bit-identical to the host oracle",
+	}
+	for _, cs := range cases {
+		coeffs := 2 * cs.n * ctPairs // 2 polynomials per ciphertext
+		src := sampling.NewSourceFromUint64(uint64(9000 + cs.n))
+		a := randCoeffVec(src, coeffs, cs.mod)
+		b := randCoeffVec(src, coeffs, cs.mod)
+		want := addOracleVec(a, b, cs.mod.W, cs.mod.Q)
+		for _, dpus := range dpuCounts {
+			pt, err := runPIMScalePoint(cs, dpus, ctPairs, a, b, want)
+			if err != nil {
+				return nil, nil, fmt.Errorf("pim-scale n=%d dpus=%d: %w", cs.n, dpus, err)
+			}
+			if !pt.BitIdentical {
+				return nil, nil, fmt.Errorf("pim-scale n=%d dpus=%d: results diverged from the host oracle", cs.n, dpus)
+			}
+			rep.Points = append(rep.Points, pt)
+			fig.Rows = append(fig.Rows, Row{
+				Label: fmt.Sprintf("n=%d dpus=%d", cs.n, dpus),
+				Seconds: map[string]float64{
+					"pipelined": pt.OverlapSeconds,
+					"serial":    pt.SerialSeconds,
+					"kernel":    pt.KernelSeconds,
+					"transfer":  pt.CopyInSeconds + pt.CopyOutSeconds,
+				},
+				Annotation: fmt.Sprintf("overlap %.2fx, %d ranks", pt.OverlapSpeedup, pt.Ranks),
+			})
+		}
+	}
+	return fig, rep, nil
+}
+
+// WritePIMScaleJSON writes the report to path (conventionally
+// BENCH_pim.json at the repo root).
+func WritePIMScaleJSON(path string, rep *PIMScaleReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

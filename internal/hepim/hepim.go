@@ -19,26 +19,48 @@ import (
 	"repro/internal/bfv"
 	"repro/internal/pim"
 	"repro/internal/pim/kernels"
+	"repro/internal/pimsched"
 	"repro/internal/poly"
 )
 
-// Server is a PIM-resident BFV evaluation service.
+// Server is a PIM-resident BFV evaluation service. All kernels run
+// through the async multi-DPU execution plane (internal/pimsched):
+// work is sharded over the scheduler's rank×DPU topology and the
+// per-op reports carry the sharded cycle/transfer/energy breakdown,
+// including both the pipelined makespan and the no-overlap serial
+// time.
 type Server struct {
 	Sys    *pim.System
+	Sched  *pimsched.Scheduler
 	Params *bfv.Parameters
 
 	lift *poly.Modulus // 256-bit lift modulus for exact tensor products
 	rlk  *bfv.RelinKey
 
 	// Reports collects the launch reports of every kernel this server ran
-	// (reset with ResetReports).
-	Reports []*pim.Report
+	// (reset with ResetReports), in the flat pim.Report shape older
+	// consumers read; SchedReports carries the full sharded breakdowns.
+	Reports      []*pim.Report
+	SchedReports []*pimsched.Report
 }
 
-// NewServer builds a PIM evaluation server. rlk may be nil when Mul is
-// not used.
+// NewServer builds a PIM evaluation server over the largest whole-rank
+// topology fitting cfg.NumDPUs, with transfer/compute overlap enabled.
+// rlk may be nil when Mul is not used.
 func NewServer(cfg pim.SystemConfig, params *bfv.Parameters, rlk *bfv.RelinKey) (*Server, error) {
+	return NewServerWithTopology(cfg, params, rlk, pimsched.FitTopology(cfg.NumDPUs), true)
+}
+
+// NewServerWithTopology builds a PIM evaluation server scheduling over
+// an explicit rank×DPU topology. The topology must fit within
+// cfg.NumDPUs; overlap selects whether the modeled makespan pipelines
+// staging against compute or serializes every phase.
+func NewServerWithTopology(cfg pim.SystemConfig, params *bfv.Parameters, rlk *bfv.RelinKey, topo pimsched.Topology, overlap bool) (*Server, error) {
 	sys, err := pim.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := pimsched.New(sys, topo, overlap)
 	if err != nil {
 		return nil, err
 	}
@@ -56,11 +78,26 @@ func NewServer(cfg pim.SystemConfig, params *bfv.Parameters, rlk *bfv.RelinKey) 
 	if err != nil {
 		return nil, err
 	}
-	return &Server{Sys: sys, Params: params, lift: lift, rlk: rlk}, nil
+	return &Server{Sys: sys, Sched: sched, Params: params, lift: lift, rlk: rlk}, nil
 }
 
 // ResetReports clears the accumulated kernel reports.
-func (s *Server) ResetReports() { s.Reports = nil }
+func (s *Server) ResetReports() { s.Reports, s.SchedReports = nil, nil }
+
+// record folds one scheduler run into both report streams.
+func (s *Server) record(rep *pimsched.Report) {
+	s.SchedReports = append(s.SchedReports, rep)
+	s.Reports = append(s.Reports, &pim.Report{
+		KernelCycles:   rep.KernelCycles,
+		KernelSeconds:  rep.KernelSeconds,
+		CopyInSeconds:  rep.CopyInSeconds,
+		CopyOutSeconds: rep.CopyOutSeconds,
+		TotalInstr:     rep.TotalInstr,
+		TotalDMACycles: rep.TotalDMACycles,
+		Counts:         rep.Counts,
+		ActiveDPUs:     rep.ActiveDPUs,
+	})
+}
 
 // ModeledSeconds sums the modeled kernel time of the accumulated reports.
 func (s *Server) ModeledSeconds() float64 {
@@ -69,6 +106,16 @@ func (s *Server) ModeledSeconds() float64 {
 		t += r.KernelSeconds
 	}
 	return t
+}
+
+// Breakdown aggregates the accumulated scheduler reports into one
+// sharded cycle/transfer/energy summary for the whole run so far.
+func (s *Server) Breakdown() *pimsched.Report {
+	total := &pimsched.Report{Topology: s.Sched.Topo, Overlap: s.Sched.Overlap}
+	for _, r := range s.SchedReports {
+		total.Accumulate(r)
+	}
+	return total
 }
 
 // flattenPolys concatenates ciphertext component p of every ciphertext.
@@ -94,11 +141,11 @@ func (s *Server) Add(ct0, ct1 *bfv.Ciphertext) (*bfv.Ciphertext, error) {
 		a = append(a, ct0.Polys[c].C...)
 		b = append(b, ct1.Polys[c].C...)
 	}
-	out, rep, err := kernels.RunVectorAdd(s.Sys, a, b, w, par.Q.Q)
+	out, rep, err := kernels.RunVectorAddSched(s.Sched, a, b, w, par.Q.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep)
+	s.record(rep)
 	return unflatten(out, len(ct0.Polys), n, w), nil
 }
 
@@ -158,11 +205,11 @@ func (s *Server) Sum(cts []*bfv.Ciphertext) (*bfv.Ciphertext, error) {
 		for i, ct := range cts {
 			vecs[i] = ct.Polys[c].C
 		}
-		out, rep, err := kernels.RunVectorSum(s.Sys, vecs, w, par.Q.Q)
+		out, rep, err := kernels.RunVectorSumSched(s.Sched, vecs, w, par.Q.Q)
 		if err != nil {
 			return nil, err
 		}
-		s.Reports = append(s.Reports, rep)
+		s.record(rep)
 		p := poly.NewPoly(n, w)
 		copy(p.C, out)
 		outPolys[c] = p
@@ -215,11 +262,11 @@ func (s *Server) Mul(ct0, ct1 *bfv.Ciphertext) (*bfv.Ciphertext, error) {
 	b := make([]uint32, 0, 4*n*lw)
 	a = append(append(append(append(a, a0.C...), a0.C...), a1.C...), a1.C...)
 	b = append(append(append(append(b, b0.C...), b1.C...), b0.C...), b1.C...)
-	prods, rep, err := kernels.RunVectorPolyMul(s.Sys, a, b, n, lw, s.lift.Q)
+	prods, rep, err := kernels.RunVectorPolyMulSched(s.Sched, a, b, n, lw, s.lift.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep)
+	s.record(rep)
 
 	// Host: centered-lift each product back to Z, combine the cross terms,
 	// rescale by t/q.
@@ -253,11 +300,11 @@ func (s *Server) Mul(ct0, ct1 *bfv.Ciphertext) (*bfv.Ciphertext, error) {
 		ra = append(ra, d.C...)
 		rb = append(rb, s.rlk.K1[i].C...)
 	}
-	rprods, rep2, err := kernels.RunVectorPolyMul(s.Sys, ra, rb, n, w, par.Q.Q)
+	rprods, rep2, err := kernels.RunVectorPolyMulSched(s.Sched, ra, rb, n, w, par.Q.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep2)
+	s.record(rep2)
 
 	// Final additions on PIM: c0 = d0 + Σ even products, c1 = d1 + Σ odd.
 	pairs := len(rprods) / (2 * n * w)
@@ -267,16 +314,16 @@ func (s *Server) Mul(ct0, ct1 *bfv.Ciphertext) (*bfv.Ciphertext, error) {
 		sum0 = append(sum0, rprods[(2*i)*n*w:(2*i+1)*n*w])
 		sum1 = append(sum1, rprods[(2*i+1)*n*w:(2*i+2)*n*w])
 	}
-	c0flat, rep3, err := kernels.RunVectorSum(s.Sys, sum0, w, par.Q.Q)
+	c0flat, rep3, err := kernels.RunVectorSumSched(s.Sched, sum0, w, par.Q.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep3)
-	c1flat, rep4, err := kernels.RunVectorSum(s.Sys, sum1, w, par.Q.Q)
+	s.record(rep3)
+	c1flat, rep4, err := kernels.RunVectorSumSched(s.Sched, sum1, w, par.Q.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep4)
+	s.record(rep4)
 
 	c0 := poly.NewPoly(n, w)
 	copy(c0.C, c0flat)
@@ -329,11 +376,11 @@ func (s *Server) ApplyGalois(ct *bfv.Ciphertext, gk *bfv.GaloisKey) (*bfv.Cipher
 		rb = append(rb, gk.K1[i].C...)
 		pairs += 2
 	}
-	prods, rep, err := kernels.RunVectorPolyMul(s.Sys, ra, rb, n, w, par.Q.Q)
+	prods, rep, err := kernels.RunVectorPolyMulSched(s.Sched, ra, rb, n, w, par.Q.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep)
+	s.record(rep)
 
 	// PIM: fold the products into (c0, c1) with sum kernels.
 	sum0 := [][]uint32{c0.C}
@@ -342,16 +389,16 @@ func (s *Server) ApplyGalois(ct *bfv.Ciphertext, gk *bfv.GaloisKey) (*bfv.Cipher
 		sum0 = append(sum0, prods[(2*i)*n*w:(2*i+1)*n*w])
 		sum1 = append(sum1, prods[(2*i+1)*n*w:(2*i+2)*n*w])
 	}
-	c0flat, rep2, err := kernels.RunVectorSum(s.Sys, sum0, w, par.Q.Q)
+	c0flat, rep2, err := kernels.RunVectorSumSched(s.Sched, sum0, w, par.Q.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep2)
-	c1flat, rep3, err := kernels.RunVectorSum(s.Sys, sum1, w, par.Q.Q)
+	s.record(rep2)
+	c1flat, rep3, err := kernels.RunVectorSumSched(s.Sched, sum1, w, par.Q.Q)
 	if err != nil {
 		return nil, err
 	}
-	s.Reports = append(s.Reports, rep3)
+	s.record(rep3)
 
 	outC0 := poly.NewPoly(n, w)
 	copy(outC0.C, c0flat)

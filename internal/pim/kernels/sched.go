@@ -1,0 +1,205 @@
+package kernels
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/limb32"
+	"repro/internal/pim"
+	"repro/internal/pimsched"
+)
+
+// Scheduler-routed drivers: the same kernels and MRAM layouts as the
+// monolithic Run* drivers, but described as pimsched.Shard plans and
+// executed through the async multi-DPU pipeline — rank-granularity
+// launches, per-rank transfer pricing, staging overlapped with
+// compute, and the same fault retry/re-dispatch semantics (pimsched
+// re-places a dead DPU's shards on survivors, so results stay
+// bit-identical to the host under any seeded fault schedule).
+
+// planVectorAdd cuts out[i] = (a[i] + b[i]) mod q into nShards shards
+// with the [a | b | out] per-DPU MRAM layout of RunVectorAdd.
+func planVectorAdd(sys *pim.System, a, b, out []uint32, w, nShards int, q limb32.Nat) []pimsched.Shard {
+	coeffs := len(a) / w
+	shards := make([]pimsched.Shard, nShards)
+	for i := 0; i < nShards; i++ {
+		s, e := pim.Partition(coeffs, nShards, i)
+		cnt := e - s
+		cw := cnt * w
+		shards[i] = pimsched.Shard{
+			BytesIn:  int64(8 * cw),
+			BytesOut: int64(4 * cw),
+			Stage: func(d int) error {
+				if cw == 0 {
+					return nil
+				}
+				if err := sys.CopyToDPU(d, 0, a[s*w:e*w]); err != nil {
+					return err
+				}
+				if err := sys.CopyToDPU(d, cw, b[s*w:e*w]); err != nil {
+					return err
+				}
+				return sys.DPUs[d].EnsureMRAM(3 * cw)
+			},
+			Gather: func(d int) error {
+				if cw == 0 {
+					return nil
+				}
+				return sys.CopyFromDPU(d, 2*cw, out[s*w:e*w])
+			},
+		}
+		if cnt > 0 {
+			shards[i].Kernel = VectorAdd(VecAddLayout{
+				W: w, Coeffs: cnt,
+				OffA: 0, OffB: cw, OffOut: 2 * cw,
+				Q: q,
+			})
+		}
+	}
+	return shards
+}
+
+// RunVectorAddSched is RunVectorAdd through the async execution plane.
+func RunVectorAddSched(sched *pimsched.Scheduler, a, b []uint32, w int, q limb32.Nat) ([]uint32, *pimsched.Report, error) {
+	if len(a) != len(b) {
+		return nil, nil, errors.New("kernels: operand length mismatch")
+	}
+	if len(a)%w != 0 {
+		return nil, nil, errors.New("kernels: vector length not a multiple of the limb width")
+	}
+	out := make([]uint32, len(a))
+	n := sched.TargetShards(len(a) / w)
+	rep, err := sched.Run(planVectorAdd(sched.Sys, a, b, out, w, n, q))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// planVectorPolyMul cuts `pairs` negacyclic products into nShards
+// shards with the [a | b | out] layout of RunVectorPolyMul.
+func planVectorPolyMul(sys *pim.System, a, b, out []uint32, n, w, pairs, nShards int, q limb32.Nat) []pimsched.Shard {
+	polyWords := n * w
+	br := limb32.NewBarrett(q)
+	shards := make([]pimsched.Shard, nShards)
+	for i := 0; i < nShards; i++ {
+		s, e := pim.Partition(pairs, nShards, i)
+		cnt := e - s
+		words := cnt * polyWords
+		shards[i] = pimsched.Shard{
+			BytesIn:  int64(8 * words),
+			BytesOut: int64(4 * words),
+			Stage: func(d int) error {
+				if words == 0 {
+					return nil
+				}
+				if err := sys.CopyToDPU(d, 0, a[s*polyWords:e*polyWords]); err != nil {
+					return err
+				}
+				if err := sys.CopyToDPU(d, words, b[s*polyWords:e*polyWords]); err != nil {
+					return err
+				}
+				return sys.DPUs[d].EnsureMRAM(3 * words)
+			},
+			Gather: func(d int) error {
+				if words == 0 {
+					return nil
+				}
+				return sys.CopyFromDPU(d, 2*words, out[s*polyWords:e*polyWords])
+			},
+		}
+		if cnt > 0 {
+			shards[i].Kernel = VectorPolyMul(PolyMulLayout{
+				W: w, N: n, Pairs: cnt,
+				OffA: 0, OffB: words, OffOut: 2 * words,
+				Q: q, BR: br,
+			})
+		}
+	}
+	return shards
+}
+
+// RunVectorPolyMulSched is RunVectorPolyMul through the async
+// execution plane.
+func RunVectorPolyMulSched(sched *pimsched.Scheduler, a, b []uint32, n, w int, q limb32.Nat) ([]uint32, *pimsched.Report, error) {
+	if len(a) != len(b) {
+		return nil, nil, errors.New("kernels: operand length mismatch")
+	}
+	polyWords := n * w
+	if polyWords == 0 || len(a)%polyWords != 0 {
+		return nil, nil, fmt.Errorf("kernels: vector length %d not a multiple of poly size %d", len(a), polyWords)
+	}
+	pairs := len(a) / polyWords
+	out := make([]uint32, len(a))
+	nShards := sched.TargetShards(pairs)
+	rep, err := sched.Run(planVectorPolyMul(sched.Sys, a, b, out, n, w, pairs, nShards, q))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// planVectorSum cuts an M-vector element-wise reduction into nShards
+// coefficient shards with the layout of RunVectorSum.
+func planVectorSum(sys *pim.System, vecs [][]uint32, out []uint32, w, nShards int, q limb32.Nat) []pimsched.Shard {
+	coeffs := len(vecs[0]) / w
+	M := len(vecs)
+	shards := make([]pimsched.Shard, nShards)
+	for i := 0; i < nShards; i++ {
+		s, e := pim.Partition(coeffs, nShards, i)
+		cnt := e - s
+		cw := cnt * w
+		shards[i] = pimsched.Shard{
+			BytesIn:  int64(4 * M * cw),
+			BytesOut: int64(4 * cw),
+			Stage: func(d int) error {
+				if cw == 0 {
+					return nil
+				}
+				for v := 0; v < M; v++ {
+					if err := sys.CopyToDPU(d, v*cw, vecs[v][s*w:e*w]); err != nil {
+						return err
+					}
+				}
+				return sys.DPUs[d].EnsureMRAM((M + 1) * cw)
+			},
+			Gather: func(d int) error {
+				if cw == 0 {
+					return nil
+				}
+				return sys.CopyFromDPU(d, M*cw, out[s*w:e*w])
+			},
+		}
+		if cnt > 0 {
+			shards[i].Kernel = VectorSum(VecSumLayout{
+				W: w, Coeffs: cnt, M: M,
+				OffIn: 0, OffOut: M * cw,
+				Q: q,
+			})
+		}
+	}
+	return shards
+}
+
+// RunVectorSumSched is RunVectorSum through the async execution plane.
+func RunVectorSumSched(sched *pimsched.Scheduler, vecs [][]uint32, w int, q limb32.Nat) ([]uint32, *pimsched.Report, error) {
+	if len(vecs) == 0 {
+		return nil, nil, errors.New("kernels: no vectors to sum")
+	}
+	length := len(vecs[0])
+	for _, v := range vecs {
+		if len(v) != length {
+			return nil, nil, errors.New("kernels: vector length mismatch")
+		}
+	}
+	if length%w != 0 {
+		return nil, nil, errors.New("kernels: vector length not a multiple of the limb width")
+	}
+	out := make([]uint32, length)
+	nShards := sched.TargetShards(length / w)
+	rep, err := sched.Run(planVectorSum(sched.Sys, vecs, out, w, nShards, q))
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}

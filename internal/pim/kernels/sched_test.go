@@ -1,0 +1,158 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/limb32"
+	"repro/internal/pim"
+	"repro/internal/pimsched"
+)
+
+func testSched(t *testing.T, topo pimsched.Topology, overlap bool) *pimsched.Scheduler {
+	t.Helper()
+	sys := faultSys(t, topo.NumDPUs())
+	sched, err := pimsched.New(sys, topo, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// TestSchedMatchesMonolithicDrivers checks the async pipeline drivers
+// against the single-launch Run* drivers bit for bit, across widths.
+func TestSchedMatchesMonolithicDrivers(t *testing.T) {
+	topo := pimsched.Topology{Ranks: 3, DPUsPerRank: 4}
+	rng := rand.New(rand.NewSource(42))
+	for _, w := range []int{1, 2} {
+		mod := modulusFor(t, w)
+		q := mod.Q
+		a := randVec(rng, 96, mod)
+		b := randVec(rng, 96, mod)
+		mono := faultSys(t, topo.NumDPUs())
+		wantAdd, _, err := RunVectorAdd(mono, a, b, w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := testSched(t, topo, true)
+		gotAdd, rep, err := RunVectorAddSched(sched, a, b, w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantAdd {
+			if gotAdd[i] != wantAdd[i] {
+				t.Fatalf("w=%d add[%d]: sched %d != mono %d", w, i, gotAdd[i], wantAdd[i])
+			}
+		}
+		if rep.RanksUsed != 3 {
+			t.Errorf("w=%d: used %d ranks, want 3", w, rep.RanksUsed)
+		}
+
+		wantMul, _, err := RunVectorPolyMul(mono, a, b, 8, w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMul, _, err := RunVectorPolyMulSched(sched, a, b, 8, w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantMul {
+			if gotMul[i] != wantMul[i] {
+				t.Fatalf("w=%d polymul[%d]: sched %d != mono %d", w, i, gotMul[i], wantMul[i])
+			}
+		}
+
+		vecs := [][]uint32{a, b, a}
+		wantSum, _, err := RunVectorSum(mono, vecs, w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSum, _, err := RunVectorSumSched(sched, vecs, w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantSum {
+			if gotSum[i] != wantSum[i] {
+				t.Fatalf("w=%d sum[%d]: sched %d != mono %d", w, i, gotSum[i], wantSum[i])
+			}
+		}
+	}
+}
+
+// TestSchedDeadDPUMidPipeline kills DPUs during a sharded async run and
+// checks the re-dispatch keeps results bit-identical to the oracle and
+// the run deterministic across reruns.
+func TestSchedDeadDPUMidPipeline(t *testing.T) {
+	topo := pimsched.Topology{Ranks: 4, DPUsPerRank: 4}
+	q := limb32.Nat{4294967291}
+	a, b := testVectors(512, 1, q)
+	want := addOracle(a, b, 1, q)
+
+	run := func(seed uint64) (*pimsched.Report, pim.FaultStats) {
+		sched := testSched(t, topo, true)
+		sched.Sys.SetFaultInjector(faultinject.New(seed).SetRate(pim.SiteDPUDead, 0.1))
+		got, rep, err := RunVectorAddSched(sched, a, b, 1, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: diverged from oracle at %d", seed, i)
+			}
+		}
+		return rep, sched.Sys.FaultStats()
+	}
+
+	var seed uint64
+	for s := uint64(1); s < 64; s++ {
+		sched := testSched(t, topo, true)
+		sched.Sys.SetFaultInjector(faultinject.New(s).SetRate(pim.SiteDPUDead, 0.1))
+		if _, rep, err := RunVectorAddSched(sched, a, b, 1, q); err == nil && rep.Resharded > 0 {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed in 1..63 triggered a dead-DPU re-dispatch")
+	}
+	rep1, st1 := run(seed)
+	rep2, st2 := run(seed)
+	if rep1.Resharded == 0 {
+		t.Fatal("expected re-dispatched shards")
+	}
+	if *rep1 != *rep2 || st1 != st2 {
+		t.Errorf("faulted async runs not deterministic:\n%+v\n%+v\nstats %+v vs %+v", rep1, rep2, st1, st2)
+	}
+}
+
+// TestSchedStragglerStretchesMakespanOnly pins the straggler
+// semantics on the async path: modeled times inflate, results do not.
+func TestSchedStragglerStretchesMakespanOnly(t *testing.T) {
+	topo := pimsched.Topology{Ranks: 2, DPUsPerRank: 4}
+	q := limb32.Nat{4294967291}
+	a, b := testVectors(256, 1, q)
+	want := addOracle(a, b, 1, q)
+
+	clean := testSched(t, topo, true)
+	_, cleanRep, err := RunVectorAddSched(clean, a, b, 1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := testSched(t, topo, true)
+	slow.Sys.SetFaultInjector(faultinject.New(3).SetRate(pim.SiteDPUStraggler, 1))
+	got, slowRep, err := RunVectorAddSched(slow, a, b, 1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("straggling run diverged at %d", i)
+		}
+	}
+	if !(slowRep.MakespanSeconds > cleanRep.MakespanSeconds) {
+		t.Errorf("straggling makespan %g not above clean %g",
+			slowRep.MakespanSeconds, cleanRep.MakespanSeconds)
+	}
+}

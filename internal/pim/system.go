@@ -4,18 +4,28 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faultinject"
 	"repro/internal/limb32"
 )
 
 // System is a collection of DPUs plus the host-side transfer engine.
+//
+// Transfer accounting is atomic: an async command queue (internal/
+// pimsched) stages the next chunk's CopyToDPU and gathers the previous
+// chunk's CopyFromDPU concurrently with an in-flight LaunchOn, so the
+// host byte counters are hit from several goroutines at once. Kernel
+// launches themselves must still be issued from one dispatcher
+// goroutine at a time — the launch sequence numbers the fault
+// schedule, so concurrent launches would make a seeded chaos run
+// scheduling-dependent.
 type System struct {
 	Config SystemConfig
 	DPUs   []*DPU
 
-	copyInBytes  int64
-	copyOutBytes int64
+	copyInBytes  atomic.Int64
+	copyOutBytes atomic.Int64
 
 	// Fault model (see fault.go). faults is nil unless a chaos run
 	// attached an injector; launchSeq numbers launches so injection
@@ -46,7 +56,7 @@ func (s *System) CopyToDPU(dpuID, off int, data []uint32) error {
 		return err
 	}
 	copy(d.mram[off:off+len(data)], data)
-	s.copyInBytes += int64(4 * len(data))
+	s.copyInBytes.Add(int64(4 * len(data)))
 	return nil
 }
 
@@ -59,14 +69,22 @@ func (s *System) CopyFromDPU(dpuID, off int, dst []uint32) error {
 			dpuID, off, off+len(dst), len(d.mram))
 	}
 	copy(dst, d.mram[off:off+len(dst)])
-	s.copyOutBytes += int64(4 * len(dst))
+	s.copyOutBytes.Add(int64(4 * len(dst)))
 	return nil
 }
 
 // ResetTransferAccounting zeroes the host transfer counters (call between
 // experiments sharing a System).
 func (s *System) ResetTransferAccounting() {
-	s.copyInBytes, s.copyOutBytes = 0, 0
+	s.copyInBytes.Store(0)
+	s.copyOutBytes.Store(0)
+}
+
+// TransferBytes returns the host→DPU and DPU→host byte totals
+// accumulated since the last ResetTransferAccounting. Safe to call
+// concurrently with in-flight copies.
+func (s *System) TransferBytes() (in, out int64) {
+	return s.copyInBytes.Load(), s.copyOutBytes.Load()
 }
 
 // KernelFunc is the code one tasklet executes. Kernels are ordinary Go:
@@ -142,8 +160,10 @@ func (s *System) LaunchOn(ids []int, kernel func(dpuID int) KernelFunc) (*Report
 	errs := make([]error, len(ids))
 
 	// Serial fault-decision pass.
+	s.faultMu.Lock()
 	s.launchSeq++
 	seq := s.launchSeq
+	s.faultMu.Unlock()
 	run := make([]bool, len(ids))
 	straggle := make([]bool, len(ids))
 	for i, id := range ids {
@@ -229,8 +249,8 @@ func (s *System) LaunchOn(ids []int, kernel func(dpuID int) KernelFunc) (*Report
 		rep.Counts.Add(&d.counts)
 	}
 	rep.KernelSeconds = float64(rep.KernelCycles)/s.Config.ClockHz + s.Config.LaunchOverheadSec
-	rep.CopyInSeconds = float64(s.copyInBytes) / s.Config.HostToDPUBytesPerSec
-	rep.CopyOutSeconds = float64(s.copyOutBytes) / s.Config.DPUToHostBytesPerSec
+	rep.CopyInSeconds = float64(s.copyInBytes.Load()) / s.Config.HostToDPUBytesPerSec
+	rep.CopyOutSeconds = float64(s.copyOutBytes.Load()) / s.Config.DPUToHostBytesPerSec
 	return rep, errs
 }
 

@@ -1,0 +1,50 @@
+package pimsched
+
+import "repro/internal/pim"
+
+// TransferModel prices host↔DPU transfers at rank granularity.
+//
+// The host bus serves one rank at a time (transfers to different ranks
+// serialize), but within a rank all DPUs receive their slices in
+// parallel, each at a per-DPU share of the bus bandwidth. A rank's
+// transfer time is therefore bounded by its *largest* per-DPU slice:
+//
+//	rankSeconds = maxPerDPUBytes / (aggregateBW / DPUsPerRank)
+//
+// For evenly cut shards this collapses to rankBytes/aggregateBW — the
+// same total the flat model charges — while uneven cuts leave transfer
+// lanes idle and show up as longer rank transfers. Copy-in (host→DPU)
+// and copy-out (DPU→host) use the independently measured directions of
+// pim.SystemConfig, and are treated as independent channels: a gather
+// on the out-path can overlap a stage on the in-path.
+type TransferModel struct {
+	PerDPUInBytesPerSec  float64
+	PerDPUOutBytesPerSec float64
+}
+
+// NewTransferModel derives the per-DPU transfer rates from the
+// system's aggregate bus bandwidths and the topology's rank width.
+func NewTransferModel(cfg pim.SystemConfig, topo Topology) TransferModel {
+	w := float64(topo.DPUsPerRank)
+	return TransferModel{
+		PerDPUInBytesPerSec:  cfg.HostToDPUBytesPerSec / w,
+		PerDPUOutBytesPerSec: cfg.DPUToHostBytesPerSec / w,
+	}
+}
+
+// InSeconds prices one rank's copy-in: the largest per-DPU slice at
+// the per-DPU rate.
+func (m TransferModel) InSeconds(maxPerDPUBytes int64) float64 {
+	if maxPerDPUBytes <= 0 {
+		return 0
+	}
+	return float64(maxPerDPUBytes) / m.PerDPUInBytesPerSec
+}
+
+// OutSeconds prices one rank's copy-out.
+func (m TransferModel) OutSeconds(maxPerDPUBytes int64) float64 {
+	if maxPerDPUBytes <= 0 {
+		return 0
+	}
+	return float64(maxPerDPUBytes) / m.PerDPUOutBytesPerSec
+}
