@@ -58,8 +58,8 @@ func main() {
 	threshold := flag.Float64("threshold", 1.25, "fail when new/baseline exceeds this factor")
 	serveBaseline := flag.String("serve-baseline", "", "checked-in hebfv-loadgen JSON report to compare against")
 	serveNew := flag.String("serve-new", "", "freshly measured hebfv-loadgen JSON report")
-	serveOps := flag.Float64("serve-ops-threshold", 1.5, "fail when baseline/new ops/sec exceeds this factor (total and per-op)")
-	serveP99 := flag.Float64("serve-p99-threshold", 1.5, "fail when new/baseline per-op p99 exceeds this factor")
+	serveOps := flag.Float64("serve-ops-threshold", 2.0, "fail when baseline/new ops/sec exceeds this factor (total and per-op)")
+	serveP99 := flag.Float64("serve-p99-threshold", 2.0, "fail when new/baseline per-op p99 exceeds this factor")
 	flag.Parse()
 	if *serveBaseline != "" || *serveNew != "" {
 		if *serveBaseline == "" || *serveNew == "" {

@@ -109,6 +109,18 @@ func serveDiff(base, cur *bench.ServeReport, opsFactor, p99Factor float64) (stri
 	for _, op := range newOps {
 		sb.WriteString(fmt.Sprintf("%-12s new op %.1f ops/s (no baseline)\n", op, curPts[op].OpsPerSec))
 	}
+	// Informational GC axis (schema v2): shown when present, never
+	// gated — allocation behavior is gated by the AllocsPerRun tests.
+	if cur.GC != nil {
+		if base.GC != nil {
+			sb.WriteString(fmt.Sprintf("%-12s %10.0f -> %10.0f bytes/op  (%.2fx)\n",
+				"gc bytes/op", base.GC.BytesPerOp, cur.GC.BytesPerOp,
+				cur.GC.BytesPerOp/base.GC.BytesPerOp))
+		} else {
+			sb.WriteString(fmt.Sprintf("%-12s %.0f bytes/op, pool hit rate %.1f%% (no v1 baseline)\n",
+				"gc", cur.GC.BytesPerOp, cur.GC.PoolHitRate*100))
+		}
+	}
 	return sb.String(), regressed
 }
 

@@ -9,6 +9,12 @@
 // byte-for-byte against the same operation evaluated locally — the
 // end-to-end bit-identity guarantee of the served plane.
 //
+// The report (schema v2) carries a server-side GC axis: /v1/stats
+// memory and pool counters are snapshotted before and after the
+// measured window and diffed into allocs/op, bytes/op, GC pause p99
+// and the decode-pool hit rate — the zero-copy serving path's
+// measured effect.
+//
 // Usage:
 //
 //	hebfv-loadgen -addr http://localhost:8443                # closed loop: 2 tenants x 2 workers, 3s
@@ -22,6 +28,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"repro/hebfv"
+	"repro/hebfv/serve"
 	"repro/internal/bench"
 )
 
@@ -118,6 +126,14 @@ func main() {
 		}
 	}
 
+	// GC axis (schema v2): snapshot the server's memory and pool
+	// counters around the measured window; the diff is the server-side
+	// churn the run caused.
+	statsBefore, statsErr := fetchStats(client, *addr)
+	if statsErr != nil {
+		log.Printf("hebfv-loadgen: /v1/stats unavailable, GC axis skipped: %v", statsErr)
+	}
+
 	start := time.Now()
 	deadline := start.Add(*duration)
 	var wg sync.WaitGroup
@@ -149,9 +165,15 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var statsAfter *serve.ServerStats
+	if statsErr == nil {
+		if statsAfter, statsErr = fetchStats(client, *addr); statsErr != nil {
+			log.Printf("hebfv-loadgen: closing /v1/stats snapshot failed, GC axis skipped: %v", statsErr)
+		}
+	}
 
 	rep := &bench.ServeReport{
-		Schema:      "repro/serve-loadgen/v1",
+		Schema:      "repro/serve-loadgen/v2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Backend:     hebfv.DefaultBackend,
@@ -175,6 +197,7 @@ func main() {
 	if elapsed > 0 {
 		rep.TotalOpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
 	}
+	rep.GC = gcAxis(statsBefore, statsAfter, rep.TotalOps)
 
 	fmt.Printf("%-8s %8s %10s %10s %10s %12s\n", "op", "count", "p50", "p99", "mean", "ops/sec")
 	for _, p := range rep.Points {
@@ -187,6 +210,11 @@ func main() {
 		fmt.Printf(", %d mismatches", mismatch.Load())
 	}
 	fmt.Println()
+	if rep.GC != nil {
+		fmt.Printf("server GC: %.0f allocs/op, %.0f bytes/op, %d collections, pause p99 %dµs, pool hit rate %.1f%% (in use %d, retained %s)\n",
+			rep.GC.AllocsPerOp, rep.GC.BytesPerOp, rep.GC.NumGC, rep.GC.GCPauseP99Micros,
+			rep.GC.PoolHitRate*100, rep.GC.PoolInUse, fmtBytes(rep.GC.PoolRetainedBytes))
+	}
 
 	if *jsonPath != "" {
 		if err := bench.WriteServeJSON(*jsonPath, rep); err != nil {
@@ -197,6 +225,66 @@ func main() {
 	if failures.Load() > 0 || mismatch.Load() > 0 || rep.TotalOps == 0 {
 		os.Exit(1)
 	}
+}
+
+// fetchStats reads the server's /v1/stats payload.
+func fetchStats(client *http.Client, addr string) (*serve.ServerStats, error) {
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/stats: HTTP %d", resp.StatusCode)
+	}
+	var st serve.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// gcAxis diffs the two /v1/stats snapshots into the schema-v2 GC
+// section. It returns nil when either snapshot is missing or the run
+// evaluated nothing.
+func gcAxis(before, after *serve.ServerStats, ops int) *bench.ServeGCStats {
+	if before == nil || after == nil || ops == 0 {
+		return nil
+	}
+	gc := &bench.ServeGCStats{
+		AllocsPerOp:       float64(after.Mem.Mallocs-before.Mem.Mallocs) / float64(ops),
+		BytesPerOp:        float64(after.Mem.TotalAllocBytes-before.Mem.TotalAllocBytes) / float64(ops),
+		NumGC:             after.Mem.NumGC - before.Mem.NumGC,
+		PoolInUse:         after.Pool.InUse,
+		PoolRetainedBytes: after.Pool.RetainedBytes,
+	}
+	if gets := after.Pool.Gets - before.Pool.Gets; gets > 0 {
+		gc.PoolHitRate = float64(after.Pool.Hits-before.Pool.Hits) / float64(gets)
+	}
+	// The pause ring holds the last ≤256 pauses; take the window's share.
+	if pauses := after.Mem.RecentPausesNs; gc.NumGC > 0 && len(pauses) > 0 {
+		k := int(gc.NumGC)
+		if k > len(pauses) {
+			k = len(pauses)
+		}
+		window := make([]time.Duration, k)
+		for i, ns := range pauses[len(pauses)-k:] {
+			window[i] = time.Duration(ns)
+		}
+		gc.GCPauseP99Micros = bench.Quantile(window, 0.99).Microseconds()
+	}
+	return gc
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 // newTenant builds one client: local keys, onboarded evaluation-only

@@ -13,6 +13,7 @@
 //	hebfvd -cache-mb 64             # tenant key-set cache budget (LRU past it)
 //	hebfvd -window 2ms -max-batch 32            # request coalescing bounds
 //	hebfvd -tenant-inflight 4 -total-inflight 64  # admission quotas (429 / 503)
+//	hebfvd -pool-mb 32              # per-tenant decode-pool retention (0 = pooling off)
 //
 // The parameter preset must match the clients': a key-set blob exported
 // at one ring degree does not restore at another (onboarding rejects it
@@ -45,9 +46,13 @@ func main() {
 	maxBatch := flag.Int("max-batch", 32, "flush an op batch at this size even inside the window")
 	tenantInflight := flag.Int("tenant-inflight", 4, "per-tenant concurrent evaluation quota (429 past it)")
 	totalInflight := flag.Int("total-inflight", 64, "global concurrent evaluation quota (503 past it)")
+	poolMB := flag.Int64("pool-mb", 32, "per-tenant ciphertext decode-pool retention in MiB (0 = pooling off)")
 	flag.Parse()
 
-	ctxOpts := []hebfv.Option{hebfv.WithBackend(*backend)}
+	ctxOpts := []hebfv.Option{
+		hebfv.WithBackend(*backend),
+		hebfv.WithPoolRetention(*poolMB << 20),
+	}
 	if *toy {
 		ctxOpts = append(ctxOpts, hebfv.WithInsecureToyParameters())
 	} else {

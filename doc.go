@@ -315,7 +315,36 @@
 // closed or open loop, verifies every response byte-for-byte against
 // local evaluation (-check), and reports p50/p99 latency and ops/sec;
 // `hebfv-loadgen -json BENCH_serve.json` emits the tracked serving
-// report (schema repro/serve-loadgen/v1, internal/bench).
+// report (schema repro/serve-loadgen/v2, internal/bench). v2 adds the
+// GC axis: the loadgen diffs the server's /v1/stats memory counters
+// across the run and reports server-side allocs/bytes per op, the GC
+// pause tail, and the decode-pool recycling counters.
+//
+// # Memory management and handle lifecycle
+//
+// The serving path is zero-copy at steady state. Every hebfv.Context
+// owns a size-classed pool of ciphertext coefficient backings
+// (internal/polypool): Context.ReadCiphertext decodes straight into
+// pooled backings — the only staging is the serializer's fixed 32 KiB
+// chunk buffer — and Ciphertext.Release returns them for the next
+// decode to reuse. At n=4096 one two-component ciphertext is 128 KiB
+// of backing, so recycling the request traffic is the difference
+// between a server that allocates per request and one that reaches a
+// steady state; BENCH_serve.json's GC axis measures the win
+// (>=30% fewer bytes allocated per op on the add/mul/rotate paths).
+//
+// Release is required only for handles from ReadCiphertext /
+// UnmarshalCiphertext, and hebfvd's handlers call it automatically
+// once the response is flushed — a released handle fails every
+// subsequent use with hebfv.ErrReleasedHandle rather than corrupting a
+// recycled backing. Retention is bounded per context
+// (hebfv.WithPoolRetention, 32 MiB default; hebfvd -pool-mb;
+// 0 disables retention for A/B runs), Context.Close drains the pool
+// (the serve cache's eviction path, leak-checked in CI), and
+// Context.PoolStats / the server's /v1/stats expose the
+// gets/puts/hits/misses/in-use balance. Evaluation outputs are not
+// pooled: engine results are freshly allocated and never alias their
+// inputs.
 //
 // The root package holds the per-figure benchmarks (bench_test.go); the
 // public API lives in hebfv/, the implementation under internal/ (see

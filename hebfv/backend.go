@@ -304,6 +304,12 @@ func (e *evalEngine) Sum(cts []*bfv.Ciphertext) (*bfv.Ciphertext, error) {
 	if len(cts) == 0 {
 		return nil, errors.New("hebfv: empty sum")
 	}
+	if len(cts) == 1 {
+		// Engine outputs never alias inputs: a single-element sum must
+		// not hand the caller's ciphertext back (the facade may recycle
+		// an input's backings after the call).
+		return cts[0].Clone(), nil
+	}
 	acc := cts[0]
 	for _, ct := range cts[1:] {
 		acc = e.ev.Add(acc, ct)
@@ -429,6 +435,10 @@ func (e *pimEngine) RotateAndSum(cts []*bfv.Ciphertext, gks []*bfv.GaloisKey) ([
 	out := make([]*bfv.Ciphertext, len(cts))
 	for i, ct := range cts {
 		acc := ct
+		if len(gks) == 0 {
+			// No steps: never alias the input (see evalEngine.Sum).
+			acc = ct.Clone()
+		}
 		for _, gk := range gks {
 			r, err := e.ApplyGalois(ct, gk)
 			if err != nil {

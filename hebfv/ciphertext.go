@@ -24,21 +24,25 @@ import (
 type Ciphertext struct {
 	ctx *Context
 
-	mu   sync.Mutex
-	ct   *bfv.Ciphertext // materialized form; nil while deferred
-	rot  *bfv.RotatedNTT // deferred rotation output; nil once unused
-	prod *bfv.ProductNTT // deferred product output; nil once unused
+	mu       sync.Mutex
+	ct       *bfv.Ciphertext // materialized form; nil while deferred
+	rot      *bfv.RotatedNTT // deferred rotation output; nil once unused
+	prod     *bfv.ProductNTT // deferred product output; nil once unused
+	pooled   bool            // coefficient backings came from the context pool
+	released bool            // Release was called; the handle is dead
 }
 
 // force materializes the handle's coefficient form, returning the
 // deferred accumulators to the scratch pool — steady-state batched
 // rotation and multiplication stay allocation-free through the facade
 // too. A concurrent deferred Add against the released handle safely
-// reports false and falls back to coefficient addition.
+// reports false and falls back to coefficient addition. After Release
+// the handle holds no form at all and force returns nil; error-bearing
+// entry points map that to ErrReleasedHandle via own.
 func (ct *Ciphertext) force() *bfv.Ciphertext {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
-	if ct.ct == nil {
+	if ct.ct == nil && !ct.released {
 		switch {
 		case ct.rot != nil:
 			ct.ct = ct.rot.Materialize()
@@ -51,6 +55,47 @@ func (ct *Ciphertext) force() *bfv.Ciphertext {
 		}
 	}
 	return ct.ct
+}
+
+// Release returns the handle's resources — pooled coefficient backings
+// to the owning context's pool, deferred accumulators to their scratch
+// pools — and marks the handle dead. Every subsequent use returns (or
+// reports through) ErrReleasedHandle; Degree returns −1 and Equal
+// false. Releasing twice is an error.
+//
+// Release is only required for handles produced by Context.
+// ReadCiphertext on the serving path, where recycling the decode
+// backings is the point (the serve package calls it automatically once
+// the response is flushed). Handles from Encrypt or evaluation results
+// may be released for uniformity but recycle nothing beyond deferred
+// scratch: their backings were never drawn from the pool.
+func (ct *Ciphertext) Release() error {
+	if ct == nil {
+		return fmt.Errorf("%w: nil ciphertext", ErrNilHandle)
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.released {
+		return fmt.Errorf("%w: double release", ErrReleasedHandle)
+	}
+	ct.released = true
+	if ct.rot != nil {
+		ct.rot.Release()
+		ct.rot = nil
+	}
+	if ct.prod != nil {
+		ct.prod.Release()
+		ct.prod = nil
+	}
+	if ct.ct != nil {
+		if ct.pooled && ct.ctx != nil && ct.ctx.pool != nil {
+			for _, p := range ct.ct.Polys {
+				ct.ctx.pool.Put(p.C)
+			}
+		}
+		ct.ct = nil
+	}
+	return nil
 }
 
 // components returns the handle's component (polynomial) count without
@@ -92,24 +137,39 @@ func (ct *Ciphertext) deferredProd() *bfv.ProductNTT {
 
 // operand returns the handle's form for the deferred multiplication
 // pipeline: the live product handle when still deferred, else the
-// materialized ciphertext.
+// materialized ciphertext. A released handle yields a nil interface
+// (never a typed nil), which the callers map to ErrReleasedHandle.
 func (ct *Ciphertext) operand() bfv.MulOperand {
 	if p := ct.deferredProd(); p != nil {
 		return p
 	}
-	return ct.force()
+	if raw := ct.force(); raw != nil {
+		return raw
+	}
+	return nil
 }
 
 // Degree returns the ciphertext degree (1 for fresh encryptions, 2 for
-// unrelinearized products).
-func (ct *Ciphertext) Degree() int { return ct.force().Degree() }
+// unrelinearized products), or −1 for a released handle.
+func (ct *Ciphertext) Degree() int {
+	raw := ct.force()
+	if raw == nil {
+		return -1
+	}
+	return raw.Degree()
+}
 
 // Equal reports bitwise equality (forcing deferred forms first).
+// Released handles compare equal to nothing, including each other.
 func (ct *Ciphertext) Equal(o *Ciphertext) bool {
 	if ct == nil || o == nil {
 		return ct == o
 	}
-	return ct.force().Equal(o.force())
+	a, b := ct.force(), o.force()
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Equal(b)
 }
 
 // wrap binds a raw ciphertext to the context.
@@ -139,7 +199,11 @@ func (c *Context) own(ct *Ciphertext) (*bfv.Ciphertext, error) {
 	if ct.ctx != c {
 		return nil, fmt.Errorf("%w: ciphertext from another context", ErrForeignHandle)
 	}
-	return ct.force(), nil
+	raw := ct.force()
+	if raw == nil {
+		return nil, fmt.Errorf("%w: use after release", ErrReleasedHandle)
+	}
+	return raw, nil
 }
 
 // ownAll validates and materializes a slice of handles.

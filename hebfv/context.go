@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bfv"
+	"repro/internal/polypool"
 	"repro/internal/sampling"
 )
 
@@ -49,8 +50,19 @@ type Context struct {
 	mu  sync.Mutex
 	gks map[uint64]*bfv.GaloisKey // Galois element -> key
 
+	// pool recycles ciphertext coefficient backings for the zero-copy
+	// decode path: ReadCiphertext draws from it, Ciphertext.Release
+	// returns to it, Close drains it. See WithPoolRetention.
+	pool *polypool.Pool
+
 	closed atomic.Bool // set by Close; operations reject with ErrContextClosed
 }
+
+// defaultPoolRetainBytes sizes the decode pool when WithPoolRetention
+// is not given: 32 MiB retains a full coalescing window's operand
+// backings at n=4096/W=4 (64 KiB per polynomial, 128 KiB per
+// two-component ciphertext — roughly 256 in-flight ciphertexts).
+const defaultPoolRetainBytes = 32 << 20
 
 // New builds a Context from functional options: parameter preset
 // (WithSecurityLevel / WithInsecureToyParameters, plaintext modulus via
@@ -79,9 +91,14 @@ func New(opts ...Option) (*Context, error) {
 		return nil, err
 	}
 
+	poolRetain := int64(defaultPoolRetainBytes)
+	if cfg.poolRetain != nil {
+		poolRetain = *cfg.poolRetain
+	}
 	c := &Context{
 		params: params,
 		gks:    map[uint64]*bfv.GaloisKey{},
+		pool:   polypool.New(poolRetain),
 	}
 	if cfg.keySet != nil && cfg.keySetR != nil {
 		return nil, errors.New("hebfv: WithKeySet and WithKeySetFrom are mutually exclusive")
@@ -245,7 +262,42 @@ func (c *Context) Close() error {
 	c.mu.Lock()
 	c.gks = map[uint64]*bfv.GaloisKey{}
 	c.mu.Unlock()
+	c.pool.Drain()
 	return nil
+}
+
+// PoolStats is a snapshot of the context's decode-pool counters: how
+// many backings were handed out (Gets) and returned (Puts), how the
+// Gets split into recycles (Hits) and fresh allocations (Misses), how
+// many returns were dropped at the retention cap (Dropped), the
+// backings currently held by live handles (InUse = Gets − Puts, the
+// leak-balance invariant), and the bytes sitting on the free lists
+// (RetainedBytes — the pool's steady-state footprint).
+type PoolStats struct {
+	Gets          int64 `json:"gets"`
+	Puts          int64 `json:"puts"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Dropped       int64 `json:"dropped"`
+	InUse         int64 `json:"in_use"`
+	RetainedBytes int64 `json:"retained_bytes"`
+}
+
+// PoolStats returns a snapshot of the decode pool's counters. It works
+// on closed contexts too (the counters survive Close; only the
+// retained backings are dropped), so a serving cache can audit evicted
+// tenants for leaked handles.
+func (c *Context) PoolStats() PoolStats {
+	s := c.pool.Stats()
+	return PoolStats{
+		Gets:          s.Gets,
+		Puts:          s.Puts,
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Dropped:       s.Dropped,
+		InUse:         s.InUse,
+		RetainedBytes: s.RetainedBytes,
+	}
 }
 
 // requireOpen rejects operations on a closed context. It is checked at

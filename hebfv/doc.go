@@ -45,6 +45,42 @@
 // (NTT-resident) handles too, without forcing them — so servers can set
 // Content-Length before streaming.
 //
+// # Memory management and handle lifecycle
+//
+// Handles are cheap; their coefficient backings are not (128 KiB per
+// two-component ciphertext at n=4096). Each Context therefore owns a
+// size-classed backing pool, and ReadCiphertext / UnmarshalCiphertext
+// decode directly into pooled backings — zero staging copies beyond
+// the fixed chunk buffer. Calling Ciphertext.Release returns those
+// backings for the next decode to reuse; at steady state a serving hot
+// loop re-allocates nothing but small fixed-size structs.
+//
+// The lifecycle rules:
+//
+//   - Release is required (well, strongly recommended — an unreleased
+//     handle is garbage-collected like any value, the pool just never
+//     recycles it) only for handles produced by ReadCiphertext /
+//     UnmarshalCiphertext. Handles from Encrypt or evaluation results
+//     do not draw on the pool; releasing them is harmless uniformity.
+//   - A released handle is dead: every error-bearing use reports
+//     ErrReleasedHandle (double Release included), Degree returns −1,
+//     Equal reports false. Nothing ever panics or silently reads a
+//     recycled backing.
+//   - Evaluation outputs never alias their inputs, so releasing the
+//     operands of a completed operation cannot corrupt its result.
+//   - Context.Close drains the pool; PoolStats exposes the
+//     gets/puts/hits/misses balance (InUse == 0 means every pooled
+//     handle came back) and keeps working after Close for
+//     post-eviction leak audits.
+//   - WithPoolRetention bounds the bytes kept warm per context
+//     (default 32 MiB; 0 disables retention so every Get allocates —
+//     the A/B arm the GC benchmarks diff against).
+//
+// The serve package applies these rules automatically: request handles
+// and the response handle are released once the response is flushed,
+// and the server's /v1/stats reports the aggregated pool counters next
+// to a runtime.MemStats excerpt.
+//
 // # Serving
 //
 // Package repro/hebfv/serve builds the HE-as-a-service evaluation
@@ -118,6 +154,8 @@
 //     evaluation-only context restored from ExportKeys(false).
 //   - ErrNilHandle / ErrForeignHandle — a nil handle, or one created by
 //     a different Context.
+//   - ErrReleasedHandle — the handle was Released (its pooled backings
+//     recycled) and then used, or Released twice.
 //   - ErrNoBatching — slot operations under a plaintext modulus with no
 //     batching structure.
 //   - ErrBackendFailed — an evaluation backend failed internally (e.g.

@@ -26,18 +26,22 @@ import (
 //     handle, or one owned by a different Context.
 //   - ErrContextClosed: the context was released with Close — a serving
 //     cache evicted it — and no longer accepts operations.
+//   - ErrReleasedHandle: the ciphertext handle was released — its
+//     backings returned to the context pool — and then used again, or
+//     Release was called twice.
 //
 // No panic escapes the public API on malformed input: entry points
 // recover internal panics and surface them as wrapped ErrBackendFailed
 // (evaluation) or ErrCorruptBlob (deserialization) errors.
 var (
-	ErrCorruptBlob   = errors.New("hebfv: corrupt blob")
-	ErrBackendFailed = errors.New("hebfv: backend evaluation failed")
-	ErrNoSecretKey   = errors.New("hebfv: context holds no secret key (evaluation-only)")
-	ErrNoBatching    = errors.New("hebfv: plaintext modulus does not support batching")
-	ErrNilHandle     = errors.New("hebfv: nil handle")
-	ErrForeignHandle = errors.New("hebfv: handle belongs to a different context")
-	ErrContextClosed = errors.New("hebfv: context is closed")
+	ErrCorruptBlob    = errors.New("hebfv: corrupt blob")
+	ErrBackendFailed  = errors.New("hebfv: backend evaluation failed")
+	ErrNoSecretKey    = errors.New("hebfv: context holds no secret key (evaluation-only)")
+	ErrNoBatching     = errors.New("hebfv: plaintext modulus does not support batching")
+	ErrNilHandle      = errors.New("hebfv: nil handle")
+	ErrForeignHandle  = errors.New("hebfv: handle belongs to a different context")
+	ErrContextClosed  = errors.New("hebfv: context is closed")
+	ErrReleasedHandle = errors.New("hebfv: handle was released")
 )
 
 // guard is deferred by public entry points: a panic below the API
@@ -59,11 +63,17 @@ func guardBlob(err *error) {
 }
 
 // panicError maps a recovered panic value to a typed error. A typed
-// *dcrt.PanicError from the worker pool keeps its task context; any
-// other value is reported verbatim.
+// *dcrt.PanicError from the worker pool keeps its task context; an
+// error already carrying the released-handle sentinel passes through
+// unchanged (a release racing an in-flight operation must surface as
+// ErrReleasedHandle, not as a backend failure); any other value is
+// reported verbatim.
 func panicError(r any) error {
 	if pe, ok := r.(*dcrt.PanicError); ok {
 		return fmt.Errorf("%w: %v", ErrBackendFailed, pe)
+	}
+	if err, ok := r.(error); ok && errors.Is(err, ErrReleasedHandle) {
+		return err
 	}
 	return fmt.Errorf("%w: panic: %v", ErrBackendFailed, r)
 }

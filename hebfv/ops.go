@@ -194,11 +194,14 @@ func (c *Context) Mul(a, b *Ciphertext) (_ *Ciphertext, err error) {
 	defer guard(&err)
 	if dm, ok := c.eng.(DeferredMultiplier); ok && dm.CanDeferMul() &&
 		a != nil && b != nil && a.ctx == c && b.ctx == c {
-		prod, err := dm.MulNTT(a.operand(), b.operand())
-		if err != nil {
-			return nil, err
+		oa, ob := a.operand(), b.operand()
+		if oa != nil && ob != nil { // released handles fall through to binOp's typed error
+			prod, err := dm.MulNTT(oa, ob)
+			if err != nil {
+				return nil, err
+			}
+			return c.wrapDeferredProd(prod), nil
 		}
-		return c.wrapDeferredProd(prod), nil
 	}
 	return c.binOp(a, b, c.eng.Mul)
 }
@@ -209,12 +212,13 @@ func (c *Context) Square(a *Ciphertext) (_ *Ciphertext, err error) {
 	defer guard(&err)
 	if dm, ok := c.eng.(DeferredMultiplier); ok && dm.CanDeferMul() &&
 		a != nil && a.ctx == c {
-		op := a.operand()
-		prod, err := dm.MulNTT(op, op)
-		if err != nil {
-			return nil, err
+		if op := a.operand(); op != nil { // released handles fall through to unOp's typed error
+			prod, err := dm.MulNTT(op, op)
+			if err != nil {
+				return nil, err
+			}
+			return c.wrapDeferredProd(prod), nil
 		}
-		return c.wrapDeferredProd(prod), nil
 	}
 	return c.unOp(a, c.eng.Square)
 }
@@ -346,6 +350,9 @@ func (c *Context) MulMany(as, bs []*Ciphertext) (_ []*Ciphertext, err error) {
 		}
 		aOps[i] = as[i].operand()
 		bOps[i] = bs[i].operand()
+		if aOps[i] == nil || bOps[i] == nil { // released: take the typed-error path
+			return c.batchBinOp(as, bs, c.eng.MulMany)
+		}
 	}
 	prods, err := dm.MulManyNTT(aOps, bOps)
 	if err != nil {

@@ -27,6 +27,8 @@ type config struct {
 
 	pimFaultSeed  uint64
 	pimFaultRates map[string]float64 // injection site -> probability
+
+	poolRetain *int64 // pool retention cap in bytes; nil = default
 }
 
 // Option configures a Context under construction.
@@ -187,6 +189,25 @@ func WithPIMFaultInjection(seed uint64, transient, dead, straggler float64) Opti
 		if straggler > 0 {
 			c.pimFaultRates[pim.SiteDPUStraggler] = straggler
 		}
+		return nil
+	}
+}
+
+// WithPoolRetention caps how many bytes of free ciphertext backings
+// the context's decode pool retains between requests (see Context.
+// PoolStats and the package's "Memory management and handle lifecycle"
+// section). The default retains enough for a typical coalescing
+// window's working set. A cap of 0 disables recycling entirely —
+// every release drops its backings, restoring per-request allocation —
+// which is the pooling-off arm of the serving GC benchmarks; the
+// acquire/release accounting and the leak-balance invariant stay
+// active either way.
+func WithPoolRetention(bytes int64) Option {
+	return func(c *config) error {
+		if bytes < 0 {
+			return errors.New("hebfv: pool retention cap must be non-negative")
+		}
+		c.poolRetain = &bytes
 		return nil
 	}
 }

@@ -120,6 +120,9 @@ func (c *Context) ciphertextWireBytes(components int) int {
 func (ct *Ciphertext) MarshalTo(w io.Writer) (err error) {
 	defer guard(&err)
 	raw := ct.force()
+	if raw == nil {
+		return fmt.Errorf("%w: marshal after release", ErrReleasedHandle)
+	}
 	if err := ct.ctx.writeHeader(w, kindCiphertext); err != nil {
 		return err
 	}
@@ -152,6 +155,16 @@ func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 // exactly the record's bytes, so records can be read back to back off
 // one stream (a request body carrying two operands, say). Decoding is
 // hardened: any structural violation is a typed ErrCorruptBlob.
+//
+// The coefficient backings are drawn from the context's decode pool
+// and deserialized in place — no staging beyond the serializer's fixed
+// chunk buffer — so the returned handle is pooled: call Release when
+// done with it to recycle the backings (the serve package does this
+// automatically). A handle that is never released stays valid
+// indefinitely and is reclaimed by the garbage collector like any
+// other; releasing is an optimization contract, not a correctness one.
+// A rejected blob returns every acquired backing before the error
+// surfaces, keeping the pool's leak balance intact.
 func (c *Context) ReadCiphertext(r io.Reader) (_ *Ciphertext, err error) {
 	defer guardBlob(&err)
 	if err := c.requireOpen(); err != nil {
@@ -160,11 +173,13 @@ func (c *Context) ReadCiphertext(r io.Reader) (_ *Ciphertext, err error) {
 	if err := c.readHeader(r, kindCiphertext); err != nil {
 		return nil, err
 	}
-	ct, err := bfv.ReadCiphertext(r, c.params)
+	ct, err := bfv.ReadCiphertextBacked(r, c.params, c.pool)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptBlob, err)
 	}
-	return c.wrap(ct), nil
+	h := c.wrap(ct)
+	h.pooled = true
+	return h, nil
 }
 
 // UnmarshalCiphertext deserializes a ciphertext blob. It is a thin
@@ -177,7 +192,9 @@ func (c *Context) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
 		return nil, err
 	}
 	if r.Len() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after ciphertext", ErrCorruptBlob, r.Len())
+		n := r.Len()
+		_ = ct.Release() // return the pooled backings before rejecting
+		return nil, fmt.Errorf("%w: %d trailing bytes after ciphertext", ErrCorruptBlob, n)
 	}
 	return ct, nil
 }

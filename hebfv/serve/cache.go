@@ -194,6 +194,32 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
+// PoolStats aggregates the decode-pool counters of every resident
+// tenant context (hebfv.Context.PoolStats). Doomed-but-pinned entries
+// left the table already, so their in-flight backings drop out of the
+// aggregate at eviction, not at their eventual release; the per-context
+// leak balance is still auditable on the evicted Context directly.
+func (c *ContextCache) PoolStats() hebfv.PoolStats {
+	c.mu.Lock()
+	entries := make([]*entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	var agg hebfv.PoolStats
+	for _, e := range entries {
+		s := e.ctx.PoolStats()
+		agg.Gets += s.Gets
+		agg.Puts += s.Puts
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Dropped += s.Dropped
+		agg.InUse += s.InUse
+		agg.RetainedBytes += s.RetainedBytes
+	}
+	return agg
+}
+
 // Stats snapshots the counters.
 func (c *ContextCache) Stats() CacheStats {
 	c.mu.Lock()

@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -314,6 +315,14 @@ func (s *Server) writeOnboarded(w http.ResponseWriter, id [32]byte, cached bool)
 
 // handleEval runs one coalesced operation: admission, context pin,
 // streamed operand decode, batched evaluation, streamed response.
+//
+// The operand handles decode into the pinned context's pooled backings
+// (Context.ReadCiphertext), and every handle the request produced —
+// operands and output — is released once the response bytes have been
+// handed to the ResponseWriter, so a steady-state serve loop recycles
+// one working set per in-flight request instead of allocating per op.
+// An identity rotation returns the operand handle itself as the
+// output; releaseHandles releases each distinct handle exactly once.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
 	id, err := parseFingerprint(r.URL.Query().Get("keyset"))
@@ -334,16 +343,15 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	defer unpin()
 
-	var out *hebfv.Ciphertext
+	var a, b, out *hebfv.Ciphertext
+	defer func() { releaseHandles(a, b, out) }()
 	switch op := r.PathValue("op"); op {
 	case "add", "mul":
-		a, err := ctx.ReadCiphertext(r.Body)
-		if err != nil {
+		if a, err = ctx.ReadCiphertext(r.Body); err != nil {
 			s.writeError(w, err)
 			return
 		}
-		b, err := ctx.ReadCiphertext(r.Body)
-		if err != nil {
+		if b, err = ctx.ReadCiphertext(r.Body); err != nil {
 			s.writeError(w, err)
 			return
 		}
@@ -362,8 +370,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, fmt.Errorf("serve: rotate needs an integer k parameter: %v", err))
 			return
 		}
-		a, err := ctx.ReadCiphertext(r.Body)
-		if err != nil {
+		if a, err = ctx.ReadCiphertext(r.Body); err != nil {
 			s.writeError(w, err)
 			return
 		}
@@ -381,6 +388,24 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	out.MarshalTo(w) // nothing to salvage mid-stream on error
 }
 
+// releaseHandles releases the request's handles, each distinct one
+// exactly once: an identity rotation's output IS its operand, and a
+// double release is a typed error the hot path must not hit. The
+// output's release only recycles pooled backings when the output
+// aliases an operand; evaluator outputs carry fresh backings (engine
+// outputs never alias inputs) and just get marked dead.
+func releaseHandles(a, b, out *hebfv.Ciphertext) {
+	if out != nil && out != a && out != b {
+		out.Release()
+	}
+	if a != nil {
+		a.Release()
+	}
+	if b != nil && b != a {
+		b.Release()
+	}
+}
+
 // ServerStats is the /v1/stats payload.
 type ServerStats struct {
 	Requests   int64          `json:"requests"`
@@ -388,6 +413,55 @@ type ServerStats struct {
 	Inflight   int            `json:"inflight"`
 	Cache      CacheStats     `json:"cache"`
 	Coalescer  CoalescerStats `json:"coalescer"`
+	// Pool aggregates the resident tenant contexts' decode-pool
+	// counters (hebfv.Context.PoolStats): recycling hit rate, live
+	// handles (in_use — the leak balance), and steady-state retained
+	// bytes across the cache.
+	Pool hebfv.PoolStats `json:"pool"`
+	// Mem is the serving process's runtime memory view, for
+	// cross-process GC-pressure measurement: a load generator snapshots
+	// it before and after a run and diffs allocs/bytes per op and GC
+	// pauses (hebfv-loadgen's GC axis).
+	Mem MemStats `json:"mem"`
+}
+
+// MemStats is the runtime.ReadMemStats excerpt exposed in /v1/stats.
+// Cumulative counters (TotalAllocBytes, Mallocs, NumGC, PauseTotalNs)
+// diff cleanly across two snapshots; RecentPausesNs holds up to the
+// last 256 GC pause durations, oldest first, so a diff with ΔNumGC ≤
+// 256 recovers the exact pauses of the measured window.
+type MemStats struct {
+	HeapAllocBytes  uint64   `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64   `json:"total_alloc_bytes"`
+	Mallocs         uint64   `json:"mallocs"`
+	NumGC           uint32   `json:"num_gc"`
+	PauseTotalNs    uint64   `json:"pause_total_ns"`
+	RecentPausesNs  []uint64 `json:"recent_pauses_ns"`
+}
+
+// readMemStats snapshots the runtime counters for /v1/stats.
+func readMemStats() MemStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	st := MemStats{
+		HeapAllocBytes:  m.HeapAlloc,
+		TotalAllocBytes: m.TotalAlloc,
+		Mallocs:         m.Mallocs,
+		NumGC:           m.NumGC,
+		PauseTotalNs:    m.PauseTotalNs,
+	}
+	// PauseNs is a circular buffer indexed by GC number mod 256;
+	// unwind it oldest-first over the window it still covers.
+	n := uint32(len(m.PauseNs))
+	count := m.NumGC
+	if count > n {
+		count = n
+	}
+	st.RecentPausesNs = make([]uint64, 0, count)
+	for i := m.NumGC - count; i < m.NumGC; i++ {
+		st.RecentPausesNs = append(st.RecentPausesNs, m.PauseNs[i%n])
+	}
+	return st
 }
 
 // Stats snapshots the serving counters.
@@ -401,6 +475,8 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
 	st.Coalescer = s.coal.Stats()
+	st.Pool = s.cache.PoolStats()
+	st.Mem = readMemStats()
 	return st
 }
 

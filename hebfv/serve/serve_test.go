@@ -98,7 +98,7 @@ func errCode(t *testing.T, resp *http.Response) string {
 // byte-identical to local evaluation (coalesced batches are scheduling,
 // not approximation).
 func TestServeEndToEnd(t *testing.T) {
-	_, hs := newTestServer(t, Options{})
+	s, hs := newTestServer(t, Options{})
 	ctx := newClient(t, 42)
 	fp := onboard(t, hs.URL, ctx, true)
 
@@ -193,6 +193,28 @@ func TestServeEndToEnd(t *testing.T) {
 				t.Fatalf("%s: slot %d = %d, want %d", op, i, got[i], want[i])
 			}
 		}
+	}
+
+	// Auto-release: the server recycles every request/response handle
+	// once the response is flushed, so the decode pool is used and
+	// balanced. The handler's deferred release may still be running
+	// when the client sees the last byte, hence the short poll.
+	var st ServerStats
+	for deadline := time.Now().Add(time.Second); ; {
+		st = s.Stats()
+		if st.Pool.InUse == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Pool.Gets == 0 {
+		t.Fatal("server decode pool was never used")
+	}
+	if st.Pool.InUse != 0 {
+		t.Fatalf("server leaks pooled handles after responses: %+v", st.Pool)
+	}
+	if st.Mem.Mallocs == 0 || st.Mem.TotalAllocBytes == 0 {
+		t.Fatal("server memstats excerpt missing from stats")
 	}
 }
 
@@ -337,8 +359,10 @@ func TestCacheEvictionCloses(t *testing.T) {
 	cache := NewContextCache(100)
 	ids := make([][32]byte, 3)
 	ctxs := make([]*hebfv.Context, 3)
+	clients := make([]*hebfv.Context, 3)
 	for i := range ids {
 		client := newClient(t, uint64(20+i))
+		clients[i] = client
 		blob, err := client.ExportKeys(false)
 		if err != nil {
 			t.Fatal(err)
@@ -372,9 +396,30 @@ func TestCacheEvictionCloses(t *testing.T) {
 	if err := pinned.ExportKeysTo(io.Discard, false); err != nil {
 		t.Fatalf("doomed-but-pinned context closed early: %v", err)
 	}
+	// Pooled decode against the doomed-but-pinned context: the handle
+	// must return its backings before the deferred Close drains the
+	// pool, leaving the evicted context's leak balance at zero.
+	ct, err := clients[1].EncryptSlots([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pinned.ReadCiphertext(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
 	release()
 	if err := pinned.ExportKeysTo(io.Discard, false); !errors.Is(err, hebfv.ErrContextClosed) {
 		t.Fatalf("doomed context not closed at last release: %v", err)
+	}
+	if ps := pinned.PoolStats(); ps.InUse != 0 || ps.Gets != ps.Puts || ps.RetainedBytes != 0 {
+		t.Fatalf("evicted context pool unbalanced after close: %+v", ps)
 	}
 	if st := cache.Stats(); st.Evictions != 2 || st.Entries != 1 {
 		t.Fatalf("stats %+v; want 2 evictions, 1 entry", st)

@@ -231,8 +231,16 @@ func (c *Context) RotateRowsAndSum(cts []*Ciphertext, ks []int) (_ []*Ciphertext
 		return nil, err
 	}
 	var out []*rawCiphertext
-	if len(gs) == 0 {
+	if len(gs) == 0 && identity == 0 {
+		// No steps at all: return fresh copies — facade outputs never
+		// alias input backings (callers may release inputs afterwards).
+		out = make([]*rawCiphertext, len(raw))
+		for i, r := range raw {
+			out[i] = r.Clone()
+		}
+	} else if len(gs) == 0 {
 		// All steps were identities: no hoisted decomposition to pay.
+		// The identity folds below produce fresh outputs.
 		out = append(out, raw...)
 	} else if out, err = c.eng.RotateAndSum(raw, gks); err != nil {
 		return nil, err

@@ -17,6 +17,14 @@ import (
 // response verification against locally evaluated expectations
 // (mismatches must be zero: batching and coalescing on the server are
 // scheduling constructs, never approximations).
+//
+// v2 adds the GC axis: the loadgen snapshots the server's /v1/stats
+// memory counters before and after the measured window and reports
+// server-side allocations and bytes per op, GC pause tail, and the
+// decode-pool recycling counters — the zero-copy serving path's win,
+// measured rather than asserted. v2 readers accept v1 reports (the GC
+// section is simply absent), so baselines diff across the version
+// bump.
 
 // ServePoint is one operation's measured row.
 type ServePoint struct {
@@ -48,6 +56,24 @@ type ServeReport struct {
 	Mismatches     int64   `json:"mismatches"` // must stay 0
 
 	Points []ServePoint `json:"points"`
+
+	// GC is the schema-v2 server-side GC-pressure axis; nil in v1
+	// reports and when the loadgen could not snapshot /v1/stats.
+	GC *ServeGCStats `json:"gc,omitempty"`
+}
+
+// ServeGCStats is the measured server-side memory churn of one loadgen
+// window: /v1/stats memory counters diffed across the run, normalized
+// per evaluated op, plus the decode-pool recycling counters at the end
+// of the window.
+type ServeGCStats struct {
+	AllocsPerOp       float64 `json:"allocs_per_op"`       // Δmallocs / ops
+	BytesPerOp        float64 `json:"bytes_per_op"`        // Δtotal_alloc / ops
+	NumGC             uint32  `json:"num_gc"`              // collections during the window
+	GCPauseP99Micros  int64   `json:"gc_pause_p99_us"`     // p99 of the window's pauses
+	PoolHitRate       float64 `json:"pool_hit_rate"`       // hits / gets over the window
+	PoolInUse         int64   `json:"pool_in_use"`         // live handles at window end (leak balance)
+	PoolRetainedBytes int64   `json:"pool_retained_bytes"` // steady-state pooled bytes at window end
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of the latency sample,

@@ -58,8 +58,23 @@ func writePoly(w io.Writer, p *poly.Poly) error {
 	return nil
 }
 
-func readPoly(r io.Reader, n, width int) (*poly.Poly, error) {
-	p := poly.NewPoly(n, width)
+// BackingAllocator supplies and reclaims []uint32 coefficient backings
+// for the zero-copy decode path. Get returns a backing of exactly the
+// requested word count with undefined contents (decoding overwrites
+// every word); Put takes one back when a partially decoded ciphertext
+// is abandoned mid-error. internal/polypool.Pool satisfies it.
+type BackingAllocator interface {
+	Get(words int) []uint32
+	Put(b []uint32)
+}
+
+func readPoly(r io.Reader, n, width int, alloc BackingAllocator) (*poly.Poly, error) {
+	var p *poly.Poly
+	if alloc != nil {
+		p = poly.NewPolyBacked(n, width, alloc.Get(n*width))
+	} else {
+		p = poly.NewPoly(n, width)
+	}
 	bp := polyChunkPool.Get().(*[]byte)
 	defer polyChunkPool.Put(bp)
 	buf := *bp
@@ -67,6 +82,9 @@ func readPoly(r io.Reader, n, width int) (*poly.Poly, error) {
 	for len(c) > 0 {
 		k := min(len(c), polyChunkWords)
 		if _, err := io.ReadFull(r, buf[:k*4]); err != nil {
+			if alloc != nil {
+				alloc.Put(p.C)
+			}
 			return nil, err
 		}
 		for i := range c[:k] {
@@ -80,14 +98,18 @@ func readPoly(r io.Reader, n, width int) (*poly.Poly, error) {
 // readPolyCanonical reads one polynomial and rejects non-canonical
 // coefficients (value ≥ q). Every decoder funnels through this check:
 // downstream arithmetic assumes fully reduced residues, and a hostile
-// blob must not smuggle unreduced ones past the boundary.
-func readPolyCanonical(r io.Reader, n, width int, q limb32.Nat) (*poly.Poly, error) {
-	p, err := readPoly(r, n, width)
+// blob must not smuggle unreduced ones past the boundary. On any error
+// the backing (if pooled) has already been returned to alloc.
+func readPolyCanonical(r io.Reader, n, width int, q limb32.Nat, alloc BackingAllocator) (*poly.Poly, error) {
+	p, err := readPoly(r, n, width, alloc)
 	if err != nil {
 		return nil, err
 	}
 	for c := 0; c < n; c++ {
 		if limb32.Cmp(limb32.Nat(p.C[c*width:(c+1)*width]), q, nil) >= 0 {
+			if alloc != nil {
+				alloc.Put(p.C)
+			}
 			return nil, fmt.Errorf("bfv: non-canonical coefficient %d (not reduced mod q)", c)
 		}
 	}
@@ -116,6 +138,14 @@ func (ct *Ciphertext) Serialize(w io.Writer) error {
 
 // ReadCiphertext deserializes a ciphertext and validates it against params.
 func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
+	return ReadCiphertextBacked(r, params, nil)
+}
+
+// ReadCiphertextBacked deserializes like ReadCiphertext but draws the
+// coefficient backings from alloc (pass nil for ordinary allocation).
+// On any decode error every backing already acquired is returned to
+// alloc, so a rejected blob leaves the allocator balanced.
+func ReadCiphertextBacked(r io.Reader, params *Parameters, alloc BackingAllocator) (*Ciphertext, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, err
@@ -137,8 +167,13 @@ func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
 	}
 	ct := &Ciphertext{Polys: make([]*poly.Poly, count)}
 	for i := range ct.Polys {
-		p, err := readPolyCanonical(r, n, w, params.Q.Q)
+		p, err := readPolyCanonical(r, n, w, params.Q.Q, alloc)
 		if err != nil {
+			if alloc != nil {
+				for _, done := range ct.Polys[:i] {
+					alloc.Put(done.C)
+				}
+			}
 			return nil, err
 		}
 		ct.Polys[i] = p
@@ -178,7 +213,7 @@ func ReadSecretKey(r io.Reader, params *Parameters) (*SecretKey, error) {
 }
 
 func readPolyAsSecret(r io.Reader, params *Parameters) (*SecretKey, error) {
-	p, err := readPolyCanonical(r, params.N, params.Q.W, params.Q.Q)
+	p, err := readPolyCanonical(r, params.N, params.Q.W, params.Q.Q, nil)
 	if err != nil {
 		return nil, err
 	}

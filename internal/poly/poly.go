@@ -75,6 +75,22 @@ func NewPoly(n, w int) *Poly {
 	return &Poly{N: n, W: w, C: make([]uint32, n*w)}
 }
 
+// NewPolyBacked wraps an existing backing of exactly n·w words as a
+// polynomial, without zeroing it: the contents are whatever the backing
+// holds. The zero-copy decode path uses this to deserialize directly
+// into pooled memory — it overwrites every word, so a recycled backing
+// is indistinguishable from a fresh one. Callers that do not overwrite
+// all coefficients must clear the backing themselves.
+func NewPolyBacked(n, w int, c []uint32) *Poly {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("poly: n=%d is not a power of two", n))
+	}
+	if len(c) != n*w {
+		panic(fmt.Sprintf("poly: backing has %d words, need %d", len(c), n*w))
+	}
+	return &Poly{N: n, W: w, C: c}
+}
+
 // Coeff returns a mutable view of coefficient i.
 func (p *Poly) Coeff(i int) limb32.Nat { return limb32.Nat(p.C[i*p.W : (i+1)*p.W]) }
 

@@ -1,0 +1,126 @@
+package polypool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolRecycle(t *testing.T) {
+	p := New(1 << 20)
+	a := p.Get(256)
+	if len(a) != 256 {
+		t.Fatalf("Get(256) returned len %d", len(a))
+	}
+	a[0] = 0xdeadbeef
+	p.Put(a)
+	b := p.Get(256)
+	if &b[0] != &a[0] {
+		t.Fatalf("expected recycled backing, got a fresh one")
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Puts != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want gets=2 puts=1 hits=1 misses=1", s)
+	}
+	if s.InUse != 1 {
+		t.Fatalf("InUse = %d, want 1", s.InUse)
+	}
+}
+
+func TestPoolSizeClasses(t *testing.T) {
+	p := New(1 << 20)
+	a := p.Get(64)
+	p.Put(a)
+	// A different class must not serve the retained 64-word backing.
+	b := p.Get(128)
+	if len(b) != 128 {
+		t.Fatalf("Get(128) returned len %d", len(b))
+	}
+	if p.Stats().Hits != 0 {
+		t.Fatalf("cross-class Get hit the pool")
+	}
+	c := p.Get(64)
+	if &c[0] != &a[0] {
+		t.Fatalf("same-class Get missed the retained backing")
+	}
+}
+
+func TestPoolRetentionCap(t *testing.T) {
+	// Cap fits exactly one 256-word backing (1024 bytes).
+	p := New(1024)
+	a, b := p.Get(256), p.Get(256)
+	p.Put(a)
+	p.Put(b)
+	s := p.Stats()
+	if s.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1 (cap fits one backing)", s.Dropped)
+	}
+	if s.RetainedBytes != 1024 {
+		t.Fatalf("RetainedBytes = %d, want 1024", s.RetainedBytes)
+	}
+	// InUse balances regardless of drops.
+	if s.InUse != 0 {
+		t.Fatalf("InUse = %d, want 0", s.InUse)
+	}
+}
+
+func TestPoolRetentionDisabled(t *testing.T) {
+	p := New(0)
+	a := p.Get(64)
+	p.Put(a)
+	s := p.Stats()
+	if s.Dropped != 1 || s.RetainedBytes != 0 {
+		t.Fatalf("retention-disabled pool retained: %+v", s)
+	}
+	if s.InUse != 0 {
+		t.Fatalf("InUse = %d, want 0 (accounting stays live with cap 0)", s.InUse)
+	}
+	b := p.Get(64)
+	if &b[0] == &a[0] {
+		t.Fatalf("retention-disabled pool recycled a backing")
+	}
+}
+
+func TestPoolDrain(t *testing.T) {
+	p := New(1 << 20)
+	p.Put(p.Get(256))
+	p.Put(p.Get(512))
+	freed := p.Drain()
+	if want := int64((256 + 512) * 4); freed != want {
+		t.Fatalf("Drain freed %d bytes, want %d", freed, want)
+	}
+	s := p.Stats()
+	if s.RetainedBytes != 0 {
+		t.Fatalf("RetainedBytes = %d after Drain", s.RetainedBytes)
+	}
+	if s.Gets != 2 || s.Puts != 2 {
+		t.Fatalf("Drain disturbed cumulative counters: %+v", s)
+	}
+	if len(p.Get(256)) != 256 {
+		t.Fatalf("pool unusable after Drain")
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := New(1 << 22)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			classes := []int{64, 256, 1024}
+			for i := 0; i < 500; i++ {
+				b := p.Get(classes[(int(seed)+i)%len(classes)])
+				b[0] = seed
+				p.Put(b)
+			}
+		}(uint32(g))
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.InUse != 0 {
+		t.Fatalf("InUse = %d after balanced concurrent use, want 0", s.InUse)
+	}
+	if s.Gets != 8*500 || s.Puts != 8*500 {
+		t.Fatalf("counters lost updates: %+v", s)
+	}
+}
